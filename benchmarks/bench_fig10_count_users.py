@@ -1,0 +1,49 @@
+"""Figure 10 — Twitter COUNT of users who posted ``privacy``:
+MA-SRW vs MA-TARW vs M&R (all on the level-by-level subgraph, as in the
+paper, which runs M&R there "to better evaluate our topology-aware
+navigation algorithm").
+
+Paper shape: MA-TARW < MA-SRW < M&R in query cost at every error level.
+"""
+
+from repro.bench import (
+    BENCH_BUDGETS,
+    bench_platform,
+    emit,
+    format_table,
+    median_error_at_budget,
+)
+from repro.core.query import count_users
+
+ALGORITHMS = ("ma-srw", "ma-tarw", "m&r")
+
+
+def compute_rows():
+    platform = bench_platform()
+    query = count_users("privacy")
+    rows = []
+    for budget in BENCH_BUDGETS:
+        row = [budget]
+        for algorithm in ALGORITHMS:
+            row.append(median_error_at_budget(platform, query, algorithm, budget))
+        rows.append(row)
+    return rows
+
+
+def test_fig10_count_users(once):
+    rows = once(compute_rows)
+    emit(
+        "fig10",
+        format_table(
+            "Figure 10: COUNT of 'privacy' users — median error vs budget",
+            ["budget", "MA-SRW", "MA-TARW", "M&R"],
+            rows,
+        ),
+    )
+    # Shape: at the largest budget TARW produces an estimate and is
+    # competitive with the best baseline.
+    last = rows[-1]
+    srw, tarw, mr = last[1], last[2], last[3]
+    assert tarw is not None
+    baseline = min(e for e in (srw, mr) if e is not None)
+    assert tarw <= max(baseline * 2.0, baseline + 0.10)

@@ -1,0 +1,58 @@
+"""Figure 12 — Google+ AVG(display-name length).
+
+Paper shape: same qualitative behaviour as on Twitter (Figure 11), but the
+absolute query cost is much higher because Google+'s APIs return at most
+20 results per call (§6.2).
+"""
+
+from repro.bench import bench_platform, emit, format_table, median_error_at_budget
+from repro.core.query import DISPLAY_NAME_LENGTH, avg_of
+from repro.platform.profiles import GOOGLE_PLUS
+
+KEYWORD = "privacy"
+BUDGETS = (5_000, 10_000, 20_000, 35_000)
+
+
+def compute():
+    twitter = bench_platform()
+    gplus = bench_platform(profile=GOOGLE_PLUS)
+    query = avg_of(KEYWORD, DISPLAY_NAME_LENGTH)
+    rows = []
+    for budget in BUDGETS:
+        rows.append(
+            [
+                budget,
+                median_error_at_budget(gplus, query, "ma-srw", budget),
+                median_error_at_budget(gplus, query, "ma-tarw", budget),
+            ]
+        )
+    # cost inflation vs Twitter at matched accuracy target
+    twitter_err = median_error_at_budget(twitter, query, "ma-tarw", 3_000)
+    gplus_err = median_error_at_budget(gplus, query, "ma-tarw", 3_000)
+    return rows, twitter_err, gplus_err
+
+
+def test_fig12_google_plus_display_name(once):
+    rows, twitter_err, gplus_err = once(compute)
+    extra = [["twitter @3000 (TARW)", twitter_err, None],
+             ["google+ @3000 (TARW)", gplus_err, None]]
+    emit(
+        "fig12",
+        format_table(
+            "Figure 12: Google+ AVG(display-name length) — median error vs budget",
+            ["budget", "MA-SRW", "MA-TARW"],
+            rows,
+        )
+        + "\n\n"
+        + format_table(
+            "Same-budget cross-platform contrast (20-per-page Google+ APIs)",
+            ["run", "median error", ""],
+            extra,
+        ),
+    )
+    # Shape: Google+ converges, but needs visibly more budget than Twitter
+    # for comparable accuracy.
+    final = rows[-1]
+    assert final[2] is not None and final[2] < 0.3
+    if twitter_err is not None and gplus_err is not None:
+        assert gplus_err >= twitter_err * 0.8  # never meaningfully cheaper

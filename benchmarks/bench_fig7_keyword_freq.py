@@ -1,0 +1,60 @@
+"""Figure 7 — ground-truth keyword frequency over time.
+
+Paper: daily mention counts for ``privacy`` (low, occasional spikes),
+``new york`` (perpetually high) and ``boston`` (medium, one huge spike at
+the Apr 15, 2013 Marathon bombing, day ~104).
+
+We print a monthly roll-up of the streaming collector's daily series and
+assert the three archetype shapes.
+"""
+
+from repro.api.streaming import StreamingAPI
+from repro.bench import bench_platform, emit, format_table
+from repro.platform.clock import DAY
+
+KEYWORDS = ("privacy", "new york", "boston")
+
+
+def compute():
+    platform = bench_platform()
+    stream = StreamingAPI(platform.store)
+    horizon = platform.now
+    series = {
+        keyword: stream.daily_frequency(keyword, 0.0, horizon) for keyword in KEYWORDS
+    }
+    months = int(horizon // (30 * DAY)) + 1
+    rows = []
+    for month in range(months):
+        row = [f"month {month + 1}"]
+        for keyword in KEYWORDS:
+            count = sum(
+                c for t, c in series[keyword] if month * 30 * DAY <= t < (month + 1) * 30 * DAY
+            )
+            row.append(count)
+        rows.append(row)
+    rows.append(["total"] + [sum(c for _, c in series[k]) for k in KEYWORDS])
+    return rows, series
+
+
+def test_fig7_keyword_frequencies(once):
+    rows, series = once(compute)
+    emit(
+        "fig7",
+        format_table(
+            "Figure 7: keyword mention frequency (monthly roll-up of daily stream)",
+            ["period"] + list(KEYWORDS),
+            rows,
+        ),
+    )
+    totals = {k: sum(c for _, c in series[k]) for k in KEYWORDS}
+    # new york is the perpetually-popular keyword
+    assert totals["new york"] > totals["privacy"]
+    # boston spikes at the event day: its peak month dwarfs its first months
+    boston_monthly = [row[3] for row in rows[:-1]]
+    event_month = boston_monthly.index(max(boston_monthly))
+    assert 2 <= event_month <= 5  # event day 104 falls in month 4 (index 3)
+    assert max(boston_monthly) > 3 * max(boston_monthly[0], 1)
+    # privacy has visible spikes over a low base
+    privacy_daily = [c for _, c in series["privacy"]]
+    base = sorted(privacy_daily)[len(privacy_daily) // 2]
+    assert max(privacy_daily) > 3 * max(base, 1)

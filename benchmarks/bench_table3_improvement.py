@@ -1,0 +1,77 @@
+"""Table 3 — average percent improvement of MA-TARW over MA-SRW and M&R.
+
+The paper reports, per keyword, the percent query-cost improvement of
+MA-TARW over MA-SRW for AVG(followers) and COUNT(users), and over M&R for
+COUNT, at 5% relative error (improvements of 24–55% over MA-SRW and
+53–78% over M&R).
+
+Here we measure the budget-sweep analogue: the smallest budget at which
+each algorithm's median error meets the target, and the implied percent
+improvement.  The target is 25% error — on the bench-sized platform a 5%
+target requires near-full subgraph coverage for every algorithm, which
+flattens all differences (see EXPERIMENTS.md).
+"""
+
+from repro.bench import (
+    BENCH_BUDGETS,
+    bench_platform,
+    budget_to_reach_error,
+    emit,
+    format_table,
+)
+from repro.core.query import FOLLOWERS, avg_of, count_users
+
+KEYWORDS = ("boston", "oprah winfrey", "tunisia", "obamacare")
+TARGET_ERROR = 0.25
+
+
+def improvement(base, ours):
+    if base is None or ours is None:
+        return None
+    if base == 0:
+        return None
+    return 100.0 * (base - ours) / base
+
+
+def compute_rows():
+    platform = bench_platform()
+    rows = []
+    for keyword in KEYWORDS:
+        query_avg = avg_of(keyword, FOLLOWERS)
+        query_count = count_users(keyword)
+        srw_avg = budget_to_reach_error(platform, query_avg, "ma-srw", TARGET_ERROR)
+        tarw_avg = budget_to_reach_error(platform, query_avg, "ma-tarw", TARGET_ERROR)
+        srw_count = budget_to_reach_error(platform, query_count, "ma-srw", TARGET_ERROR)
+        tarw_count = budget_to_reach_error(platform, query_count, "ma-tarw", TARGET_ERROR)
+        mr_count = budget_to_reach_error(platform, query_count, "m&r", TARGET_ERROR)
+        rows.append(
+            [
+                keyword,
+                improvement(srw_avg, tarw_avg),
+                improvement(srw_count, tarw_count),
+                improvement(mr_count, tarw_count),
+                f"srw_avg={srw_avg} tarw_avg={tarw_avg} "
+                f"srw_cnt={srw_count} tarw_cnt={tarw_count} mr_cnt={mr_count}",
+            ]
+        )
+    return rows
+
+
+def test_table3_tarw_improvement(once):
+    rows = once(compute_rows)
+    emit(
+        "table3",
+        format_table(
+            f"Table 3: % budget improvement of MA-TARW (target error {TARGET_ERROR:.0%})",
+            ["Keyword", "vs MA-SRW (AVG)", "vs MA-SRW (COUNT)", "vs M&R (COUNT)",
+             "raw budgets"],
+            rows,
+        ),
+    )
+    # Shape: TARW should be at least competitive overall — across the
+    # keyword panel the median improvement must not be negative.
+    count_improvements = [row[2] for row in rows if row[2] is not None]
+    assert count_improvements, "no COUNT comparison completed"
+    count_improvements.sort()
+    median = count_improvements[len(count_improvements) // 2]
+    assert median >= 0.0

@@ -1,0 +1,52 @@
+"""Quickstart: estimate one aggregate over a simulated microblog platform.
+
+Builds a small platform, asks MICROBLOG-ANALYZER "how many users mentioned
+'privacy'?" under a strict API budget, and compares the answer with the
+exact ground truth the simulator knows.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MicroblogAnalyzer,
+    PlatformConfig,
+    build_platform,
+    count_users,
+    exact_value,
+    relative_error,
+)
+
+def main() -> None:
+    # 1. Build a deterministic simulated platform: a community-structured
+    #    social graph, 304 days of posts, and organic keyword cascades.
+    print("Building platform (10k users, ~300 simulated days)...")
+    platform = build_platform(PlatformConfig(num_users=10_000, seed=42))
+    keyword_users = len(platform.store.users_mentioning("privacy"))
+    print(f"  -> {platform.store.num_posts:,} posts; "
+          f"{keyword_users:,} users ever mentioned 'privacy'")
+
+    # 2. Pose the aggregate query of the paper's title example.
+    query = count_users("privacy")
+    print(f"\nQuery: {query.describe()}")
+
+    # 3. Estimate it through the rate-limited API with MA-TARW.
+    budget = 15_000
+    analyzer = MicroblogAnalyzer(platform, algorithm="ma-tarw", seed=7)
+    result = analyzer.estimate(query, budget=budget)
+
+    # 4. Compare with exact ground truth (only the simulator can see it).
+    truth = exact_value(platform.store, query)
+    print(f"\nMA-TARW estimate : {result.value:,.0f}")
+    print(f"Ground truth     : {truth:,.0f}")
+    print(f"Relative error   : {relative_error(result.value, truth):.1%}")
+    print(f"API calls spent  : {result.cost_total:,} of {budget:,} "
+          f"({result.cost_by_kind})")
+    print(f"Walk instances   : {result.diagnostics['instances']:.0f}, "
+          f"seed set {result.diagnostics['seed_set_size']:.0f} users")
+    wait_days = result.diagnostics["simulated_wait_seconds"] / 86_400
+    print(f"Rate-limit wait  : {wait_days:.2f} simulated days "
+          f"(Twitter: 180 calls / 15 min)")
+
+
+if __name__ == "__main__":
+    main()

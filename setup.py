@@ -1,0 +1,9 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+The environment has no network access and no wheel distribution; with a
+setup.py present pip falls back to the legacy editable install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""repro — reproduction of "Aggregate Estimation Over a Microblog Platform".
+
+SIGMOD 2014, Thirumuruganathan, Zhang, Hristidis & Das.
+
+Quickstart::
+
+    from repro import (
+        PlatformConfig, build_platform, MicroblogAnalyzer, count_users,
+        exact_value, relative_error,
+    )
+
+    platform = build_platform(PlatformConfig(num_users=5_000, seed=7))
+    analyzer = MicroblogAnalyzer(platform, algorithm="ma-tarw")
+    query = count_users("privacy")
+    result = analyzer.estimate(query, budget=10_000)
+    truth = exact_value(platform.store, query)
+    print(result.value, truth, relative_error(result.value, truth))
+
+Layering (see DESIGN.md):
+
+* :mod:`repro.graph` — graph substrate (generators, conductance, SNAP IO);
+* :mod:`repro.platform` — simulated microblog platform and cascades;
+* :mod:`repro.api` — the restricted, rate-limited, cost-metered API;
+* :mod:`repro.sampling` — walks, diagnostics and classical estimators;
+* :mod:`repro.core` — MICROBLOG-ANALYZER (MA-SRW, MA-TARW, M&R);
+* :mod:`repro.groundtruth` — exact answers for error measurement;
+* :mod:`repro.bench` — shared experiment drivers for ``benchmarks/``.
+"""
+
+from repro.core.analyzer import MicroblogAnalyzer
+from repro.core.query import (
+    Aggregate,
+    AggregateQuery,
+    CONSTANT_ONE,
+    DISPLAY_NAME_LENGTH,
+    FOLLOWERS,
+    MATCHING_POST_COUNT,
+    MEAN_LIKES,
+    Measure,
+    UserView,
+    avg_of,
+    count_users,
+    gender_is,
+    sum_of,
+)
+from repro.core.confidence import ConfidenceResult, combine_replicates
+from repro.core.results import EstimateResult
+from repro.core.sql import parse_query
+from repro.errors import (
+    APIError,
+    BudgetExhaustedError,
+    EstimationError,
+    GraphError,
+    PlatformError,
+    QueryError,
+    RateLimitError,
+    ReproError,
+)
+from repro.groundtruth import exact_value, relative_error
+from repro.platform.profiles import GOOGLE_PLUS, TUMBLR, TWITTER
+from repro.platform.serialization import load_platform, save_platform
+from repro.platform.simulator import PlatformConfig, SimulatedPlatform, build_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MicroblogAnalyzer",
+    "Aggregate",
+    "AggregateQuery",
+    "Measure",
+    "UserView",
+    "CONSTANT_ONE",
+    "FOLLOWERS",
+    "DISPLAY_NAME_LENGTH",
+    "MATCHING_POST_COUNT",
+    "MEAN_LIKES",
+    "count_users",
+    "avg_of",
+    "sum_of",
+    "gender_is",
+    "EstimateResult",
+    "ConfidenceResult",
+    "combine_replicates",
+    "parse_query",
+    "exact_value",
+    "relative_error",
+    "save_platform",
+    "load_platform",
+    "PlatformConfig",
+    "SimulatedPlatform",
+    "build_platform",
+    "TWITTER",
+    "GOOGLE_PLUS",
+    "TUMBLR",
+    "ReproError",
+    "GraphError",
+    "PlatformError",
+    "APIError",
+    "BudgetExhaustedError",
+    "RateLimitError",
+    "QueryError",
+    "EstimationError",
+]

@@ -1,0 +1,28 @@
+"""Offline analysis tools: exact computations on small level graphs.
+
+These are *evaluator-side* tools (like :mod:`repro.groundtruth`): they see
+whole graphs, not the restricted API, and exist to validate the paper's
+theory — most importantly Theorem 5.1's variance expression and the
+unbiasedness of Algorithm 2's ESTIMATE-p — by exact enumeration on graphs
+small enough to enumerate.
+"""
+
+from repro.analysis.theorem51 import (
+    LevelDag,
+    enumerate_estimate_paths,
+    enumerate_instances,
+    exact_estimate_p_distribution,
+    exact_instance_variance,
+    exact_selection_probabilities,
+    theorem51_variance_as_printed,
+)
+
+__all__ = [
+    "LevelDag",
+    "exact_selection_probabilities",
+    "enumerate_estimate_paths",
+    "enumerate_instances",
+    "exact_estimate_p_distribution",
+    "exact_instance_variance",
+    "theorem51_variance_as_printed",
+]

@@ -1,0 +1,263 @@
+"""Exact analysis of the topology-aware walk on small level DAGs
+(Theorem 5.1 and the unbiasedness of Algorithm 2).
+
+A :class:`LevelDag` is a fully known level-by-level graph: node levels,
+the implied up/down adjacency, and the seed set.  On graphs small enough
+to enumerate we can compute *exactly*:
+
+* the selection probabilities ``p_up`` / ``p_down`` (the Eq. 6 fixed
+  point, by dynamic programming in level order);
+* the full distribution of Algorithm 2's ESTIMATE-p output for any node —
+  every downward path, its probability, and its ω value — which proves
+  (numerically, path by path) that ``E[ω] = p_up(u)``;
+* the variance expression of Theorem 5.1 as printed, with ``P(u)`` the
+  set of ESTIMATE-p paths from ``u``.
+
+These are evaluator-side computations (exponential in the worst case,
+guarded by a path-count limit); the estimators never use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Set, Tuple
+
+from repro.errors import EstimationError, GraphError
+from repro.graph.social_graph import SocialGraph
+
+MAX_PATHS = 200_000
+
+
+@dataclass
+class LevelDag:
+    """A fully known level-by-level graph with a seed set.
+
+    ``graph`` must contain only inter-level edges with respect to
+    ``levels`` (intra-level edges are rejected — build via
+    :func:`repro.core.levels.level_by_level_subgraph` first).
+    """
+
+    graph: SocialGraph
+    levels: Mapping[int, int]
+    seeds: Set[int]
+
+    def __post_init__(self) -> None:
+        for node in self.graph.nodes():
+            if node not in self.levels:
+                raise GraphError(f"node {node} has no level")
+        for u, v in self.graph.edges():
+            if self.levels[u] == self.levels[v]:
+                raise GraphError(f"intra-level edge {u}-{v}: not a level DAG")
+        unknown_seeds = set(self.seeds) - set(self.graph.nodes())
+        if unknown_seeds:
+            raise GraphError(f"seeds not in graph: {sorted(unknown_seeds)[:3]}")
+        if not self.seeds:
+            raise GraphError("need at least one seed")
+
+    def up(self, node: int) -> List[int]:
+        own = self.levels[node]
+        return sorted(v for v in self.graph.neighbors_unsafe(node) if self.levels[v] < own)
+
+    def down(self, node: int) -> List[int]:
+        own = self.levels[node]
+        return sorted(v for v in self.graph.neighbors_unsafe(node) if self.levels[v] > own)
+
+    def start_probability(self, node: int) -> float:
+        return 1.0 / len(self.seeds) if node in self.seeds else 0.0
+
+
+def exact_selection_probabilities(dag: LevelDag) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """The Eq. 6 fixed point: exact ``(p_up, p_down)`` maps."""
+    nodes = dag.graph.nodes()
+    p_up: Dict[int, float] = {}
+    for node in sorted(nodes, key=lambda n: -dag.levels[n]):
+        value = dag.start_probability(node)
+        for below in dag.down(node):
+            ups_of_below = dag.up(below)
+            if p_up[below] > 0:
+                value += p_up[below] / len(ups_of_below)
+        p_up[node] = value
+    p_down: Dict[int, float] = {}
+    for node in sorted(nodes, key=lambda n: dag.levels[n]):
+        ups = dag.up(node)
+        if not ups:
+            p_down[node] = p_up[node]
+            continue
+        value = 0.0
+        for above in ups:
+            downs_of_above = dag.down(above)
+            if p_down[above] > 0:
+                value += p_down[above] / len(downs_of_above)
+        p_down[node] = value
+    return p_up, p_down
+
+
+@dataclass(frozen=True)
+class EstimatePath:
+    """One possible ESTIMATE-p execution: its path, probability, and ω."""
+
+    nodes: Tuple[int, ...]
+    probability: float
+    omega: float
+
+
+def enumerate_estimate_paths(dag: LevelDag, node: int) -> List[EstimatePath]:
+    """Every downward path Algorithm 2 can take from *node*.
+
+    Each recursion step picks a uniform member of ∆(current), so a path's
+    probability is Π 1/|∆(v_i)|; its ω value accumulates start mass times
+    the telescoped branching factor, exactly as in the estimator.
+    """
+    results: List[EstimatePath] = []
+
+    def recurse(current: int, trail: Tuple[int, ...], probability: float,
+                factor: float, omega: float) -> None:
+        if len(results) > MAX_PATHS:
+            raise EstimationError("too many ESTIMATE-p paths to enumerate")
+        omega = omega + factor * dag.start_probability(current)
+        downs = dag.down(current)
+        if not downs:
+            results.append(EstimatePath(trail + (current,), probability, omega))
+            return
+        for below in downs:
+            new_factor = factor * len(downs) / len(dag.up(below))
+            recurse(below, trail + (current,), probability / len(downs), new_factor, omega)
+
+    recurse(node, (), 1.0, 1.0, 0.0)
+    return results
+
+
+def exact_estimate_p_distribution(dag: LevelDag, node: int) -> Tuple[float, float]:
+    """(mean, variance) of Algorithm 2's ω for *node*, by enumeration.
+
+    The mean must equal ``p_up(node)`` exactly — the unbiasedness claim of
+    §5.2 — which the test suite asserts to float precision.
+    """
+    paths = enumerate_estimate_paths(dag, node)
+    mean = sum(p.probability * p.omega for p in paths)
+    variance = sum(p.probability * (p.omega - mean) ** 2 for p in paths)
+    return mean, variance
+
+
+def theorem51_variance_as_printed(
+    dag: LevelDag,
+    f: Mapping[int, float],
+    instances: int,
+) -> float:
+    """Theorem 5.1's σ² *as printed*, with P(u) = ESTIMATE-p paths from u.
+
+    ``f`` maps each node satisfying the aggregate's condition to its
+    measure value (nodes absent from ``f`` are outside the condition).
+    ``Q_A`` is the true aggregate Σ f(u).  The theorem's ``V`` term sums
+    ``p(u)·p(ρ)·(p(u)/ω(ρ) − 1)²`` over condition nodes and their paths;
+    paths with ω = 0 are skipped (the estimator drops them), matching the
+    implementation's behaviour.
+
+    **Caution**: the printed expression lacks the cross-covariance terms
+    between the nodes one instance visits together, and on a deterministic
+    chain it evaluates to ``Σf² − Q² < 0`` — an impossible variance.  The
+    test suite documents this; use :func:`exact_instance_variance` for the
+    true variance of the phase-sum estimator.
+    """
+    if instances < 1:
+        raise EstimationError("instances must be >= 1")
+    p_up, _ = exact_selection_probabilities(dag)
+    q_a = float(sum(f.values()))
+    v_term = 0.0
+    for node in f:
+        p_node = p_up.get(node, 0.0)
+        if p_node <= 0:
+            continue
+        for path in enumerate_estimate_paths(dag, node):
+            if path.omega <= 0:
+                continue
+            v_term += p_node * path.probability * (p_node / path.omega - 1.0) ** 2
+    total = 0.0
+    for node, value in f.items():
+        p_node = p_up.get(node, 0.0)
+        if p_node <= 0:
+            continue
+        total += (v_term + 1.0) * value * value / (instances * p_node)
+    return total - q_a * q_a / instances
+
+
+# Back-compatible alias used by older callers/tests.
+theorem51_variance = theorem51_variance_as_printed
+
+
+@dataclass(frozen=True)
+class WalkInstance:
+    """One possible bottom-top-bottom instance: paths and probability."""
+
+    up_path: Tuple[int, ...]
+    down_path: Tuple[int, ...]
+    probability: float
+
+
+def enumerate_instances(dag: LevelDag) -> List[WalkInstance]:
+    """Every possible bottom-top-bottom walk instance with its probability.
+
+    The start seed is uniform over the seed set; each upward transition is
+    uniform over ∇(current); at the local root the walk reverses and each
+    downward transition is uniform over ∆(current).
+    """
+    instances: List[WalkInstance] = []
+
+    def descend(current: int, trail: Tuple[int, ...], probability: float,
+                up_path: Tuple[int, ...]) -> None:
+        if len(instances) > MAX_PATHS:
+            raise EstimationError("too many walk instances to enumerate")
+        trail = trail + (current,)
+        downs = dag.down(current)
+        if not downs:
+            instances.append(WalkInstance(up_path, trail, probability))
+            return
+        for below in downs:
+            descend(below, trail, probability / len(downs), up_path)
+
+    def ascend(current: int, trail: Tuple[int, ...], probability: float) -> None:
+        trail = trail + (current,)
+        ups = dag.up(current)
+        if not ups:
+            descend(current, (), probability, trail)
+            return
+        for above in ups:
+            ascend(above, trail, probability / len(ups))
+
+    start_probability = 1.0 / len(dag.seeds)
+    for seed in sorted(dag.seeds):
+        ascend(seed, (), start_probability)
+    return instances
+
+
+def exact_instance_variance(dag: LevelDag, f: Mapping[int, float]) -> Tuple[float, float]:
+    """(mean, variance) of one phase-sum instance estimate, exactly.
+
+    The instance estimate (with *exact* selection probabilities, i.e. the
+    estimator MA-TARW converges to as its probability pools mature) is
+
+        X = ( Σ_{u ∈ up path} f(u)/p_up(u) + Σ_{u ∈ down path} f(u)/p_down(u) ) / 2
+
+    and this function computes E[X] and Var(X) by enumerating every
+    possible instance.  E[X] must equal Σ f(u) over the supports — the
+    unbiasedness the phase-sum combine is built on — and averaging r
+    independent instances divides the variance by r.
+    """
+    p_up, p_down = exact_selection_probabilities(dag)
+    total_mean = 0.0
+    total_second = 0.0
+    for instance in enumerate_instances(dag):
+        x_up = sum(
+            f.get(node, 0.0) / p_up[node]
+            for node in instance.up_path
+            if p_up.get(node, 0.0) > 0
+        )
+        x_down = sum(
+            f.get(node, 0.0) / p_down[node]
+            for node in instance.down_path
+            if p_down.get(node, 0.0) > 0
+        )
+        x = (x_up + x_down) / 2.0
+        total_mean += instance.probability * x
+        total_second += instance.probability * x * x
+    return total_mean, total_second - total_mean * total_mean

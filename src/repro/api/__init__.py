@@ -1,0 +1,35 @@
+"""The restricted microblog API layer.
+
+Everything the estimators know about the platform flows through this
+subpackage, which mimics the three-query data-access model of §2 of the
+paper — SEARCH (recent posts only), USER CONNECTIONS and USER TIMELINE —
+with per-call cost accounting (the paper's efficiency metric), pagination
+and rate limiting per :mod:`repro.platform.profiles`.
+"""
+
+from repro.api.accounting import CostMeter
+from repro.api.ratelimit import RateLimiter
+from repro.api.interface import (
+    ConnectionsPage,
+    MicroblogAPI,
+    ProfileView,
+    SearchHit,
+    TimelinePage,
+    TimelineView,
+)
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.api.streaming import StreamingAPI
+
+__all__ = [
+    "CostMeter",
+    "RateLimiter",
+    "MicroblogAPI",
+    "SearchHit",
+    "ProfileView",
+    "TimelinePage",
+    "TimelineView",
+    "ConnectionsPage",
+    "SimulatedMicroblogClient",
+    "CachingClient",
+    "StreamingAPI",
+]

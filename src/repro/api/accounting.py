@@ -1,0 +1,69 @@
+"""Query-cost accounting.
+
+The paper's efficiency measure is "the number of queries and/or API calls
+(on SEARCH, USER CONNECTIONS, and USER TIMELINE) the algorithm issues"
+(§2), where one logical request may cost several calls due to pagination
+("multiple API calls could be required to obtain the result of a single
+query", §6.1).  :class:`CostMeter` charges every page individually and
+optionally enforces a hard budget, which is how the MICROBLOG-ANALYZER
+"query budget" system input (§3.1) is implemented.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import BudgetExhaustedError, ReproError
+
+SEARCH = "search"
+CONNECTIONS = "connections"
+TIMELINE = "timeline"
+CALL_KINDS = (SEARCH, CONNECTIONS, TIMELINE)
+
+
+class CostMeter:
+    """Counts API calls by kind, optionally against a hard budget."""
+
+    def __init__(self, budget: Optional[int] = None) -> None:
+        if budget is not None and budget < 0:
+            raise ReproError("budget must be non-negative")
+        self.budget = budget
+        self._by_kind: Dict[str, int] = {kind: 0 for kind in CALL_KINDS}
+
+    @property
+    def total(self) -> int:
+        return sum(self._by_kind.values())
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Calls left before the budget trips (None when unbudgeted)."""
+        if self.budget is None:
+            return None
+        return max(self.budget - self.total, 0)
+
+    def by_kind(self) -> Dict[str, int]:
+        return dict(self._by_kind)
+
+    def charge(self, kind: str, calls: int = 1) -> None:
+        """Record *calls* API calls of *kind*.
+
+        Raises :class:`BudgetExhaustedError` *before* recording when the
+        charge would cross the budget — a budgeted client never issues the
+        request it cannot afford.
+        """
+        if kind not in self._by_kind:
+            raise ReproError(f"unknown call kind {kind!r}; expected one of {CALL_KINDS}")
+        if calls < 0:
+            raise ReproError("calls must be non-negative")
+        if self.budget is not None and self.total + calls > self.budget:
+            raise BudgetExhaustedError(spent=self.total, budget=self.budget)
+        self._by_kind[kind] += calls
+
+    def reset(self) -> None:
+        for kind in self._by_kind:
+            self._by_kind[kind] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{kind}={count}" for kind, count in self._by_kind.items())
+        budget = f", budget={self.budget}" if self.budget is not None else ""
+        return f"CostMeter({parts}{budget})"

@@ -1,0 +1,194 @@
+"""The simulated rate-limited microblog client.
+
+:class:`SimulatedMicroblogClient` implements :class:`MicroblogAPI` over the
+authoritative store while enforcing the platform profile's restrictions:
+
+* SEARCH sees only posts newer than ``now - search_window`` (Twitter's
+  one-week search horizon, §2) and pays one call per result page;
+* USER TIMELINE returns only the most recent ``timeline_cap`` posts and
+  pays one call per ``timeline_page_size`` posts;
+* USER CONNECTIONS pays one call per ``connections_page_size`` neighbors;
+* every call passes through the rate limiter and the cost meter.
+
+:class:`CachingClient` adds a client-side cache: repeated fetches of the
+same timeline or connection list are free, exactly as a real crawler would
+memoise responses.  Estimators always run behind a caching client.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.api import accounting
+from repro.api.accounting import CostMeter
+from repro.api.interface import (
+    ConnectionsPage,
+    MicroblogAPI,
+    ProfileView,
+    SearchHit,
+    TimelineView,
+)
+from repro.api.ratelimit import RateLimiter
+from repro.errors import APIError
+from repro.platform.clock import SimulatedClock
+from repro.platform.simulator import SimulatedPlatform
+
+
+class SimulatedMicroblogClient(MicroblogAPI):
+    """Rate-limited, cost-metered API access to a simulated platform."""
+
+    def __init__(
+        self,
+        platform: SimulatedPlatform,
+        budget: Optional[int] = None,
+        rate_limit_policy: str = "sleep",
+    ) -> None:
+        self.platform = platform
+        self.meter = CostMeter(budget=budget)
+        # Each client gets a private clock forked from the platform's:
+        # rate-limit sleeps advance only this client's view of time, so one
+        # estimation run cannot shift another's search-recency window.
+        self.clock = SimulatedClock(platform.clock.now())
+        self.limiter = RateLimiter(platform.profile, self.clock, policy=rate_limit_policy)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _charge(self, kind: str, calls: int) -> None:
+        # Budget check happens first: a client that cannot afford the
+        # request must not consume rate-limit quota for it.
+        self.meter.charge(kind, calls)
+        self.limiter.acquire(calls)
+
+    def _profile_view(self, user_id: int) -> ProfileView:
+        profile = self.platform.store.profile(user_id)
+        exposes_gender = self.platform.profile.exposes_gender
+        return ProfileView(
+            user_id=profile.user_id,
+            display_name=profile.display_name,
+            followers=profile.followers,
+            gender=profile.gender if exposes_gender else None,
+            age=profile.age if exposes_gender else None,
+        )
+
+    # ------------------------------------------------------------------
+    # MicroblogAPI
+    # ------------------------------------------------------------------
+    def search(self, keyword: str, max_results: Optional[int] = None) -> List[SearchHit]:
+        """Posts mentioning *keyword* within the platform's search window.
+
+        Results are newest-first, as real search APIs return them, and
+        capped at *max_results* — callers pay only for the pages they pull.
+        """
+        profile = self.platform.profile
+        # Recency is measured from the platform's frozen "now" (the end of
+        # the simulated horizon); the client's private clock only tracks
+        # rate-limit waiting.
+        now = self.platform.clock.now()
+        window_start = now - profile.search_window
+        hits = [
+            SearchHit(user_id=user_id, post_id=post_id, timestamp=timestamp)
+            for timestamp, user_id, post_id in self.platform.store.keyword_posts(
+                keyword, start=window_start, end=now
+            )
+        ]
+        hits.reverse()  # newest first
+        if profile.search_results_cap is not None:
+            hits = hits[: profile.search_results_cap]  # top-k microblogs (§2)
+        if max_results is not None:
+            hits = hits[:max_results]
+        calls = profile.calls_for_items(len(hits), profile.search_page_size)
+        self._charge(accounting.SEARCH, calls)
+        return hits
+
+    def user_connections(self, user_id: int) -> List[int]:
+        store = self.platform.store
+        if not store.has_user(user_id):
+            raise APIError(f"unknown user {user_id}")
+        neighbors = sorted(store.graph.neighbors_unsafe(user_id))
+        profile = self.platform.profile
+        calls = profile.calls_for_items(len(neighbors), profile.connections_page_size)
+        self._charge(accounting.CONNECTIONS, calls)
+        return neighbors
+
+    def user_timeline(self, user_id: int) -> TimelineView:
+        store = self.platform.store
+        if not store.has_user(user_id):
+            raise APIError(f"unknown user {user_id}")
+        posts = store.timeline(user_id)  # oldest first
+        cap = self.platform.profile.timeline_cap
+        truncated = cap is not None and len(posts) > cap
+        if truncated:
+            posts = posts[-cap:]  # most recent `cap` posts survive
+        profile = self.platform.profile
+        calls = profile.calls_for_items(len(posts), profile.timeline_page_size)
+        self._charge(accounting.TIMELINE, calls)
+        return TimelineView(
+            profile=self._profile_view(user_id),
+            posts=tuple(posts),
+            truncated=truncated,
+        )
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+    @property
+    def total_cost(self) -> int:
+        return self.meter.total
+
+    @property
+    def simulated_wait(self) -> float:
+        """Seconds of simulated sleeping imposed by the rate limiter."""
+        return self.limiter.total_wait
+
+
+class CachingClient(MicroblogAPI):
+    """Memoising wrapper: repeated identical requests are free.
+
+    Mirrors a real crawler's local cache.  Cache hits do not touch the
+    meter or the rate limiter; the underlying client is only consulted on
+    misses.  Search results are cached per (keyword, max_results) because
+    the simulated "now" is frozen during an estimation run.
+    """
+
+    def __init__(self, inner: MicroblogAPI) -> None:
+        self.inner = inner
+        self._timelines: Dict[int, TimelineView] = {}
+        self._connections: Dict[int, List[int]] = {}
+        self._searches: Dict[Tuple[str, Optional[int]], List[SearchHit]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def search(self, keyword: str, max_results: Optional[int] = None) -> List[SearchHit]:
+        key = (keyword.lower(), max_results)
+        if key not in self._searches:
+            self.misses += 1
+            self._searches[key] = self.inner.search(keyword, max_results)
+        else:
+            self.hits += 1
+        return list(self._searches[key])
+
+    def user_connections(self, user_id: int) -> List[int]:
+        if user_id not in self._connections:
+            self.misses += 1
+            self._connections[user_id] = self.inner.user_connections(user_id)
+        else:
+            self.hits += 1
+        return list(self._connections[user_id])
+
+    def user_timeline(self, user_id: int) -> TimelineView:
+        if user_id not in self._timelines:
+            self.misses += 1
+            self._timelines[user_id] = self.inner.user_timeline(user_id)
+        else:
+            self.hits += 1
+        return self._timelines[user_id]
+
+    @property
+    def meter(self) -> CostMeter:
+        """Expose the underlying meter (for cost reporting)."""
+        return self.inner.meter  # type: ignore[attr-defined]
+
+    @property
+    def total_cost(self) -> int:
+        return self.meter.total

@@ -1,0 +1,96 @@
+"""The abstract microblog API and its result types.
+
+These are the *only* data shapes estimators see.  A :class:`ProfileView`
+hides fields the platform does not expose (Twitter hides gender, §6.2); a
+:class:`TimelineView` contains at most the platform's timeline cap of the
+user's most recent posts (Twitter: 3 200, §2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.platform.posts import Post
+from repro.platform.users import Gender
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result: who posted the matching post, and when."""
+
+    user_id: int
+    post_id: int
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class ProfileView:
+    """Profile fields as exposed by the platform's API."""
+
+    user_id: int
+    display_name: str
+    followers: int
+    gender: Optional[Gender]
+    age: Optional[int]
+
+
+@dataclass(frozen=True)
+class TimelineView:
+    """A user's retrievable timeline (most recent ``cap`` posts) + profile.
+
+    ``truncated`` is True when the platform's cap hid older posts — the
+    source of the small first-mention error the paper argues is negligible
+    (§2, "only a very small fraction of extremely prolific users").
+    """
+
+    profile: ProfileView
+    posts: Tuple[Post, ...]
+    truncated: bool
+
+    def mentions(self, keyword: str, start: float = float("-inf"), end: float = float("inf")) -> List[Post]:
+        """Posts in the view that mention *keyword* inside ``[start, end)``."""
+        needle = keyword.lower()
+        return [p for p in self.posts if needle in p.keywords and start <= p.timestamp < end]
+
+    def first_mention_time(self, keyword: str) -> Optional[float]:
+        """Earliest *visible* mention of *keyword* (None if none visible)."""
+        needle = keyword.lower()
+        for post in self.posts:  # posts are oldest-first
+            if needle in post.keywords:
+                return post.timestamp
+        return None
+
+
+@dataclass(frozen=True)
+class TimelinePage:
+    """One page of a paginated timeline fetch."""
+
+    posts: Tuple[Post, ...]
+    profile: ProfileView
+    next_cursor: Optional[int]
+
+
+@dataclass(frozen=True)
+class ConnectionsPage:
+    """One page of a paginated connections fetch."""
+
+    user_ids: Tuple[int, ...]
+    next_cursor: Optional[int]
+
+
+class MicroblogAPI(abc.ABC):
+    """The three-query data-access model of §2."""
+
+    @abc.abstractmethod
+    def search(self, keyword: str, max_results: Optional[int] = None) -> List[SearchHit]:
+        """Recent posts mentioning *keyword* (recency-window limited)."""
+
+    @abc.abstractmethod
+    def user_connections(self, user_id: int) -> List[int]:
+        """All users connected with *user_id* (paginated internally)."""
+
+    @abc.abstractmethod
+    def user_timeline(self, user_id: int) -> TimelineView:
+        """Profile plus the user's retrievable posts (paginated internally)."""

@@ -1,0 +1,77 @@
+"""Windowed API rate limiting under the simulated clock.
+
+Real platforms cap calls per window (Twitter: 180 per 15 minutes; Google+:
+10 000 per day; Tumblr: 1 per 10 seconds — §2, §6.1).  Under the simulated
+clock the limiter has two policies:
+
+* ``"sleep"`` (default) — when the window quota is exhausted the limiter
+  advances the clock to the next window, recording the simulated wait.
+  Experiments then report *wall-clock-equivalent* time alongside call
+  counts (e.g. 49 000 Twitter calls ≈ 2.8 simulated days of waiting).
+* ``"raise"`` — raise :class:`RateLimitError` instead, for callers that
+  want to schedule around the limit themselves.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RateLimitError, ReproError
+from repro.platform.clock import SimulatedClock
+from repro.platform.profiles import PlatformProfile
+
+POLICIES = ("sleep", "raise")
+
+
+class RateLimiter:
+    """Fixed-window rate limiter bound to a profile and clock."""
+
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        clock: SimulatedClock,
+        policy: str = "sleep",
+    ) -> None:
+        if policy not in POLICIES:
+            raise ReproError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+        self.profile = profile
+        self.clock = clock
+        self.policy = policy
+        self.total_wait = 0.0
+        self._window_start = clock.now()
+        self._used_in_window = 0
+
+    def _roll_window(self) -> None:
+        now = self.clock.now()
+        window = self.profile.rate_limit_window
+        if now - self._window_start >= window:
+            elapsed_windows = int((now - self._window_start) // window)
+            self._window_start += elapsed_windows * window
+            self._used_in_window = 0
+
+    def acquire(self, calls: int = 1) -> None:
+        """Consume quota for *calls* API calls, sleeping or raising as needed.
+
+        A batch larger than a whole window's quota is split across
+        consecutive windows under the ``"sleep"`` policy.
+        """
+        if calls < 0:
+            raise ReproError("calls must be non-negative")
+        remaining = calls
+        while remaining > 0:
+            self._roll_window()
+            available = self.profile.rate_limit_calls - self._used_in_window
+            if available > 0:
+                take = min(available, remaining)
+                self._used_in_window += take
+                remaining -= take
+                continue
+            next_window = self._window_start + self.profile.rate_limit_window
+            if self.policy == "raise":
+                raise RateLimitError(retry_at=next_window)
+            wait = next_window - self.clock.now()
+            self.total_wait += max(wait, 0.0)
+            self.clock.sleep_until(next_window)
+
+    @property
+    def used_in_current_window(self) -> int:
+        self._roll_window()
+        return self._used_in_window

@@ -1,0 +1,85 @@
+"""The streaming API: how the paper collected its ground truth.
+
+§3.2: "We used the streaming API to collect all public tweets mentioning a
+diverse set of keywords ... Twitter ensures that the stream returns all
+relevant tweets as long as their frequency is less than about 1% of the
+entire Twitter Firehose."  And §1 footnote 1: an *unfiltered* stream is a
+~1% random sample of all posts.
+
+:class:`StreamingAPI` reproduces both behaviours over the simulated store:
+a keyword-filtered track (complete as long as the keyword stays under the
+firehose threshold — we flag when it does not) and an unfiltered 1% sample.
+It reads the store directly because, like the paper's collection harness,
+it ran *ahead of time* — it is a ground-truth tool, not part of the
+estimators' restricted interface, and therefore is not cost-metered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro._rng import RandomLike, ensure_rng
+from repro.errors import APIError
+from repro.platform.clock import DAY
+from repro.platform.posts import Post
+from repro.platform.store import MicroblogStore
+
+FIREHOSE_FRACTION_LIMIT = 0.01
+
+
+class StreamingAPI:
+    """Forward-only streams over the platform's post log."""
+
+    def __init__(self, store: MicroblogStore, sample_rate: float = 0.01) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise APIError("sample_rate must be in (0, 1]")
+        self.store = store
+        self.sample_rate = sample_rate
+
+    def track(
+        self, keywords: Sequence[str], start: float, end: float
+    ) -> List[Tuple[float, int, int]]:
+        """All ``(timestamp, user_id, post_id)`` mentions of *keywords*.
+
+        Merged across keywords, time-ordered, deduplicated by post id (a
+        post mentioning two tracked keywords streams once).
+        """
+        if end <= start:
+            raise APIError("end must be after start")
+        merged: Dict[int, Tuple[float, int, int]] = {}
+        for keyword in keywords:
+            for entry in self.store.keyword_posts(keyword, start=start, end=end):
+                merged[entry[2]] = entry
+        return sorted(merged.values())
+
+    def exceeds_firehose_limit(self, keyword: str, start: float, end: float) -> bool:
+        """Would tracking *keyword* be rate-limited by the firehose cap?
+
+        True when the keyword's share of all posts in the window exceeds
+        ~1% — the condition under which the paper's ground truth would
+        stop being exact.
+        """
+        matching = sum(1 for _ in self.store.keyword_posts(keyword, start=start, end=end))
+        total = sum(1 for post in self.store.all_posts() if start <= post.timestamp < end)
+        if total == 0:
+            return False
+        return matching / total > FIREHOSE_FRACTION_LIMIT
+
+    def sample(self, start: float, end: float, seed: RandomLike = None) -> Iterator[Post]:
+        """Unfiltered ~1% random sample of all posts in ``[start, end)``."""
+        if end <= start:
+            raise APIError("end must be after start")
+        rng = ensure_rng(seed)
+        for post in self.store.all_posts():
+            if start <= post.timestamp < end and rng.random() < self.sample_rate:
+                yield post
+
+    def daily_frequency(self, keyword: str, start: float, end: float) -> List[Tuple[float, int]]:
+        """Per-day mention counts — the data behind Figure 7."""
+        if end <= start:
+            raise APIError("end must be after start")
+        buckets: Dict[int, int] = {}
+        for timestamp, _, _ in self.store.keyword_posts(keyword, start=start, end=end):
+            buckets[int((timestamp - start) // DAY)] = buckets.get(int((timestamp - start) // DAY), 0) + 1
+        days = int((end - start) // DAY) + 1
+        return [(start + day * DAY, buckets.get(day, 0)) for day in range(days)]

@@ -1,0 +1,35 @@
+"""Shared experiment drivers for the ``benchmarks/`` suite."""
+
+from repro.bench.harness import (
+    BENCH_BUDGETS,
+    BENCH_PLATFORM_SEED,
+    BENCH_REPLICATES,
+    CostErrorPoint,
+    bench_platform,
+    budget_to_reach_error,
+    cost_to_reach_error,
+    emit,
+    error_at_budget,
+    format_table,
+    ground_truth,
+    mean_cost_to_error,
+    median_error_at_budget,
+    run_estimator,
+)
+
+__all__ = [
+    "BENCH_PLATFORM_SEED",
+    "BENCH_BUDGETS",
+    "BENCH_REPLICATES",
+    "CostErrorPoint",
+    "bench_platform",
+    "run_estimator",
+    "cost_to_reach_error",
+    "mean_cost_to_error",
+    "median_error_at_budget",
+    "budget_to_reach_error",
+    "error_at_budget",
+    "ground_truth",
+    "format_table",
+    "emit",
+]

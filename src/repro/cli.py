@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Lets a user drive the full pipeline without writing Python:
+
+* ``simulate`` — build a deterministic platform and save it to ``.npz``;
+* ``keywords`` — list a platform's keywords with population statistics;
+* ``estimate`` — run an aggregate estimation under a budget (optionally
+  with a replicate confidence interval) and compare to ground truth;
+* ``truth``    — print only the exact ground-truth answer.
+
+Examples::
+
+    python -m repro simulate --users 10000 --seed 42 --out platform.npz
+    python -m repro keywords --platform platform.npz
+    python -m repro estimate --platform platform.npz --keyword privacy \\
+        --aggregate count --algorithm ma-tarw --budget 15000
+    python -m repro estimate --users 5000 --keyword boston \\
+        --aggregate avg --measure followers --budget 8000 --replicates 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.analyzer import ALGORITHMS, GRAPH_DESIGNS, MicroblogAnalyzer
+from repro.core.query import (
+    AggregateQuery,
+    Aggregate,
+    CONSTANT_ONE,
+    DISPLAY_NAME_LENGTH,
+    FOLLOWERS,
+    MATCHING_POST_COUNT,
+    MEAN_LIKES,
+    TOTAL_LIKES,
+)
+from repro.errors import ReproError
+from repro.groundtruth import exact_value, relative_error
+from repro.platform.clock import DAY
+from repro.platform.profiles import ALL_PROFILES
+from repro.platform.serialization import load_platform, save_platform
+from repro.platform.simulator import PlatformConfig, SimulatedPlatform, build_platform
+
+MEASURES = {
+    "one": CONSTANT_ONE,
+    "followers": FOLLOWERS,
+    "display_name_length": DISPLAY_NAME_LENGTH,
+    "matching_post_count": MATCHING_POST_COUNT,
+    "mean_likes": MEAN_LIKES,
+    "total_likes": TOTAL_LIKES,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aggregate estimation over a simulated microblog platform "
+        "(SIGMOD 2014 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="build a platform and save it")
+    _platform_build_args(simulate)
+    simulate.add_argument("--out", required=True, help="output .npz path")
+
+    keywords = sub.add_parser("keywords", help="list keywords with statistics")
+    _platform_source_args(keywords)
+
+    estimate = sub.add_parser("estimate", help="estimate an aggregate query")
+    _platform_source_args(estimate)
+    _query_args(estimate)
+    estimate.add_argument("--algorithm", default="ma-tarw", choices=ALGORITHMS)
+    estimate.add_argument("--graph-design", default="level-by-level",
+                          choices=GRAPH_DESIGNS)
+    estimate.add_argument("--budget", type=int, default=15_000,
+                          help="maximum API calls (default 15000)")
+    estimate.add_argument("--interval-days", type=float, default=1.0,
+                          help="level bucket width in days; 0 = auto-select")
+    estimate.add_argument("--replicates", type=int, default=1,
+                          help=">1 splits the budget and reports a 95%% CI")
+    estimate.add_argument("--walk-seed", type=int, default=0)
+
+    truth = sub.add_parser("truth", help="print the exact ground-truth answer")
+    _platform_source_args(truth)
+    _query_args(truth)
+    return parser
+
+
+def _platform_build_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--api-profile", default="twitter", choices=sorted(ALL_PROFILES))
+
+
+def _platform_source_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--platform", help="load a saved .npz platform")
+    _platform_build_args(parser)
+
+
+def _query_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--query",
+                        help="full SQL-ish query, e.g. \"SELECT AVG(followers) FROM "
+                             "users WHERE timeline CONTAINS 'privacy'\"; overrides "
+                             "the flags below")
+    parser.add_argument("--keyword")
+    parser.add_argument("--aggregate", default="count",
+                        choices=["count", "sum", "avg"])
+    parser.add_argument("--measure", default=None, choices=sorted(MEASURES),
+                        help="f(u); defaults to 'one' for count, required sensibly "
+                             "for sum/avg (default 'followers')")
+    parser.add_argument("--window-days", nargs=2, type=float, metavar=("START", "END"),
+                        help="restrict matches to [START, END) in days since epoch")
+
+
+def _resolve_platform(args: argparse.Namespace) -> SimulatedPlatform:
+    if getattr(args, "platform", None):
+        platform = load_platform(args.platform)
+    else:
+        print(f"building platform ({args.users:,} users, seed {args.seed})...",
+              file=sys.stderr)
+        platform = build_platform(PlatformConfig(num_users=args.users, seed=args.seed))
+    profile = ALL_PROFILES[args.api_profile]
+    if platform.profile.name != profile.name:
+        platform = platform.with_profile(profile)
+    return platform
+
+
+def _resolve_query(args: argparse.Namespace) -> AggregateQuery:
+    if getattr(args, "query", None):
+        from repro.core.sql import parse_query
+
+        return parse_query(args.query)
+    if not args.keyword:
+        raise ReproError("provide --keyword (or a full --query)")
+    aggregate = Aggregate[args.aggregate.upper()]
+    measure_name = args.measure
+    if measure_name is None:
+        measure_name = "one" if aggregate is Aggregate.COUNT else "followers"
+    window = None
+    if args.window_days:
+        window = (args.window_days[0] * DAY, args.window_days[1] * DAY)
+    return AggregateQuery(
+        keyword=args.keyword,
+        aggregate=aggregate,
+        measure=MEASURES[measure_name],
+        window=window,
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    platform = _resolve_platform(args)
+    save_platform(platform, args.out)
+    print(f"saved platform to {args.out} "
+          f"({platform.store.num_users:,} users, {platform.store.num_posts:,} posts)")
+    return 0
+
+
+def cmd_keywords(args: argparse.Namespace) -> int:
+    platform = _resolve_platform(args)
+    store = platform.store
+    now = platform.now
+    print(f"{'keyword':16s} {'users':>8s} {'posts':>8s} {'recent posters':>15s}")
+    for keyword in sorted(store.keywords()):
+        users = len(store.users_mentioning(keyword))
+        posts = sum(1 for _ in store.keyword_posts(keyword))
+        recent = len(store.users_mentioning(keyword, now - 7 * DAY, now))
+        print(f"{keyword:16s} {users:8,} {posts:8,} {recent:15,}")
+    return 0
+
+
+def cmd_truth(args: argparse.Namespace) -> int:
+    platform = _resolve_platform(args)
+    query = _resolve_query(args)
+    value = exact_value(platform.store, query)
+    print(f"{query.describe()}\n= {value:,.4f}")
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    platform = _resolve_platform(args)
+    query = _resolve_query(args)
+    interval = "auto" if args.interval_days == 0 else args.interval_days * DAY
+    analyzer = MicroblogAnalyzer(
+        platform,
+        algorithm=args.algorithm,
+        graph_design=args.graph_design,
+        interval=interval,
+        seed=args.walk_seed,
+    )
+    truth = exact_value(platform.store, query)
+    print(query.describe())
+    if args.replicates > 1:
+        ci = analyzer.estimate_with_confidence(
+            query, budget=args.budget, replicates=args.replicates
+        )
+        print(f"estimate : {ci}")
+        print(f"truth    : {truth:,.4f}  "
+              f"({'inside' if ci.contains(truth) else 'outside'} the interval)")
+        print(f"rel. err : {relative_error(ci.mean, truth):.2%}")
+        return 0
+    result = analyzer.estimate(query, budget=args.budget)
+    if result.value is None:
+        print("no estimate produced (budget too small for this algorithm)")
+        return 1
+    print(f"estimate : {result.value:,.4f}")
+    print(f"truth    : {truth:,.4f}")
+    print(f"rel. err : {relative_error(result.value, truth):.2%}")
+    print(f"cost     : {result.cost_total:,} API calls {result.cost_by_kind}")
+    return 0
+
+
+COMMANDS = {
+    "simulate": cmd_simulate,
+    "keywords": cmd_keywords,
+    "estimate": cmd_estimate,
+    "truth": cmd_truth,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""MICROBLOG-ANALYZER: the system facade of §3.1.
+
+Wires together a budgeted, rate-limited, caching API client, GRAPH-BUILDER
+(the neighbor oracle for the chosen graph design), the time-interval
+selector, and GRAPH-WALKER (one of the estimation algorithms), mirroring
+the architecture of Figure 1.  System inputs: an aggregate query and a
+query budget; system output: an aggregate estimation.
+
+>>> analyzer = MicroblogAnalyzer(platform)
+>>> result = analyzer.estimate(count_users("privacy"), budget=20_000)
+>>> result.value, result.cost_total
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro._rng import RandomLike, ensure_rng, spawn
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.core.graph_builder import (
+    LevelByLevelOracle,
+    QueryContext,
+    SocialGraphOracle,
+    TermInducedOracle,
+)
+from repro.core.crawler import CrawlConfig, CrawlEstimator
+from repro.core.interval import select_time_interval
+from repro.core.levels import LevelIndex
+from repro.core.mr import MarkRecaptureEstimator, MRConfig
+from repro.core.query import AggregateQuery
+from repro.core.results import EstimateResult
+from repro.core.srw import MASRWEstimator, SRWConfig
+from repro.core.tarw import MATARWEstimator, TARWConfig
+from repro.errors import BudgetExhaustedError, EstimationError
+from repro.platform.clock import DAY
+from repro.platform.simulator import SimulatedPlatform
+
+ALGORITHMS = ("ma-tarw", "ma-srw", "m&r", "crawl")
+GRAPH_DESIGNS = ("level-by-level", "term-induced", "social")
+
+
+class MicroblogAnalyzer:
+    """Budgeted aggregate estimation over one simulated platform.
+
+    ``interval`` is the level bucket width in seconds, or the string
+    ``"auto"`` to run the pilot-walk selection of §4.2.3 (its query cost
+    is charged against the same budget, as in the paper).
+    """
+
+    def __init__(
+        self,
+        platform: SimulatedPlatform,
+        algorithm: str = "ma-tarw",
+        graph_design: str = "level-by-level",
+        interval: Union[float, str] = DAY,
+        level_index=None,
+        srw_config: Optional[SRWConfig] = None,
+        tarw_config: Optional[TARWConfig] = None,
+        mr_config: Optional[MRConfig] = None,
+        crawl_config: Optional[CrawlConfig] = None,
+        keep_intra_fraction: float = 0.0,
+        seed: RandomLike = None,
+    ) -> None:
+        if algorithm not in ALGORITHMS:
+            raise EstimationError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+        if graph_design not in GRAPH_DESIGNS:
+            raise EstimationError(
+                f"unknown graph design {graph_design!r}; choose from {GRAPH_DESIGNS}"
+            )
+        if algorithm == "ma-tarw" and graph_design != "level-by-level":
+            raise EstimationError("MA-TARW requires the level-by-level graph design")
+        self.platform = platform
+        self.algorithm = algorithm
+        self.graph_design = graph_design
+        self.interval = interval
+        self.level_index = level_index
+        """Explicit level index (e.g. a QuantileLevelIndex); overrides
+        ``interval`` when set."""
+        self.srw_config = srw_config or SRWConfig()
+        self.tarw_config = tarw_config or TARWConfig()
+        self.mr_config = mr_config or MRConfig()
+        self.crawl_config = crawl_config or CrawlConfig()
+        self.keep_intra_fraction = keep_intra_fraction
+        self.rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    def estimate(self, query: AggregateQuery, budget: int) -> EstimateResult:
+        """Estimate *query* spending at most *budget* API calls."""
+        if budget < 1:
+            raise EstimationError("budget must be >= 1")
+        client = CachingClient(SimulatedMicroblogClient(self.platform, budget=budget))
+        context = QueryContext(client, query)
+        run_rng = spawn(self.rng, f"run:{query.keyword}:{query.aggregate.value}")
+
+        oracle = self._build_oracle(context, run_rng)
+        if self.algorithm == "ma-tarw":
+            estimator = MATARWEstimator(context, oracle, self.tarw_config, seed=run_rng)
+        elif self.algorithm == "ma-srw":
+            estimator = MASRWEstimator(context, oracle, self.srw_config, seed=run_rng)
+        elif self.algorithm == "crawl":
+            estimator = CrawlEstimator(context, oracle, self.crawl_config, seed=run_rng)
+        else:
+            estimator = MarkRecaptureEstimator(context, oracle, self.mr_config, seed=run_rng)
+        result = estimator.estimate()
+        result.diagnostics["simulated_wait_seconds"] = client.inner.simulated_wait  # type: ignore[attr-defined]
+        result.diagnostics["cache_hits"] = float(client.hits)
+        return result
+
+    def estimate_with_confidence(
+        self,
+        query: AggregateQuery,
+        budget: int,
+        replicates: int = 5,
+        confidence: float = 0.95,
+    ):
+        """Split *budget* across independent runs and return a t-interval.
+
+        Each replicate gets ``budget // replicates`` calls and a fresh
+        client (no shared cache — the runs must be independent for the
+        interval to be honest).  See :mod:`repro.core.confidence`.
+        """
+        from repro.core.confidence import combine_replicates
+
+        if replicates < 2:
+            raise EstimationError("need at least two replicates for an interval")
+        per_run = budget // replicates
+        if per_run < 1:
+            raise EstimationError(f"budget {budget} too small for {replicates} replicates")
+        runs = [self.estimate(query, budget=per_run) for _ in range(replicates)]
+        return combine_replicates(runs, confidence=confidence)
+
+    # ------------------------------------------------------------------
+    def _build_oracle(self, context: QueryContext, run_rng):
+        if self.graph_design == "social":
+            return SocialGraphOracle(context)
+        if self.graph_design == "term-induced":
+            return TermInducedOracle(context)
+        if self.level_index is not None:
+            index = self.level_index
+        else:
+            interval = self._resolve_interval(context, run_rng)
+            index = LevelIndex(interval=interval, origin=0.0)
+        return LevelByLevelOracle(
+            context,
+            index,
+            keep_intra_fraction=self.keep_intra_fraction,
+            edge_seed=run_rng.randrange(2**31),
+        )
+
+    def _resolve_interval(self, context: QueryContext, run_rng) -> float:
+        if self.interval != "auto":
+            interval = float(self.interval)  # type: ignore[arg-type]
+            if interval <= 0:
+                raise EstimationError("interval must be positive")
+            return interval
+        try:
+            selection = select_time_interval(context, seed=run_rng)
+        except BudgetExhaustedError:
+            raise EstimationError("budget exhausted during interval selection") from None
+        return selection.interval

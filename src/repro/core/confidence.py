@@ -1,0 +1,107 @@
+"""Replicate-based confidence intervals for aggregate estimates.
+
+A single budgeted run yields a point estimate with no honest error bar:
+the walk's internal variance estimators (e.g. Theorem 5.1's expression)
+need the very selection probabilities that are themselves estimated.  The
+robust practitioner's alternative — and what the paper's own evaluation
+does across runs — is replication: split the budget into R independent
+runs (fresh walk seeds, no shared caches) and form a Student-t interval
+over the run estimates.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.results import EstimateResult
+from repro.errors import EstimationError
+
+# Two-sided Student-t quantiles by degrees of freedom.  Enough entries for
+# replicate counts a budgeted client would realistically run; beyond the
+# table the normal quantile is an adequate approximation.
+_T_TABLE = {
+    0.90: {1: 6.314, 2: 2.920, 3: 2.353, 4: 2.132, 5: 2.015, 6: 1.943,
+           7: 1.895, 8: 1.860, 9: 1.833, 10: 1.812, 15: 1.753, 20: 1.725,
+           30: 1.697},
+    0.95: {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+           7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+           30: 2.042},
+    0.99: {1: 63.657, 2: 9.925, 3: 5.841, 4: 4.604, 5: 4.032, 6: 3.707,
+           7: 3.499, 8: 3.355, 9: 3.250, 10: 3.169, 15: 2.947, 20: 2.845,
+           30: 2.750},
+}
+_NORMAL_QUANTILE = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def t_quantile(confidence: float, dof: int) -> float:
+    """Two-sided Student-t critical value (table + conservative rounding)."""
+    if confidence not in _T_TABLE:
+        raise EstimationError(
+            f"confidence must be one of {sorted(_T_TABLE)}, got {confidence}"
+        )
+    if dof < 1:
+        raise EstimationError("need at least two replicates for an interval")
+    table = _T_TABLE[confidence]
+    if dof in table:
+        return table[dof]
+    available = [d for d in table if d <= dof]
+    if not available:
+        return table[min(table)]
+    if dof > max(table):
+        return _NORMAL_QUANTILE[confidence]
+    return table[max(available)]  # round dof down -> conservative (wider)
+
+
+@dataclass
+class ConfidenceResult:
+    """Point estimate with a replicate-based confidence interval."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    replicates: int
+    cost_total: int
+    runs: List[EstimateResult] = field(default_factory=list)
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.mean:,.2f} ± {self.half_width:,.2f} "
+            f"({self.confidence:.0%}, {self.replicates} runs, "
+            f"{self.cost_total:,} calls)"
+        )
+
+
+def combine_replicates(
+    runs: List[EstimateResult], confidence: float = 0.95
+) -> ConfidenceResult:
+    """Student-t interval over the point estimates of independent runs."""
+    values = [run.value for run in runs if run.value is not None]
+    if len(values) < 2:
+        raise EstimationError(
+            f"need >= 2 runs with estimates for an interval, got {len(values)}"
+        )
+    mean = statistics.fmean(values)
+    stderr = statistics.stdev(values) / math.sqrt(len(values))
+    half_width = t_quantile(confidence, len(values) - 1) * stderr
+    return ConfidenceResult(
+        mean=mean,
+        half_width=half_width,
+        confidence=confidence,
+        replicates=len(values),
+        cost_total=sum(run.cost_total for run in runs),
+        runs=list(runs),
+    )

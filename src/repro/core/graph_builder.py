@@ -1,0 +1,272 @@
+"""GRAPH-BUILDER: on-the-fly neighbor oracles over the restricted API.
+
+The conceptual graphs of §3–§4 are never materialised — they are *implied*
+by API responses.  A :class:`QueryContext` memoises everything learned
+about users (timelines, connections, keyword membership, levels) during an
+estimation run, and the three oracles expose progressively refined
+neighborhoods over it:
+
+* :class:`SocialGraphOracle` — every connection (the baseline graph);
+* :class:`TermInducedOracle` — connections whose (visible) timeline
+  contains the query keyword (§4.1);
+* :class:`LevelByLevelOracle` — term-induced neighbors in a *different*
+  level (§4.2), with optional retention of a fraction of intra-level
+  edges for the Figure 4 ablation, plus the up-/down-neighbor split the
+  topology-aware walk needs.
+
+Cost model: classifying a user (one timeline fetch) and listing their
+connections (paged connection calls) are charged once each through the
+caching client; afterwards they are free, as for a real crawler with a
+response cache.  Classifying *all* neighbors of a visited node is what
+drives the per-node query cost — exactly the paper's accounting, where
+walking the term-induced graph near tightly-knit communities is expensive
+because so many neighbors must be inspected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.api.interface import MicroblogAPI, TimelineView
+from repro.core.levels import LevelIndex
+from repro.core.query import AggregateQuery, UserView
+from repro.errors import EstimationError
+
+
+class QueryContext:
+    """Memoised API knowledge scoped to one aggregate query."""
+
+    def __init__(self, client: MicroblogAPI, query: AggregateQuery) -> None:
+        self.client = client
+        self.query = query
+        self._first_mentions: Dict[int, Optional[float]] = {}
+        self._views: Dict[int, UserView] = {}
+
+    # ------------------------------------------------------------------
+    # raw API passthroughs (the client caches repeats)
+    # ------------------------------------------------------------------
+    def timeline(self, user_id: int) -> TimelineView:
+        return self.client.user_timeline(user_id)
+
+    def connections(self, user_id: int) -> List[int]:
+        return self.client.user_connections(user_id)
+
+    # ------------------------------------------------------------------
+    # derived, memoised per-user facts
+    # ------------------------------------------------------------------
+    def first_mention(self, user_id: int) -> Optional[float]:
+        """First *visible* mention time of the query keyword, or None.
+
+        "Visible" = within the platform's timeline cap; prolific users may
+        have their true first mention hidden (§2's 3 200-tweet caveat).
+        """
+        if user_id not in self._first_mentions:
+            view = self.timeline(user_id)
+            self._first_mentions[user_id] = view.first_mention_time(self.query.keyword)
+        return self._first_mentions[user_id]
+
+    def matches_keyword(self, user_id: int) -> bool:
+        """Term-induced-subgraph membership: keyword anywhere in timeline.
+
+        Deliberately ignores the query's window/predicate — §4.1 explains
+        the subgraph filters on keyword only, since harsher filters (short
+        time windows) would break connectivity and hurt recall.
+        """
+        return self.first_mention(user_id) is not None
+
+    def user_view(self, user_id: int) -> UserView:
+        if user_id not in self._views:
+            timeline = self.timeline(user_id)
+            profile = timeline.profile
+            self._views[user_id] = UserView(
+                user_id=user_id,
+                display_name=profile.display_name,
+                followers=profile.followers,
+                gender=profile.gender,
+                age=profile.age,
+                matching_posts=self.query.filter_matching_posts(timeline.posts),
+            )
+        return self._views[user_id]
+
+    def condition_matches(self, user_id: int) -> bool:
+        """Full §2 CONDITION: keyword + window + profile predicate."""
+        return self.query.matches(self.user_view(user_id))
+
+    def f_value(self, user_id: int) -> float:
+        """f(u) when the user matches the condition, else 0.
+
+        The zero default is what makes level-graph samples usable for
+        narrower conditions: non-matching users contribute nothing."""
+        view = self.user_view(user_id)
+        return self.query.value(view) if self.query.matches(view) else 0.0
+
+    # ------------------------------------------------------------------
+    # seeds
+    # ------------------------------------------------------------------
+    def seeds(self, max_seeds: Optional[int] = None) -> List[int]:
+        """Distinct recent posters of the keyword, via the search API (§3.1).
+
+        ``max_seeds=None`` pages through the whole search window — the
+        topology-aware walk wants the *complete* bottom level as its seed
+        set, since its selection probabilities put mass 1/s on each seed.
+        """
+        hits = self.client.search(
+            self.query.keyword, max_results=None if max_seeds is None else max_seeds * 4
+        )
+        seen: Dict[int, None] = {}
+        for hit in hits:
+            seen.setdefault(hit.user_id)
+            if max_seeds is not None and len(seen) >= max_seeds:
+                break
+        if not seen:
+            raise EstimationError(
+                f"search API returned no recent posters of {self.query.keyword!r}; "
+                "cannot seed the walk"
+            )
+        return list(seen)
+
+
+class SocialGraphOracle:
+    """Neighborhoods of the unrestricted social graph."""
+
+    name = "social"
+
+    def __init__(self, context: QueryContext) -> None:
+        self.context = context
+        self._cache: Dict[int, List[int]] = {}
+
+    def neighbors(self, user_id: int) -> List[int]:
+        if user_id not in self._cache:
+            self._cache[user_id] = self.context.connections(user_id)
+        return self._cache[user_id]
+
+    def degree(self, user_id: int) -> int:
+        return len(self.neighbors(user_id))
+
+
+class TermInducedOracle:
+    """Neighborhoods of the term-induced subgraph (§4.1).
+
+    Each first classification of a node costs one timeline fetch; a full
+    neighborhood evaluation therefore costs ``1 + degree`` uncached calls.
+    """
+
+    name = "term-induced"
+
+    def __init__(self, context: QueryContext) -> None:
+        self.context = context
+        self._cache: Dict[int, List[int]] = {}
+
+    def neighbors(self, user_id: int) -> List[int]:
+        if user_id not in self._cache:
+            self._cache[user_id] = [
+                v for v in self.context.connections(user_id) if self.context.matches_keyword(v)
+            ]
+        return self._cache[user_id]
+
+    def degree(self, user_id: int) -> int:
+        return len(self.neighbors(user_id))
+
+
+class LevelByLevelOracle:
+    """Neighborhoods of the level-by-level subgraph (§4.2).
+
+    Transit rule: "move from a user to its neighbor if and only if they
+    did not first tweet the keyword in the same interval".  With
+    ``keep_intra_fraction > 0`` a deterministic pseudo-random subset of
+    intra-level edges survives (Figure 4's partial-removal sweep); the
+    decision hashes the edge so both endpoints agree on it.
+    """
+
+    name = "level-by-level"
+
+    def __init__(
+        self,
+        context: QueryContext,
+        index: LevelIndex,
+        keep_intra_fraction: float = 0.0,
+        edge_seed: int = 0,
+    ) -> None:
+        if not 0.0 <= keep_intra_fraction <= 1.0:
+            raise EstimationError("keep_intra_fraction must be in [0, 1]")
+        self.context = context
+        self.index = index
+        self.keep_intra_fraction = keep_intra_fraction
+        self.edge_seed = edge_seed
+        self._cache: Dict[int, List[int]] = {}
+        self._up: Dict[int, List[int]] = {}
+        self._down: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def level_of(self, user_id: int) -> Optional[int]:
+        mention = self.context.first_mention(user_id)
+        if mention is None:
+            return None
+        return self.index.level_of(mention)
+
+    def _keep_intra_edge(self, u: int, v: int) -> bool:
+        if self.keep_intra_fraction <= 0.0:
+            return False
+        if self.keep_intra_fraction >= 1.0:
+            return True
+        low, high = (u, v) if u <= v else (v, u)
+        draw = random.Random(f"{self.edge_seed}:{low}:{high}").random()
+        return draw < self.keep_intra_fraction
+
+    def _classify(self, user_id: int) -> None:
+        own_level = self.level_of(user_id)
+        if own_level is None:
+            self._cache[user_id] = []
+            self._up[user_id] = []
+            self._down[user_id] = []
+            return
+        all_neighbors: List[int] = []
+        up: List[int] = []
+        down: List[int] = []
+        for v in self.context.connections(user_id):
+            level = self.level_of(v)
+            if level is None:
+                continue
+            if level == own_level:
+                if self._keep_intra_edge(user_id, v):
+                    all_neighbors.append(v)
+                continue
+            all_neighbors.append(v)
+            if level < own_level:
+                up.append(v)
+            else:
+                down.append(v)
+        self._cache[user_id] = all_neighbors
+        self._up[user_id] = up
+        self._down[user_id] = down
+
+    # ------------------------------------------------------------------
+    def neighbors(self, user_id: int) -> List[int]:
+        if user_id not in self._cache:
+            self._classify(user_id)
+        return self._cache[user_id]
+
+    def degree(self, user_id: int) -> int:
+        return len(self.neighbors(user_id))
+
+    def up_neighbors(self, user_id: int) -> List[int]:
+        """Neighbors in strictly earlier levels — toward the top (∇(u))."""
+        if user_id not in self._up:
+            self._classify(user_id)
+        return self._up[user_id]
+
+    def down_neighbors(self, user_id: int) -> List[int]:
+        """Neighbors in strictly later levels — toward the bottom (∆(u))."""
+        if user_id not in self._down:
+            self._classify(user_id)
+        return self._down[user_id]
+
+    def classified_nodes(self) -> List[int]:
+        """All nodes whose neighborhoods have been fully classified.
+
+        For each of these, :meth:`up_neighbors`/:meth:`down_neighbors`
+        are exact and already paid for — the basis for the deterministic
+        selection-probability computation in MA-TARW's ``p_method="dp"``.
+        """
+        return list(self._cache)

@@ -1,0 +1,228 @@
+"""Level assignment and the edge taxonomy of §4.2.1.
+
+Users in the term-induced subgraph are bucketed by the time they *first*
+qualified for the keyword predicate (first posted the keyword), using a
+bucket width ``T``.  Buckets drawn top-to-bottom in chronological order
+classify every edge as:
+
+* **intra-level** — both endpoints in the same bucket (detrimental to
+  sampling: they knit the tight communities that trap walks);
+* **adjacent-level** — endpoints in consecutive buckets (beneficial);
+* **cross-level** — endpoints in non-adjacent, unequal buckets (beneficial
+  but rare, ~1–3% in Table 2).
+
+:class:`LevelIndex` maps first-mention times to level numbers.  Levels are
+numbered so **smaller = earlier = nearer the top**; the topology-aware
+walk of §5 moves from the bottom (most recent, search-API-reachable)
+toward the top, then back down.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import QueryError
+from repro.graph.social_graph import SocialGraph
+from repro.platform.clock import DAY
+
+
+class EdgeKind(enum.Enum):
+    INTRA = "intra"
+    ADJACENT = "adjacent"
+    CROSS = "cross"
+
+
+@dataclass(frozen=True)
+class LevelIndex:
+    """Buckets first-mention timestamps into levels of width ``interval``.
+
+    ``origin`` anchors bucket boundaries (typically the start of the
+    ground-truth window); any real timestamp maps to some level, so the
+    index never rejects a user for being early or late.
+    """
+
+    interval: float
+    origin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise QueryError("level interval must be positive")
+
+    def level_of(self, first_mention_time: float) -> int:
+        return math.floor((first_mention_time - self.origin) / self.interval)
+
+    def classify(self, level_u: int, level_v: int) -> EdgeKind:
+        gap = abs(level_u - level_v)
+        if gap == 0:
+            return EdgeKind.INTRA
+        if gap == 1:
+            return EdgeKind.ADJACENT
+        return EdgeKind.CROSS
+
+
+def classify_edge(index: "AnyLevelIndex", time_u: float, time_v: float) -> EdgeKind:
+    """Taxonomy of the edge between users first-mentioning at the given times."""
+    return index.classify(index.level_of(time_u), index.level_of(time_v))
+
+
+@dataclass(frozen=True)
+class QuantileLevelIndex:
+    """Variable-width levels: one bucket per adoption-count quantile.
+
+    §4.2.3 observes that "the average number of 'pick ups' tends to
+    decline over time — indicating that the time interval should be
+    dynamically changed throughout the duration of propagation".  A
+    quantile index realises that: bucket boundaries are placed so each
+    level holds roughly the same number of adopters — narrow buckets
+    through the bursts, wide buckets through the quiet months — instead
+    of a fixed width ``T``.
+
+    ``boundaries`` are the sorted interior cut points; level ``i`` is
+    ``[boundaries[i-1], boundaries[i])`` with open ends at both extremes,
+    so every timestamp maps to some level (as with :class:`LevelIndex`).
+    """
+
+    boundaries: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.boundaries:
+            raise QueryError("need at least one boundary (two levels)")
+        if list(self.boundaries) != sorted(set(self.boundaries)):
+            raise QueryError("boundaries must be strictly increasing")
+
+    @classmethod
+    def from_times(cls, times: "Iterable[float]", levels: int) -> "QuantileLevelIndex":
+        """Boundaries at the empirical quantiles of *times*.
+
+        *times* is typically a pilot sample of first-mention timestamps;
+        duplicate quantile values (heavy bursts) are collapsed, so the
+        realised level count can be lower than requested.
+        """
+        if levels < 2:
+            raise QueryError("need at least two levels")
+        ordered = sorted(times)
+        if len(ordered) < 2:
+            raise QueryError("need at least two observed times")
+        if ordered[0] == ordered[-1]:
+            raise QueryError("observed times are all identical; no quantile levels")
+        boundaries = []
+        for cut in range(1, levels):
+            index = min(len(ordered) - 1, round(cut * len(ordered) / levels))
+            boundaries.append(ordered[index])
+        unique = tuple(sorted(set(boundaries)))
+        if not unique:
+            raise QueryError("observed times are all identical; no quantile levels")
+        return cls(boundaries=unique)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.boundaries) + 1
+
+    def level_of(self, first_mention_time: float) -> int:
+        import bisect
+
+        return bisect.bisect_right(self.boundaries, first_mention_time)
+
+    def classify(self, level_u: int, level_v: int) -> EdgeKind:
+        gap = abs(level_u - level_v)
+        if gap == 0:
+            return EdgeKind.INTRA
+        if gap == 1:
+            return EdgeKind.ADJACENT
+        return EdgeKind.CROSS
+
+
+AnyLevelIndex = "LevelIndex | QuantileLevelIndex"
+
+
+@dataclass
+class EdgeTaxonomyStats:
+    """Per-graph edge-kind composition — the last column of Table 2."""
+
+    total_edges: int
+    intra: int
+    adjacent: int
+    cross: int
+
+    @property
+    def intra_fraction(self) -> float:
+        return self.intra / self.total_edges if self.total_edges else 0.0
+
+    @property
+    def adjacent_fraction(self) -> float:
+        return self.adjacent / self.total_edges if self.total_edges else 0.0
+
+    @property
+    def cross_fraction(self) -> float:
+        return self.cross / self.total_edges if self.total_edges else 0.0
+
+
+def edge_taxonomy(
+    graph: SocialGraph, first_mentions: Dict[int, float], index: LevelIndex
+) -> EdgeTaxonomyStats:
+    """Classify every edge of the term-induced *graph*.
+
+    *graph* must already be induced on keyword-matching users;
+    *first_mentions* maps each of its nodes to its first-mention time.
+    """
+    counts = {EdgeKind.INTRA: 0, EdgeKind.ADJACENT: 0, EdgeKind.CROSS: 0}
+    total = 0
+    for u, v in graph.edges():
+        kind = classify_edge(index, first_mentions[u], first_mentions[v])
+        counts[kind] += 1
+        total += 1
+    return EdgeTaxonomyStats(
+        total_edges=total,
+        intra=counts[EdgeKind.INTRA],
+        adjacent=counts[EdgeKind.ADJACENT],
+        cross=counts[EdgeKind.CROSS],
+    )
+
+
+def level_by_level_subgraph(
+    graph: SocialGraph,
+    first_mentions: Dict[int, float],
+    index: LevelIndex,
+    keep_intra_fraction: float = 0.0,
+    seed=None,
+) -> SocialGraph:
+    """Materialise the level-by-level subgraph of a term-induced *graph*.
+
+    Removes intra-level edges; ``keep_intra_fraction`` retains a random
+    fraction of them, which is exactly the Figure 4 experiment ("impact of
+    removing 10%–100% of randomly chosen intra-level edges").  The oracles
+    in :mod:`repro.core.graph_builder` apply the same rule lazily over the
+    API; this eager version serves offline analysis and tests.
+    """
+    from repro._rng import ensure_rng  # local import to avoid cycles
+
+    if not 0.0 <= keep_intra_fraction <= 1.0:
+        raise QueryError("keep_intra_fraction must be in [0, 1]")
+    rng = ensure_rng(seed)
+    result = SocialGraph(nodes=graph.nodes())
+    for u, v in graph.edges():
+        kind = classify_edge(index, first_mentions[u], first_mentions[v])
+        if kind is EdgeKind.INTRA and rng.random() >= keep_intra_fraction:
+            continue
+        result.add_edge(u, v)
+    return result
+
+
+def levels_present(first_mentions: Dict[int, float], index: LevelIndex) -> List[int]:
+    """Sorted distinct level numbers occupied by the given users."""
+    return sorted({index.level_of(t) for t in first_mentions.values()})
+
+
+STANDARD_INTERVALS: Tuple[Tuple[str, float], ...] = (
+    ("2H", 2 * 3600.0),
+    ("4H", 4 * 3600.0),
+    ("12H", 12 * 3600.0),
+    ("1D", DAY),
+    ("2D", 2 * DAY),
+    ("1W", 7 * DAY),
+    ("1M", 30 * DAY),
+)
+"""The candidate bucket widths of Figure 5 (H=hours, D=days, W=weeks, M=months)."""

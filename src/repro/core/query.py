@@ -1,0 +1,183 @@
+"""Aggregate queries: ``SELECT AGGR(f(u)) FROM U WHERE CONDITION`` (§2).
+
+A query names a keyword predicate (always present — the paper focuses on
+keyword-conditioned aggregates), an optional time window over the keyword
+mentions, an optional extra predicate on profile attributes (e.g. gender,
+Figure 13), an aggregate function, and a measure ``f(u)``.
+
+Measures are evaluated against a :class:`UserView` — the uniform bundle of
+profile fields plus the user's keyword-matching posts — which both the
+API-driven estimators and the ground-truth evaluator can construct, so the
+same :class:`AggregateQuery` object drives both sides of every experiment.
+
+Note the paper's observation that this form covers post-level aggregates
+too: COUNT of posts containing ``privacy`` is SUM over users of the
+per-user matching-post count (§2).  :data:`MATCHING_POST_COUNT` is exactly
+that measure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.platform.posts import Post
+from repro.platform.users import Gender
+
+
+class Aggregate(enum.Enum):
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+
+
+@dataclass(frozen=True)
+class UserView:
+    """What a query can see about one user.
+
+    ``matching_posts`` contains the user's posts that satisfy the query's
+    keyword + time-window condition; profile fields are None when the
+    platform hides them (gender on Twitter).
+    """
+
+    user_id: int
+    display_name: str
+    followers: int
+    gender: Optional[Gender]
+    age: Optional[int]
+    matching_posts: Tuple[Post, ...]
+
+
+MeasureFn = Callable[[UserView], float]
+PredicateFn = Callable[[UserView], bool]
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A named numeric function ``f(u)`` over user views."""
+
+    name: str
+    fn: MeasureFn
+
+    def __call__(self, view: UserView) -> float:
+        return float(self.fn(view))
+
+
+CONSTANT_ONE = Measure("one", lambda view: 1.0)
+FOLLOWERS = Measure("followers", lambda view: view.followers)
+DISPLAY_NAME_LENGTH = Measure("display_name_length", lambda view: len(view.display_name))
+MATCHING_POST_COUNT = Measure("matching_post_count", lambda view: len(view.matching_posts))
+
+
+def _mean_likes(view: UserView) -> float:
+    if not view.matching_posts:
+        return 0.0
+    return sum(post.likes for post in view.matching_posts) / len(view.matching_posts)
+
+
+MEAN_LIKES = Measure("mean_likes", _mean_likes)
+TOTAL_LIKES = Measure("total_likes", lambda view: sum(p.likes for p in view.matching_posts))
+
+
+def gender_is(gender: Gender) -> PredicateFn:
+    """Profile predicate: user's gender equals *gender*.
+
+    Users whose gender the platform hides do **not** match — the estimator
+    can only count what the API shows it, which is why the paper only runs
+    gender-conditioned aggregates on Google+ (§6.2).
+    """
+
+    def predicate(view: UserView) -> bool:
+        return view.gender == gender
+
+    return predicate
+
+
+def min_followers(threshold: int) -> PredicateFn:
+    """Profile predicate: at least *threshold* connections."""
+
+    def predicate(view: UserView) -> bool:
+        return view.followers >= threshold
+
+    return predicate
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """One aggregate estimation task.
+
+    ``window`` bounds the keyword mentions considered, as ``[start, end)``
+    in simulated seconds; None means the whole history.  ``predicate``
+    further filters users by profile attributes.
+    """
+
+    keyword: str
+    aggregate: Aggregate
+    measure: Measure = CONSTANT_ONE
+    window: Optional[Tuple[float, float]] = None
+    predicate: Optional[PredicateFn] = None
+
+    def __post_init__(self) -> None:
+        if not self.keyword or not self.keyword.strip():
+            raise QueryError("query must have a keyword predicate")
+        if self.window is not None and self.window[1] <= self.window[0]:
+            raise QueryError(f"empty time window {self.window}")
+
+    @property
+    def window_start(self) -> float:
+        return self.window[0] if self.window else float("-inf")
+
+    @property
+    def window_end(self) -> float:
+        return self.window[1] if self.window else float("inf")
+
+    def filter_matching_posts(self, posts: Sequence[Post]) -> Tuple[Post, ...]:
+        """The subset of *posts* satisfying keyword + window."""
+        needle = self.keyword.lower()
+        return tuple(
+            p
+            for p in posts
+            if needle in p.keywords and self.window_start <= p.timestamp < self.window_end
+        )
+
+    def matches(self, view: UserView) -> bool:
+        """CONDITION of §2: keyword/window hit plus profile predicate."""
+        if not view.matching_posts:
+            return False
+        if self.predicate is not None and not self.predicate(view):
+            return False
+        return True
+
+    def value(self, view: UserView) -> float:
+        """f(u) for a matching user (call only when :meth:`matches`)."""
+        return self.measure(view)
+
+    def describe(self) -> str:
+        """SQL-ish rendering for logs and benchmark headers."""
+        parts = [f"SELECT {self.aggregate.value}({self.measure.name}) FROM users"]
+        parts.append(f"WHERE timeline CONTAINS {self.keyword!r}")
+        if self.window is not None:
+            parts.append(f"IN [{self.window[0]:.0f}, {self.window[1]:.0f})")
+        if self.predicate is not None:
+            parts.append("AND <profile predicate>")
+        return " ".join(parts)
+
+
+def count_users(keyword: str, window: Optional[Tuple[float, float]] = None,
+                predicate: Optional[PredicateFn] = None) -> AggregateQuery:
+    """COUNT of users who mentioned *keyword* — the paper's headline query."""
+    return AggregateQuery(keyword, Aggregate.COUNT, CONSTANT_ONE, window, predicate)
+
+
+def avg_of(keyword: str, measure: Measure, window: Optional[Tuple[float, float]] = None,
+           predicate: Optional[PredicateFn] = None) -> AggregateQuery:
+    """AVG(measure) over users who mentioned *keyword*."""
+    return AggregateQuery(keyword, Aggregate.AVG, measure, window, predicate)
+
+
+def sum_of(keyword: str, measure: Measure, window: Optional[Tuple[float, float]] = None,
+           predicate: Optional[PredicateFn] = None) -> AggregateQuery:
+    """SUM(measure) over users who mentioned *keyword*."""
+    return AggregateQuery(keyword, Aggregate.SUM, measure, window, predicate)

@@ -1,0 +1,76 @@
+"""Estimation results and convergence traces.
+
+Every estimator returns an :class:`EstimateResult` carrying the point
+estimate, the full query-cost accounting, and a convergence trace of
+``(cost, running_estimate)`` checkpoints — the raw material for the
+paper's query-cost-vs-relative-error plots (Figures 2–3, 8–14) and the
+convergence plot (Figure 9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.query import AggregateQuery
+from repro.errors import EstimationError
+
+
+@dataclass
+class TracePoint:
+    """One convergence checkpoint."""
+
+    cost: int
+    estimate: Optional[float]
+
+    def error_against(self, truth: float) -> Optional[float]:
+        if self.estimate is None or truth == 0:
+            return None
+        return abs(self.estimate - truth) / abs(truth)
+
+
+@dataclass
+class EstimateResult:
+    """Outcome of one budgeted estimation run."""
+
+    query: AggregateQuery
+    algorithm: str
+    value: Optional[float]
+    cost_total: int
+    cost_by_kind: Dict[str, int] = field(default_factory=dict)
+    trace: List[TracePoint] = field(default_factory=list)
+    num_samples: int = 0
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    def relative_error(self, truth: float) -> float:
+        if self.value is None:
+            raise EstimationError("estimator produced no value")
+        if truth == 0:
+            raise EstimationError("relative error undefined for zero ground truth")
+        return abs(self.value - truth) / abs(truth)
+
+    def cost_to_reach_error(self, truth: float, target: float) -> Optional[int]:
+        """Smallest cost after which the running estimate *stays* within
+        *target* relative error of *truth*.
+
+        "Stays" (rather than "first touches") matches how the paper
+        measures cost-to-accuracy: a trace that crosses the truth on its
+        way elsewhere has not converged.  Returns None when the run never
+        stabilises inside the band.
+        """
+        if truth == 0:
+            raise EstimationError("relative error undefined for zero ground truth")
+        if target <= 0:
+            raise EstimationError("target error must be positive")
+        achieved_at: Optional[int] = None
+        for point in self.trace:
+            error = point.error_against(truth)
+            if error is None or math.isnan(error):
+                continue
+            if error <= target:
+                if achieved_at is None:
+                    achieved_at = point.cost
+            else:
+                achieved_at = None
+        return achieved_at

@@ -1,0 +1,162 @@
+"""A tiny parser for the paper's SQL-ish aggregate query form (§2).
+
+The paper writes queries as ``SELECT AGGR(f(u)) FROM U WHERE CONDITION``.
+This module parses that surface syntax into :class:`AggregateQuery`
+objects, for the CLI and for notebook ergonomics::
+
+    parse_query("SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'privacy'")
+    parse_query(
+        "SELECT AVG(followers) FROM users "
+        "WHERE timeline CONTAINS 'boston' "
+        "AND time BETWEEN 100 AND 200 "          # days since epoch
+        "AND gender = 'male' AND followers >= 10"
+    )
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT aggr FROM USERS WHERE condition
+    aggr       := COUNT(*) | COUNT(measure) | AVG(measure) | SUM(measure)
+    condition  := clause (AND clause)*
+    clause     := TIMELINE CONTAINS 'keyword'
+                | TIME BETWEEN number AND number      -- days
+                | GENDER = 'male' | 'female' | 'undisclosed'
+                | FOLLOWERS >= integer
+
+Exactly one ``TIMELINE CONTAINS`` clause is required (the paper's focus:
+every aggregate has a keyword predicate).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.query import (
+    Aggregate,
+    AggregateQuery,
+    CONSTANT_ONE,
+    DISPLAY_NAME_LENGTH,
+    FOLLOWERS,
+    MATCHING_POST_COUNT,
+    MEAN_LIKES,
+    Measure,
+    TOTAL_LIKES,
+    UserView,
+    gender_is,
+    min_followers,
+)
+from repro.errors import QueryError
+from repro.platform.clock import DAY
+from repro.platform.users import Gender
+
+MEASURES = {
+    "one": CONSTANT_ONE,
+    "*": CONSTANT_ONE,
+    "followers": FOLLOWERS,
+    "display_name_length": DISPLAY_NAME_LENGTH,
+    "matching_post_count": MATCHING_POST_COUNT,
+    "mean_likes": MEAN_LIKES,
+    "total_likes": TOTAL_LIKES,
+}
+
+_HEAD = re.compile(
+    r"^\s*select\s+(count|avg|sum)\s*\(\s*([\w*]+)\s*\)\s+from\s+users\s+where\s+(.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_CONTAINS = re.compile(
+    r"^timeline\s+contains\s+'([^']+)'$", re.IGNORECASE
+)
+_BETWEEN = re.compile(
+    r"^time\s+between\s+(-?\d+(?:\.\d+)?)\s+and\s+(-?\d+(?:\.\d+)?)$", re.IGNORECASE
+)
+_GENDER = re.compile(r"^gender\s*=\s*'(\w+)'$", re.IGNORECASE)
+_FOLLOWERS = re.compile(r"^followers\s*>=\s*(\d+)$", re.IGNORECASE)
+
+
+def _split_clauses(condition: str) -> List[str]:
+    """Split on AND outside quotes (the AND inside BETWEEN is protected)."""
+    protected = re.sub(
+        r"(?i)\bbetween\s+(-?\d+(?:\.\d+)?)\s+and\s+",
+        r"between \1 ~and~ ",
+        condition,
+    )
+    clauses: List[str] = []
+    in_quote = False
+    current: List[str] = []
+    for token in protected.split():
+        if token.count("'") % 2:
+            in_quote = not in_quote
+        if token.lower() == "and" and not in_quote:
+            clauses.append(" ".join(current))
+            current = []
+        else:
+            current.append(token)
+    clauses.append(" ".join(current))
+    return [clause.replace("~and~", "and").strip() for clause in clauses if clause.strip()]
+
+
+def parse_query(text: str) -> AggregateQuery:
+    """Parse the §2 query form into an :class:`AggregateQuery`."""
+    head = _HEAD.match(text)
+    if not head:
+        raise QueryError(
+            "query must look like: SELECT COUNT(*) FROM users WHERE "
+            "timeline CONTAINS '<keyword>' [AND ...]"
+        )
+    aggregate = Aggregate[head.group(1).upper()]
+    measure_name = head.group(2).lower() if head.group(2) != "*" else "*"
+    if measure_name not in MEASURES:
+        raise QueryError(
+            f"unknown measure {head.group(2)!r}; choose from "
+            f"{sorted(name for name in MEASURES if name != '*')}"
+        )
+    measure = MEASURES[measure_name]
+    if aggregate is not Aggregate.COUNT and measure is CONSTANT_ONE and measure_name == "*":
+        raise QueryError("AVG(*)/SUM(*) are not meaningful; name a measure")
+
+    keyword: Optional[str] = None
+    window: Optional[Tuple[float, float]] = None
+    predicates: List[Callable[[UserView], bool]] = []
+    for clause in _split_clauses(head.group(3)):
+        contains = _CONTAINS.match(clause)
+        if contains:
+            if keyword is not None:
+                raise QueryError("only one TIMELINE CONTAINS clause is supported")
+            keyword = contains.group(1)
+            continue
+        between = _BETWEEN.match(clause)
+        if between:
+            if window is not None:
+                raise QueryError("only one TIME BETWEEN clause is supported")
+            window = (float(between.group(1)) * DAY, float(between.group(2)) * DAY)
+            continue
+        gender = _GENDER.match(clause)
+        if gender:
+            try:
+                predicates.append(gender_is(Gender(gender.group(1).lower())))
+            except ValueError:
+                raise QueryError(
+                    f"unknown gender {gender.group(1)!r}; use male/female/undisclosed"
+                ) from None
+            continue
+        followers = _FOLLOWERS.match(clause)
+        if followers:
+            predicates.append(min_followers(int(followers.group(1))))
+            continue
+        raise QueryError(f"cannot parse WHERE clause: {clause!r}")
+
+    if keyword is None:
+        raise QueryError("the WHERE condition must include TIMELINE CONTAINS '<keyword>'")
+
+    predicate: Optional[Callable[[UserView], bool]] = None
+    if predicates:
+        def predicate(view: UserView, _predicates=tuple(predicates)) -> bool:
+            return all(p(view) for p in _predicates)
+
+    return AggregateQuery(
+        keyword=keyword,
+        aggregate=aggregate,
+        measure=measure,
+        window=window,
+        predicate=predicate,
+    )

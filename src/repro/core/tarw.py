@@ -1,0 +1,655 @@
+"""MA-TARW: the topology-aware random walk of §5 (Algorithms 2 and 3).
+
+One walk *instance* is a bottom-top-bottom traversal of the level-by-level
+subgraph: start at a seed returned by the search API, repeatedly move to a
+uniformly random *up*-neighbor until reaching a node with none (a local
+root), then reverse and move to uniformly random *down*-neighbors until a
+node with none (a local sink).  No burn-in is needed because the visit
+probability of every touched node can be estimated unbiasedly from the
+level topology.
+
+Selection probabilities (Eq. 6 generalised to seeds anywhere):
+
+    p_up(u)   = start(u) + Σ_{v ∈ ∆(u)} p_up(v) / |∇(v)|
+    p_down(u) = p_up(u)                        if ∇(u) = ∅  (local root)
+              = Σ_{v ∈ ∇(u)} p_down(v) / |∆(v)|  otherwise
+
+where start(u) = 1/s for each of the s seeds, 0 otherwise.  The paper
+states the recursion with seeds assumed to be exactly the ∆ = ∅ sinks;
+adding the ``start`` term makes it exact when a recent poster also has
+down-neighbors (possible whenever someone adopted the keyword even more
+recently).  ESTIMATE-p (Algorithm 2) unrolls one random downward path and
+multiplies the branching factors — an unbiased estimator because each
+recursion level replaces a sum by (size × uniformly-chosen term).
+
+Estimation: for each instance, Σ_{u ∈ up-path} f(u)/p̂_up(u) and
+Σ_{u ∈ down-path} f(u)/p̂_down(u) are each unbiased for the SUM over all
+reachable users, and their mean is the instance estimate (the
+``phase_sum`` combine).  ``combine="paper"`` reproduces Algorithm 3's
+printed normalisation by 1/|R_i| instead — see EXPERIMENTS.md for why we
+default to the corrected combine.  AVG is the ratio of accumulated SUM
+and COUNT estimates; instances repeat until the query budget is spent.
+
+The §5.2 cache ("a single cache ... saving about half of the query cost")
+memoises p-estimates of local roots across instances; disable it with
+``TARWConfig(cache_root_probabilities=False)`` for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro._rng import RandomLike, ensure_rng
+from repro.core.graph_builder import LevelByLevelOracle, QueryContext
+from repro.core.query import Aggregate
+from repro.core.results import EstimateResult, TracePoint
+from repro.errors import BudgetExhaustedError, EstimationError
+
+COMBINE_MODES = ("phase_sum", "paper")
+
+
+@dataclass(frozen=True)
+class TARWConfig:
+    """Knobs for MA-TARW."""
+
+    p_method: str = "dp"
+    """How selection probabilities are obtained:
+
+    * ``"dp"`` (default) — exact dynamic programming over the subgraph
+      classified so far.  Every node a walk or probability path touches is
+      fully classified anyway (its up/down neighbor lists are exact), so
+      the Eq. 6 recursion can be evaluated *deterministically* over that
+      region at zero additional API cost.  Probability mass flowing
+      through still-unclassified nodes is missing, so early values are
+      slight underestimates that converge from below as coverage grows —
+      a far better trade than the sampling estimator's heavy-tailed noise.
+    * ``"estimate"`` — Algorithm 2 exactly as printed: per-node unbiased
+      estimates from random downward/upward paths, pooled across visits.
+      Kept for fidelity comparisons and the ablation benches.
+    """
+    p_walks: int = 3
+    """Independent ESTIMATE-p repetitions averaged per node *per visit*
+    (variance reduction; the paper's analysis uses one).  Only used with
+    ``p_method="estimate"``."""
+    pool_min_samples: int = 128
+    pool_decay: float = 0.95
+    """Geometric forgetting applied to a node's pool on each refresh.
+
+    Early ESTIMATE-p samples are computed while the pools of lower nodes
+    (used by the sampled-backup shortcut) are still immature; without
+    forgetting, that stale noise stays in the pool forever.  Decay < 1
+    keeps the pool tracking the improving fixed point.  1.0 disables."""
+    """Grow a node's ESTIMATE-p pool to at least this many samples on
+    first visit.  Extra samples over already-classified regions cost no
+    API calls (the cache absorbs them), only CPU."""
+    discovery_budget_fraction: float = 0.25
+    """At most this fraction of the query budget may be spent by the
+    bottom-discovery warm-up, so small budgets still leave room for
+    estimation instances."""
+    discovery_instances: int = 600
+    final_recount_instances: int = 4_000
+    """After the budget is spent, refresh the seed set to *every*
+    classified sink (sinks learned anywhere during the run, not just walk
+    endpoints), reset the visit counters, and re-accumulate them with this
+    many walk instances confined to the already-cached region.  These
+    walks cost zero API calls — only CPU — and they fix two late-run
+    inconsistencies at once: the start distribution matches the final
+    (largest) seed set, and the visit counters reflect only that
+    distribution.  0 disables."""
+    """Warm-up walks that *discover bottom nodes* before estimation.
+
+    The paper assumes the search API returns the complete bottom level,
+    so every sink of the level-by-level graph is a seed (§5.2: "users at
+    the bottom one or few levels are guaranteed to be returned by the
+    search API").  On a real keyword graph many sinks are *local* (a
+    community's last adopter) and post nothing recently, so search alone
+    under-covers and the up-phase support collapses to ancestors of the
+    few searchable users.  The warm-up runs plain bottom-top-bottom walks
+    from the search seeds and promotes every sink they touch into the
+    seed set, then freezes it — restoring the paper's assumption using
+    only API-visible information."""
+    accumulate_p_estimates: bool = True
+    """Pool every ESTIMATE-p sample a node ever receives into a running
+    mean.  ESTIMATE-p is unbiased but heavy-tailed — most single walks
+    return 0 (the random downward path missed every seed) while rare walks
+    return large values.  Pooling across instances is still unbiased for
+    p(u) and converges, where per-visit estimates would either drop the
+    node (downward bias) or explode the variance."""
+    zero_retry_batches: int = 2
+    """Extra batches of p_walks to try when a node's pooled estimate is
+    still zero before dropping its contribution for this instance."""
+    weight_cap: Optional[float] = 30.0
+    """Winsorisation cap on one node's normalised contribution
+    visits/(R * pooled_p).  That quantity concentrates near 1 as the run
+    matures (empirical visit rate over estimated visit probability), so
+    values far above 1 are almost always pooled-p underestimation noise
+    rather than genuine rare-node mass; capping trades a small tail bias
+    for a large variance reduction.  None disables."""
+    combine: str = "phase_sum"
+    cache_root_probabilities: bool = True
+    max_instances: Optional[int] = 20_000
+    stall_instances: int = 200
+    """Stop when the query cost has not moved for this many instances
+    (everything reachable is cached; see SRWConfig.stall_steps)."""
+    max_seeds: Optional[int] = None
+    """None = the complete search window (the whole bottom level)."""
+    max_path_length: int = 10_000
+    """Safety bound on one phase's length (cycles are impossible on a
+    level-by-level graph, so this only guards corrupted oracles)."""
+
+    def __post_init__(self) -> None:
+        if self.p_method not in ("dp", "estimate"):
+            raise EstimationError("p_method must be 'dp' or 'estimate'")
+        if self.p_walks < 1:
+            raise EstimationError("p_walks must be >= 1")
+        if self.pool_min_samples < 1:
+            raise EstimationError("pool_min_samples must be >= 1")
+        if not 0.0 < self.pool_decay <= 1.0:
+            raise EstimationError("pool_decay must be in (0, 1]")
+        if self.discovery_instances < 0:
+            raise EstimationError("discovery_instances must be >= 0")
+        if self.final_recount_instances < 0:
+            raise EstimationError("final_recount_instances must be >= 0")
+        if not 0.0 < self.discovery_budget_fraction <= 1.0:
+            raise EstimationError("discovery_budget_fraction must be in (0, 1]")
+        if self.zero_retry_batches < 0:
+            raise EstimationError("zero_retry_batches must be >= 0")
+        if self.weight_cap is not None and self.weight_cap <= 0:
+            raise EstimationError("weight_cap must be positive or None")
+        if self.stall_instances < 1:
+            raise EstimationError("stall_instances must be >= 1")
+        if self.combine not in COMBINE_MODES:
+            raise EstimationError(f"combine must be one of {COMBINE_MODES}")
+
+
+class MATARWEstimator:
+    """Budgeted MA-TARW over a level-by-level oracle."""
+
+    def __init__(
+        self,
+        context: QueryContext,
+        oracle: LevelByLevelOracle,
+        config: Optional[TARWConfig] = None,
+        seed: RandomLike = None,
+    ) -> None:
+        self.context = context
+        self.oracle = oracle
+        self.config = config or TARWConfig()
+        self.rng = ensure_rng(seed)
+        self._seeds: List[int] = []
+        self._seed_set: frozenset = frozenset()
+        self._root_cache: Dict[int, float] = {}
+        # Pooled ESTIMATE-p samples: node -> (sum of estimates, #estimates).
+        self._p_up_pool: Dict[int, Tuple[float, int]] = {}
+        self._p_down_pool: Dict[int, Tuple[float, int]] = {}
+        # Visit counters per phase (only for condition-matching nodes).
+        self._visits_up: Dict[int, int] = {}
+        self._visits_down: Dict[int, int] = {}
+        self._paper_paths: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+        self._instance_counter = 0
+        self.zero_probability_drops = 0
+        # Deterministic DP state (p_method="dp").
+        self._dp_p_up: Dict[int, float] = {}
+        self._dp_p_down: Dict[int, float] = {}
+        self._dp_dirty = True
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def estimate(self) -> EstimateResult:
+        config = self.config
+        query = self.context.query
+        trace: List[TracePoint] = []
+        instances = 0
+        path_length_total = 0
+        last_cost = -1
+        stalled_since = 0
+        next_trace = 1
+        budget_aborted_instances = 0
+        try:
+            self._seeds = self.context.seeds(config.max_seeds)
+            self._discover_bottom_nodes()
+            self._seed_set = frozenset(self._seeds)
+            while config.max_instances is None or instances < config.max_instances:
+                try:
+                    path_length_total += self._run_instance()
+                    instances += 1
+                    self._instance_counter = instances
+                except BudgetExhaustedError:
+                    # Instances are independent restarts, so one that needed
+                    # fresh (unaffordable) data can be skipped; later
+                    # instances confined to already-cached regions complete
+                    # at zero API cost and keep sharpening the estimate.
+                    budget_aborted_instances += 1
+                    stalled_since += 1
+                    if stalled_since >= config.stall_instances:
+                        break
+                    continue
+                cost = self._cost()
+                if instances >= next_trace:
+                    # Geometric spacing: each recompute scans the distinct
+                    # visited nodes, so total trace work stays near-linear.
+                    trace.append(TracePoint(cost, self._recompute_value()))
+                    next_trace = instances + max(1, instances // 25)
+                if cost == last_cost:
+                    stalled_since += 1
+                    if stalled_since >= config.stall_instances:
+                        break
+                else:
+                    last_cost = cost
+                    stalled_since = 0
+        except BudgetExhaustedError:
+            pass  # budget died during seeding/discovery: report what we have
+
+        recounted = self._final_recount()
+        if recounted:
+            instances = self._instance_counter
+        value = self._recompute_value()
+        trace.append(TracePoint(self._cost(), value))
+        mean_path = path_length_total / instances if instances else 0.0
+        return EstimateResult(
+            query=query,
+            algorithm="ma-tarw",
+            value=value,
+            cost_total=self._cost(),
+            cost_by_kind=self._cost_by_kind(),
+            trace=trace,
+            num_samples=instances,
+            diagnostics={
+                "instances": float(instances),
+                "mean_path_length": mean_path,
+                "zero_probability_drops": float(self.zero_probability_drops),
+                "budget_aborted_instances": float(budget_aborted_instances),
+                "p_pool_nodes": float(len(self._p_up_pool) + len(self._p_down_pool)),
+                "seed_set_size": float(len(self._seeds)),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # final zero-cost recount (see TARWConfig.final_recount_instances)
+    # ------------------------------------------------------------------
+    def _final_recount(self) -> bool:
+        config = self.config
+        if config.final_recount_instances == 0 or not self._seeds:
+            return False
+        sinks = {
+            node
+            for node in self.oracle.classified_nodes()
+            if self.oracle.level_of(node) is not None
+            and not self.oracle.down_neighbors(node)
+        }
+        self._seeds = sorted(set(self._seeds) | sinks)
+        self._seed_set = frozenset(self._seeds)
+        self._visits_up.clear()
+        self._visits_down.clear()
+        self._paper_paths.clear()
+        self._instance_counter = 0
+        self._dp_dirty = True
+        completed = 0
+        aborted = 0
+        attempts_left = config.final_recount_instances * 3
+        while completed < config.final_recount_instances and attempts_left > 0:
+            attempts_left -= 1
+            try:
+                self._run_instance()
+                completed += 1
+            except BudgetExhaustedError:
+                aborted += 1
+                if aborted > config.stall_instances and completed == 0:
+                    break
+        self._instance_counter = completed
+        return completed > 0
+
+    # ------------------------------------------------------------------
+    # bottom-node discovery warm-up
+    # ------------------------------------------------------------------
+    def _discover_bottom_nodes(self) -> None:
+        """Promote every sink touched by warm-up walks into the seed set.
+
+        See ``TARWConfig.discovery_instances``.  The seed set is frozen
+        afterwards so the start distribution (1/s each) stays consistent
+        across all estimation instances.
+        """
+        discovered = set(self._seeds)
+        budget = getattr(self.context.client.meter, "budget", None)  # type: ignore[attr-defined]
+        spend_cap = None if budget is None else budget * self.config.discovery_budget_fraction
+        try:
+            for _ in range(self.config.discovery_instances):
+                if spend_cap is not None and self._cost() >= spend_cap:
+                    break
+                start = self.rng.choice(self._seeds)
+                up_path = self._walk_up(start)
+                down_path = self._walk_down(up_path[-1])
+                for node in up_path + down_path:
+                    if not self.oracle.down_neighbors(node):
+                        discovered.add(node)
+        except BudgetExhaustedError:
+            pass  # keep whatever was discovered; estimation may still run
+        self._seeds = sorted(discovered)
+
+    # ------------------------------------------------------------------
+    # one bottom-top-bottom instance
+    # ------------------------------------------------------------------
+    def _run_instance(self) -> int:
+        """Run one walk instance, updating visit counters and p-pools.
+
+        Returns the instance's path length.  The instance's *contribution*
+        to the estimate is not finalised here: all contributions are
+        recomputed from the latest pooled p-estimates at read time
+        (:meth:`_recompute_value`), so early instances are not frozen with
+        the noisy p-estimates that were available when they ran.
+        """
+        start = self.rng.choice(self._seeds)
+        # Walk both phases completely before recording anything: a walk can
+        # abort on budget exhaustion, and recording a partial instance
+        # would skew the visit counters.
+        up_path = self._walk_up(start)
+        root = up_path[-1]
+        down_path = self._walk_down(root)  # includes the root
+
+        self._record_phase(up_path, "up")
+        self._record_phase(down_path, "down")
+        if self.config.combine == "paper":
+            self._paper_paths.append((tuple(up_path), tuple(down_path)))
+        return len(up_path) + len(down_path) - 1
+
+    def _record_phase(self, path: List[int], direction: str) -> None:
+        visits = self._visits_up if direction == "up" else self._visits_down
+        for node in path:
+            if not self.context.condition_matches(node):
+                continue  # contributes 0 regardless of p(u): skip its cost
+            visits[node] = visits.get(node, 0) + 1
+            if self.config.p_method == "estimate":
+                self._refresh_p(node, direction)
+        self._dp_dirty = True
+
+    def _walk_up(self, start: int) -> List[int]:
+        path = [start]
+        current = start
+        while len(path) <= self.config.max_path_length:
+            ups = self.oracle.up_neighbors(current)
+            if not ups:
+                return path
+            current = self.rng.choice(ups)
+            path.append(current)
+        raise EstimationError("up-phase exceeded max_path_length; level oracle is cyclic?")
+
+    def _walk_down(self, root: int) -> List[int]:
+        path = [root]
+        current = root
+        while len(path) <= self.config.max_path_length:
+            downs = self.oracle.down_neighbors(current)
+            if not downs:
+                return path
+            current = self.rng.choice(downs)
+            path.append(current)
+        raise EstimationError("down-phase exceeded max_path_length; level oracle is cyclic?")
+
+    def _refresh_p(self, node: int, direction: str) -> float:
+        """Add a batch of ESTIMATE-p samples for *node* to its pool.
+
+        Returns the pooled mean.  With ``accumulate_p_estimates`` off, the
+        pool is replaced per visit (the paper's literal per-instance use).
+        """
+        config = self.config
+        if direction == "up":
+            pool, p_estimator = self._p_up_pool, self._estimate_p_up
+        else:
+            pool, p_estimator = self._p_down_pool, self._estimate_p_down
+        total, count = pool.get(node, (0.0, 0)) if config.accumulate_p_estimates else (0.0, 0)
+        if config.pool_decay < 1.0 and count:
+            total *= config.pool_decay
+            count *= config.pool_decay
+        target = max(count + config.p_walks, config.pool_min_samples)
+        batches_left = 1 + config.zero_retry_batches
+        while count < target or (total <= 0.0 and batches_left > 0):
+            if count >= target:
+                batches_left -= 1
+                target += config.p_walks
+            total += p_estimator(node)
+            count += 1
+        pool[node] = (total, count)
+        return total / count
+
+    def _pooled_p(self, node: int, pool: Dict[int, Tuple[float, int]]) -> float:
+        if self.config.p_method == "dp":
+            self._run_dp_if_dirty()
+            dp = self._dp_p_up if pool is self._p_up_pool else self._dp_p_down
+            return dp.get(node, 0.0)
+        total, count = pool.get(node, (0.0, 0))
+        return total / count if count else 0.0
+
+    def _run_dp_if_dirty(self) -> None:
+        """Evaluate Eq. 6 exactly over the classified subgraph.
+
+        Edges always connect different levels, so sorting by level gives a
+        topological order for both recursions.  Mass through unclassified
+        neighbors is omitted (lower bound; converges as coverage grows).
+        No API calls: every input is already in the oracle's caches.
+        """
+        if not self._dp_dirty:
+            return
+        oracle = self.oracle
+        nodes = [u for u in oracle.classified_nodes() if oracle.level_of(u) is not None]
+        classified = set(nodes)
+        level = {u: oracle.level_of(u) for u in nodes}
+        p_up: Dict[int, float] = {}
+        for u in sorted(nodes, key=lambda n: -level[n]):
+            value = self._start_probability(u)
+            for v in oracle.down_neighbors(u):
+                if v in classified and p_up.get(v, 0.0) > 0.0:
+                    value += p_up[v] / len(oracle.up_neighbors(v))
+            p_up[u] = value
+        p_down: Dict[int, float] = {}
+        for u in sorted(nodes, key=lambda n: level[n]):
+            ups = oracle.up_neighbors(u)
+            if not ups:
+                p_down[u] = p_up[u]
+                continue
+            value = 0.0
+            for v in ups:
+                if v in classified and p_down.get(v, 0.0) > 0.0:
+                    value += p_down[v] / len(oracle.down_neighbors(v))
+            p_down[u] = value
+        self._dp_p_up = p_up
+        self._dp_p_down = p_down
+        self._dp_dirty = False
+
+    # ------------------------------------------------------------------
+    # estimate assembly from counters + pools
+    # ------------------------------------------------------------------
+    def _recompute_value(self) -> Optional[float]:
+        if self.config.combine == "paper":
+            return self._recompute_value_paper()
+        instances = self._instances_run()
+        if instances == 0:
+            return None
+        capped_sum = 0.0
+        capped_count = 0.0
+        raw_sum = 0.0
+        raw_count = 0.0
+        drops = 0
+        cap = self.config.weight_cap
+        for visits, pool in (
+            (self._visits_up, self._p_up_pool),
+            (self._visits_down, self._p_down_pool),
+        ):
+            for node, visit_count in visits.items():
+                probability = self._pooled_p(node, pool)
+                if probability <= 0.0:
+                    drops += 1
+                    continue
+                normalised = visit_count / (instances * probability)
+                f_value = self.context.f_value(node)
+                raw_sum += normalised * f_value
+                raw_count += normalised
+                if cap is not None and normalised > cap:
+                    normalised = cap
+                capped_sum += normalised * f_value
+                capped_count += normalised
+        self.zero_probability_drops = drops
+        query = self.context.query
+        if query.aggregate is Aggregate.SUM:
+            return capped_sum / 2.0
+        if query.aggregate is Aggregate.COUNT:
+            return capped_count / 2.0
+        # AVG: a self-normalising ratio — capping would bias it (the same
+        # inflated weight appears in numerator and denominator and cancels),
+        # so use the raw weights.
+        if raw_count == 0:
+            return None
+        return raw_sum / raw_count
+
+    def _recompute_value_paper(self) -> Optional[float]:
+        """Algorithm 3's printed combine: per-instance 1/|R_i| normalising."""
+        if not self._paper_paths:
+            return None
+        sum_estimates: List[float] = []
+        count_estimates: List[float] = []
+        for up_path, down_path in self._paper_paths:
+            total_sum = 0.0
+            total_count = 0.0
+            for path, pool in ((up_path, self._p_up_pool), (down_path, self._p_down_pool)):
+                for node in path:
+                    if not self.context.condition_matches(node):
+                        continue
+                    probability = self._pooled_p(node, pool)
+                    if probability <= 0.0:
+                        continue
+                    total_sum += self.context.f_value(node) / probability
+                    total_count += 1.0 / probability
+            size = len(up_path) + len(down_path)
+            sum_estimates.append(total_sum / size)
+            count_estimates.append(total_count / size)
+        return self._value_from_totals(
+            sum(sum_estimates), sum(count_estimates), len(sum_estimates)
+        )
+
+    def _instances_run(self) -> int:
+        return self._instance_counter
+
+    # ------------------------------------------------------------------
+    # ESTIMATE-p (Algorithm 2) and its top-down mirror
+    # ------------------------------------------------------------------
+    def _start_probability(self, node: int) -> float:
+        return 1.0 / len(self._seeds) if node in self._seed_set else 0.0
+
+    def _estimate_p_up(self, node: int) -> float:
+        """Estimate of p_up(node) by one random downward path.
+
+        Unrolls  p_up(u) = start(u) + |∆(u)| * p_up(V) / |∇(V)|  with V
+        uniform in ∆(u), accumulating the telescoped branching factor —
+        Algorithm 2 of the paper, which is unbiased but heavy-tailed.
+
+        Variance reduction (sampled backup): when the path reaches a node
+        whose own p_up pool already holds ``pool_min_samples`` estimates,
+        the walk terminates early with that pooled value in place of a
+        fresh sub-walk.  Lower nodes' pools never depend on higher nodes'
+        (paths go strictly down), so the bootstrapped values converge to
+        the same fixed point as Algorithm 2, with drastically less noise.
+        """
+        estimate = 0.0
+        factor = 1.0
+        current = node
+        first = True
+        for _ in range(self.config.max_path_length):
+            if not first:
+                total, count = self._p_up_pool.get(current, (0.0, 0))
+                if count >= self.config.pool_min_samples and total > 0.0:
+                    return estimate + factor * (total / count)
+            estimate += factor * self._start_probability(current)
+            downs = self.oracle.down_neighbors(current)
+            if not downs:
+                return estimate
+            chosen = self.rng.choice(downs)
+            up_count = len(self.oracle.up_neighbors(chosen))
+            factor *= len(downs) / up_count  # up_count >= 1: current is above chosen
+            current = chosen
+            first = False
+        raise EstimationError("ESTIMATE-p exceeded max_path_length; level oracle is cyclic?")
+
+    def _estimate_p_down(self, node: int) -> float:
+        """Estimate of p_down(node) by one random upward path.
+
+        Walks up to a local root, then multiplies by an estimate of the
+        root's p_up — pooled across instances when the §5.2 cache is on.
+        The same sampled-backup shortcut as :meth:`_estimate_p_up` applies
+        with the p_down pools of strictly-higher nodes.
+        """
+        factor = 1.0
+        current = node
+        first = True
+        for _ in range(self.config.max_path_length):
+            if not first:
+                total, count = self._p_down_pool.get(current, (0.0, 0))
+                if count >= self.config.pool_min_samples and total > 0.0:
+                    return factor * (total / count)
+            ups = self.oracle.up_neighbors(current)
+            if not ups:
+                return factor * self._root_p_up(current)
+            chosen = self.rng.choice(ups)
+            down_count = len(self.oracle.down_neighbors(chosen))
+            factor *= len(ups) / down_count  # down_count >= 1: current is below chosen
+            current = chosen
+            first = False
+        raise EstimationError("ESTIMATE-p exceeded max_path_length; level oracle is cyclic?")
+
+    def _root_p_up(self, root: int) -> float:
+        """Pooled estimate of a local root's p_up (the §5.2 root cache).
+
+        The paper reuses one estimate per root to halve the probability-
+        estimation cost; we additionally keep *pooling* new samples into
+        it (a frozen single sample would lock in its noise for the run).
+        """
+        if not self.config.cache_root_probabilities:
+            return self._sample_root_p_up(root)
+        total, count = self._p_up_pool.get(root, (0.0, 0))
+        if count < self.config.pool_min_samples:
+            total += self._sample_root_p_up(root)
+            count += 1
+            self._p_up_pool[root] = (total, count)
+        return total / count
+
+    def _sample_root_p_up(self, root: int) -> float:
+        """One fresh Algorithm 2 sample for a root (no pool shortcut at
+        the root itself — that would be self-referential)."""
+        estimate = self._start_probability(root)
+        downs = self.oracle.down_neighbors(root)
+        if not downs:
+            return estimate
+        chosen = self.rng.choice(downs)
+        factor = len(downs) / len(self.oracle.up_neighbors(chosen))
+        return estimate + factor * self._estimate_p_up_from(chosen)
+
+    def _estimate_p_up_from(self, node: int) -> float:
+        """p_up sample for *node* allowing the pool shortcut at node itself."""
+        total, count = self._p_up_pool.get(node, (0.0, 0))
+        if count >= self.config.pool_min_samples and total > 0.0:
+            return total / count
+        return self._estimate_p_up(node)
+
+    # ------------------------------------------------------------------
+    # final value assembly
+    # ------------------------------------------------------------------
+    def _value_from_totals(
+        self, total_sum: float, total_count: float, instances: int
+    ) -> Optional[float]:
+        if instances == 0:
+            return None
+        query = self.context.query
+        mean_sum = total_sum / instances
+        mean_count = total_count / instances
+        if query.aggregate is Aggregate.SUM:
+            return mean_sum
+        if query.aggregate is Aggregate.COUNT:
+            return mean_count
+        if mean_count == 0:
+            return None
+        return mean_sum / mean_count
+
+    def _cost(self) -> int:
+        return self.context.client.total_cost  # type: ignore[attr-defined]
+
+    def _cost_by_kind(self) -> dict:
+        return self.context.client.meter.by_kind()  # type: ignore[attr-defined]

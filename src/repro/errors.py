@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  The API layer distinguishes budget
+exhaustion (an expected, recoverable condition for budgeted estimators)
+from genuine misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph operations (unknown node, bad edge)."""
+
+
+class PlatformError(ReproError):
+    """Raised for inconsistent platform/simulator configuration."""
+
+
+class APIError(ReproError):
+    """Base class for errors raised by the simulated microblog API."""
+
+
+class BudgetExhaustedError(APIError):
+    """Raised when an estimator attempts an API call past its query budget.
+
+    Budgeted estimators catch this internally and return the estimate
+    accumulated so far, mirroring how a real client would stop issuing
+    requests once its self-imposed budget is spent.
+    """
+
+    def __init__(self, spent: int, budget: int) -> None:
+        super().__init__(f"query budget exhausted: spent {spent} of {budget}")
+        self.spent = spent
+        self.budget = budget
+
+
+class RateLimitError(APIError):
+    """Raised when a call exceeds the platform's rate limit window.
+
+    Carries the simulated time at which the quota next resets so callers
+    can sleep the simulated clock forward.
+    """
+
+    def __init__(self, retry_at: float) -> None:
+        super().__init__(f"rate limit exceeded; retry at t={retry_at:.0f}s")
+        self.retry_at = retry_at
+
+
+class QueryError(ReproError):
+    """Raised for malformed aggregate queries."""
+
+
+class EstimationError(ReproError):
+    """Raised when an estimator cannot produce an estimate.
+
+    For example: no seed users could be found via the search API, or the
+    walk never reached a node matching the query condition.
+    """

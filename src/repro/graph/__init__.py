@@ -1,0 +1,51 @@
+"""Graph substrate: the undirected social graph and its analysis tools.
+
+This subpackage is self-contained (no dependency on the platform or API
+layers) and provides:
+
+* :class:`~repro.graph.social_graph.SocialGraph` — compact undirected graph.
+* :mod:`~repro.graph.generators` — synthetic social-graph models and the
+  planted level-by-level lattice from Theorem 4.1 of the paper.
+* :mod:`~repro.graph.snap` — SNAP-style edge-list reader/writer.
+* :mod:`~repro.graph.components` — connected components and recall.
+* :mod:`~repro.graph.conductance` — closed-form (Theorem 4.1) and empirical
+  conductance.
+* :mod:`~repro.graph.metrics` — common neighbors, clustering, degree stats.
+"""
+
+from repro.graph.social_graph import SocialGraph
+from repro.graph.components import connected_components, largest_component, recall_of_largest_component
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    planted_level_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.snap import read_snap_edgelist, write_snap_edgelist
+from repro.graph.conductance import (
+    conductance_of_cut,
+    estimate_conductance_spectral,
+    estimate_conductance_sweep,
+    theorem41_conductance_with_intra,
+    theorem41_conductance_without_intra,
+    corollary41_optimal_degree,
+)
+
+__all__ = [
+    "SocialGraph",
+    "connected_components",
+    "largest_component",
+    "recall_of_largest_component",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "watts_strogatz_graph",
+    "planted_level_graph",
+    "read_snap_edgelist",
+    "write_snap_edgelist",
+    "conductance_of_cut",
+    "estimate_conductance_spectral",
+    "estimate_conductance_sweep",
+    "theorem41_conductance_with_intra",
+    "theorem41_conductance_without_intra",
+    "corollary41_optimal_degree",
+]

@@ -1,0 +1,249 @@
+"""Graph conductance: closed forms from Theorem 4.1 and empirical estimates.
+
+The paper justifies removing intra-level edges by showing the conductance
+(Eq. 1)
+
+    phi(G) = min_S  cut(S, V\\S) / min(vol(S), vol(V\\S))
+
+of the planted level-by-level lattice *drops* when each node gains ``k``
+intra-level edges (Eq. 2) relative to the intra-free graph (Eq. 3).  We
+implement those closed forms verbatim, plus three empirical tools:
+
+* :func:`conductance_of_cut` — Eq. 1 evaluated for one explicit cut;
+* :func:`exact_conductance` — brute force over all cuts (tiny graphs, used
+  by tests to validate the estimators);
+* :func:`estimate_conductance_spectral` — via the spectral gap of the lazy
+  random walk and the Cheeger inequalities  lambda_2/2 <= phi <=
+  sqrt(2*lambda_2);
+* :func:`estimate_conductance_sweep` — a Fiedler sweep cut, the standard
+  constructive upper bound used by the pilot-walk interval selector.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.social_graph import SocialGraph
+
+
+# ----------------------------------------------------------------------
+# Eq. 1 — conductance of an explicit cut, and exact minimum for tiny graphs
+# ----------------------------------------------------------------------
+def conductance_of_cut(graph: SocialGraph, side: Iterable[int]) -> float:
+    """Conductance of the cut (S, V\\S) for ``S = side`` (Eq. 1).
+
+    Raises :class:`GraphError` when the cut is trivial (one side empty or of
+    zero volume), where conductance is undefined.
+    """
+    inside = {n for n in side if n in graph}
+    if not inside or len(inside) == graph.num_nodes:
+        raise GraphError("cut must have two non-empty sides")
+    cut = 0
+    for u in inside:
+        for v in graph.neighbors_unsafe(u):
+            if v not in inside:
+                cut += 1
+    vol_inside = graph.volume(inside)
+    vol_outside = 2 * graph.num_edges - vol_inside
+    denom = min(vol_inside, vol_outside)
+    if denom == 0:
+        raise GraphError("cut side has zero volume; conductance undefined")
+    return cut / denom
+
+
+def exact_conductance(graph: SocialGraph) -> float:
+    """Exact phi(G) by enumerating all 2^(n-1)-1 cuts.
+
+    Exponential — guarded to n <= 20.  Exists so tests can check the
+    spectral and sweep estimators against ground truth.
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    if n > 20:
+        raise GraphError("exact_conductance is exponential; use estimators for n > 20")
+    if n < 2:
+        raise GraphError("need at least two nodes")
+    best = math.inf
+    # Fix nodes[0] on one side to halve the enumeration.
+    rest = nodes[1:]
+    for mask in range(2 ** (n - 1)):
+        side = {nodes[0]}
+        for bit, node in enumerate(rest):
+            if mask >> bit & 1:
+                side.add(node)
+        if len(side) == n:
+            continue
+        try:
+            best = min(best, conductance_of_cut(graph, side))
+        except GraphError:
+            continue  # zero-volume side (isolated nodes)
+    if best is math.inf:
+        raise GraphError("graph has no valid cut (all nodes isolated?)")
+    return best
+
+
+# ----------------------------------------------------------------------
+# Spectral machinery
+# ----------------------------------------------------------------------
+def _transition_matrix(graph: SocialGraph, nodes: Sequence[int]) -> np.ndarray:
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    P = np.zeros((n, n))
+    for u in nodes:
+        deg = graph.degree(u)
+        if deg == 0:
+            P[index[u], index[u]] = 1.0
+            continue
+        for v in graph.neighbors_unsafe(u):
+            P[index[u], index[v]] = 1.0 / deg
+    return P
+
+
+def spectral_gap(graph: SocialGraph) -> float:
+    """1 - lambda_2 of the lazy walk (I + P)/2 — the mixing-rate gap.
+
+    The lazy walk sidesteps periodicity (e.g. bipartite level graphs), so
+    the gap is always in [0, 1] and 0 iff the graph is disconnected.
+    """
+    nodes = graph.nodes()
+    if len(nodes) < 2:
+        raise GraphError("need at least two nodes")
+    P = _transition_matrix(graph, nodes)
+    lazy = 0.5 * (np.eye(len(nodes)) + P)
+    # Symmetrise via the similarity transform D^{1/2} P D^{-1/2} so we can
+    # use the (stable, real) symmetric eigensolver.
+    degrees = np.array([max(graph.degree(u), 1) for u in nodes], dtype=float)
+    d_sqrt = np.sqrt(degrees)
+    sym = lazy * d_sqrt[:, None] / d_sqrt[None, :]
+    sym = 0.5 * (sym + sym.T)  # clean round-off asymmetry
+    eigenvalues = np.linalg.eigvalsh(sym)
+    lambda2 = eigenvalues[-2]
+    return float(1.0 - lambda2)
+
+
+def estimate_conductance_spectral(graph: SocialGraph) -> float:
+    """Cheeger-based point estimate of phi(G).
+
+    With gap g (of the lazy walk; the non-lazy gap is 2g) the Cheeger
+    inequalities give ``g <= phi <= sqrt(8 g)``; we return the geometric
+    mean of the two bounds, which tracks exact conductance well on the
+    level lattices we care about and, crucially, preserves *ordering*
+    between candidate graphs — all the interval selector needs.
+    """
+    gap = max(spectral_gap(graph), 0.0)
+    lower = gap
+    upper = math.sqrt(8.0 * gap)
+    return math.sqrt(lower * upper) if lower > 0 else upper
+
+
+def fiedler_vector(graph: SocialGraph) -> Tuple[List[int], np.ndarray]:
+    """Nodes and the Fiedler (second-smallest Laplacian) eigenvector."""
+    nodes = graph.nodes()
+    n = len(nodes)
+    if n < 2:
+        raise GraphError("need at least two nodes")
+    index = {node: i for i, node in enumerate(nodes)}
+    L = np.zeros((n, n))
+    for u in nodes:
+        L[index[u], index[u]] = graph.degree(u)
+        for v in graph.neighbors_unsafe(u):
+            L[index[u], index[v]] = -1.0
+    eigenvalues, eigenvectors = np.linalg.eigh(L)
+    return nodes, eigenvectors[:, 1]
+
+
+def estimate_conductance_sweep(graph: SocialGraph) -> float:
+    """Best sweep cut along the Fiedler vector — an upper bound on phi(G)."""
+    nodes, vec = fiedler_vector(graph)
+    order = [node for _, node in sorted(zip(vec, nodes), key=lambda pair: pair[0])]
+    best = math.inf
+    side: Set[int] = set()
+    for node in order[:-1]:
+        side.add(node)
+        try:
+            best = min(best, conductance_of_cut(graph, side))
+        except GraphError:
+            continue
+    if best is math.inf:
+        raise GraphError("no valid sweep cut found")
+    return best
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.1 closed forms (paper Eq. 2 and Eq. 3) and Corollary 4.1
+# ----------------------------------------------------------------------
+def theorem41_conductance_without_intra(n: int, h: int, d: float) -> float:
+    """phi(G') of the intra-free level lattice (paper Eq. 3).
+
+    Parameters mirror the theorem: *n* nodes in *h* equal levels, each node
+    wired to *d* random nodes of the adjacent level.  Valid for d < n/h.
+    """
+    _check_lattice_params(n, h)
+    if d <= 0:
+        raise GraphError("d must be positive")
+    per_level = n / h
+    if d <= per_level / 2:
+        return h / (n * d * (h - 1))
+    if d < per_level:
+        return min((2 * h * d - n) / (n * d), 1.0 / (h - 1))
+    raise GraphError(f"Theorem 4.1 requires d < n/h (= {per_level:.1f}), got d={d}")
+
+
+def theorem41_conductance_with_intra(n: int, h: int, d: float, k: float) -> float:
+    """phi(G) of the level lattice with k intra-level edges/node (Eq. 2)."""
+    _check_lattice_params(n, h)
+    if d <= 0 or k < 0:
+        raise GraphError("d must be positive and k non-negative")
+    per_level = n / h
+    half = per_level / 2
+    if d <= half and k <= half:
+        return h / ((k + d) * (h - 1) * n)
+    if d <= half and half < k < per_level:
+        return min((2 * k * h - n) / (k * h + d * n), 2 * d / (2 * d * (h - 1) + h * k))
+    if half < d < per_level and k <= half:
+        return min((2 * d * h - n) / (k * h + d * n), 2 * d / (2 * d * (h - 1) + h * k))
+    if half < d < per_level and half < k < per_level:
+        return min(
+            (k - n / (2 * h)) * (2 * d * h - n) / (k * h + d * n),
+            2 * d / (2 * d * (h - 1) + h * k),
+        )
+    raise GraphError(
+        f"Theorem 4.1 requires d, k < n/h (= {per_level:.1f}), got d={d}, k={k}"
+    )
+
+
+def corollary41_optimal_degree(h: int) -> float:
+    """Conductance-maximising adjacent-level degree d* (Corollary 4.1).
+
+    d* = (2h-1)(2h-2) / (h(2h-9)); tends to 2 as h grows — the paper's
+    "rule of d = 2" for long-propagating keywords.  Undefined (negative /
+    infinite) for h <= 4 where the denominator is non-positive.
+    """
+    if h <= 4:
+        raise GraphError("Corollary 4.1 requires h >= 5 (denominator h(2h-9) > 0)")
+    return (2 * h - 1) * (2 * h - 2) / (h * (2 * h - 9))
+
+
+def horizontal_cut_conductance(n: int, h: int, d: float, k: float = 0.0) -> float:
+    """Conductance of the best horizontal (between-levels) cut.
+
+    From the proof sketch: 1/(h-1) without intra edges, and
+    1/(h - 1 + h*k/(2d)) with k intra-level edges per node.
+    """
+    _check_lattice_params(n, h)
+    if d <= 0 or k < 0:
+        raise GraphError("d must be positive and k non-negative")
+    return 1.0 / (h - 1 + h * k / (2 * d))
+
+
+def _check_lattice_params(n: int, h: int) -> None:
+    if h < 2:
+        raise GraphError("need at least two levels")
+    if n < h:
+        raise GraphError("need at least one node per level")
+    if n % h:
+        raise GraphError("Theorem 4.1 model assumes n divisible by h")

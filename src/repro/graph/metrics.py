@@ -1,0 +1,83 @@
+"""Descriptive graph statistics used by Table 2 and the analysis sections.
+
+Table 2 of the paper contrasts, per keyword, the average number of common
+neighbors across intra-level edges versus other edges (column "Avg #common
+neighbors": e.g. "16, 2" for FiscalCliff) — evidence that intra-level edges
+live inside tightly connected communities.  This module provides those
+statistics plus clustering and degree summaries used in tests and benches.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.social_graph import SocialGraph, triangle_count_at
+
+
+def average_common_neighbors(graph: SocialGraph, edges: Iterable[Tuple[int, int]]) -> float:
+    """Mean |N(u) ∩ N(v)| over the given *edges* (0.0 for an empty list)."""
+    counts = [len(graph.common_neighbors(u, v)) for u, v in edges]
+    return statistics.fmean(counts) if counts else 0.0
+
+
+def local_clustering(graph: SocialGraph, node: int) -> float:
+    """Watts–Strogatz local clustering coefficient of *node*."""
+    degree = graph.degree(node)
+    if degree < 2:
+        return 0.0
+    return 2.0 * triangle_count_at(graph, node) / (degree * (degree - 1))
+
+
+def average_clustering(graph: SocialGraph, nodes: Iterable[int] = None) -> float:
+    """Mean local clustering over *nodes* (default: all nodes)."""
+    targets = list(nodes) if nodes is not None else graph.nodes()
+    if not targets:
+        raise GraphError("no nodes to average over")
+    return statistics.fmean(local_clustering(graph, n) for n in targets)
+
+
+def degree_statistics(graph: SocialGraph) -> Dict[str, float]:
+    """Summary of the degree distribution: min/mean/median/max."""
+    degrees = [graph.degree(n) for n in graph]
+    if not degrees:
+        raise GraphError("empty graph")
+    return {
+        "min": float(min(degrees)),
+        "mean": statistics.fmean(degrees),
+        "median": float(statistics.median(degrees)),
+        "max": float(max(degrees)),
+    }
+
+
+def edge_density(graph: SocialGraph) -> float:
+    """2m / (n(n-1)) — fraction of possible edges present."""
+    n = graph.num_nodes
+    if n < 2:
+        raise GraphError("density undefined for n < 2")
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def partition_modularity(graph: SocialGraph, communities: Sequence[Iterable[int]]) -> float:
+    """Newman modularity Q of a node partition [26 in the paper].
+
+    Q = sum_c [ m_c/m - (vol_c / 2m)^2 ] where m_c counts intra-community
+    edges.  Used by tests to confirm that cascade-induced levels produce the
+    community structure the paper observes.
+    """
+    m = graph.num_edges
+    if m == 0:
+        raise GraphError("modularity undefined for edgeless graph")
+    q = 0.0
+    seen: set = set()
+    for community in communities:
+        members = {n for n in community if n in graph}
+        overlap = members & seen
+        if overlap:
+            raise GraphError(f"communities overlap on {sorted(overlap)[:3]}")
+        seen |= members
+        internal = sum(1 for u, v in graph.edges() if u in members and v in members)
+        volume = graph.volume(members)
+        q += internal / m - (volume / (2.0 * m)) ** 2
+    return q

@@ -1,0 +1,203 @@
+"""A compact undirected graph used as the social graph substrate.
+
+The paper treats all platform relationships (follower/followee, Circles,
+blog follows, co-activity) as a single *undirected* social graph (§3.2):
+for directed relationships, two users are connected if either follows the
+other.  This module implements that abstraction with integer node ids and
+set-based adjacency, which is the access pattern every sampler needs:
+``neighbors(u)``, ``degree(u)`` and membership tests.
+
+The class deliberately exposes a small, explicit API instead of wrapping
+networkx: the simulated platform holds graphs with 10^4–10^5 nodes and the
+walkers touch neighbors billions of times across a benchmark run, so a thin
+dict-of-sets with no per-edge attribute dictionaries keeps both memory and
+lookup overhead low.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.errors import GraphError
+
+
+class SocialGraph:
+    """Undirected simple graph over hashable (typically integer) node ids.
+
+    Self-loops and parallel edges are rejected: neither occurs in a social
+    graph (a user does not follow themself twice) and both would bias
+    degree-proportional samplers.
+    """
+
+    def __init__(self, nodes: Iterable[int] = (), edges: Iterable[Tuple[int, int]] = ()) -> None:
+        self._adj: Dict[int, Set[int]] = {}
+        self._edge_count = 0
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: int) -> None:
+        """Add *node* if absent (idempotent)."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Adding an existing edge is a no-op; a self-loop raises
+        :class:`GraphError`.
+        """
+        if u == v:
+            raise GraphError(f"self-loop rejected: {u}")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._edge_count += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the edge ``{u, v}``; raises :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge not present: {u}-{v}")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._edge_count -= 1
+
+    def remove_node(self, node: int) -> None:
+        """Remove *node* and all incident edges."""
+        if node not in self._adj:
+            raise GraphError(f"node not present: {node}")
+        for neighbor in self._adj[node]:
+            self._adj[neighbor].discard(node)
+        self._edge_count -= len(self._adj[node])
+        del self._adj[node]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: int) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def nodes(self) -> List[int]:
+        """All node ids (unordered snapshot list)."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate each undirected edge exactly once, as ``(min, max)``."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """Neighbor set of *node* (frozen view copy)."""
+        try:
+            return frozenset(self._adj[node])
+        except KeyError:
+            raise GraphError(f"node not present: {node}") from None
+
+    def neighbors_unsafe(self, node: int) -> Set[int]:
+        """Direct reference to the internal neighbor set (do not mutate).
+
+        Hot path for random walks; skips the defensive copy of
+        :meth:`neighbors`.
+        """
+        return self._adj[node]
+
+    def degree(self, node: int) -> int:
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise GraphError(f"node not present: {node}") from None
+
+    def common_neighbors(self, u: int, v: int) -> Set[int]:
+        """Nodes adjacent to both *u* and *v*."""
+        a, b = self._adj.get(u, set()), self._adj.get(v, set())
+        if len(a) > len(b):
+            a, b = b, a
+        return {w for w in a if w in b}
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def subgraph(self, keep: Iterable[int]) -> "SocialGraph":
+        """Induced subgraph on the nodes in *keep* (unknown ids ignored)."""
+        keep_set = {n for n in keep if n in self._adj}
+        sub = SocialGraph(nodes=keep_set)
+        for u in keep_set:
+            for v in self._adj[u]:
+                if v in keep_set and u < v:
+                    sub.add_edge(u, v)
+        return sub
+
+    def copy(self) -> "SocialGraph":
+        clone = SocialGraph()
+        clone._adj = {u: set(nbrs) for u, nbrs in self._adj.items()}
+        clone._edge_count = self._edge_count
+        return clone
+
+    def degree_sequence(self) -> List[int]:
+        """Degrees of all nodes, descending."""
+        return sorted((len(nbrs) for nbrs in self._adj.values()), reverse=True)
+
+    def volume(self, nodes: Iterable[int]) -> int:
+        """Sum of degrees over *nodes* (the ``a(S)`` of Eq. 1 in the paper)."""
+        return sum(len(self._adj[n]) for n in nodes if n in self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SocialGraph(n={self.num_nodes}, m={self.num_edges})"
+
+
+def union_of_edges(graphs: Iterable[SocialGraph]) -> SocialGraph:
+    """Union of several graphs' node and edge sets (convenience helper)."""
+    merged = SocialGraph()
+    for graph in graphs:
+        for node in graph:
+            merged.add_node(node)
+        for u, v in graph.edges():
+            merged.add_edge(u, v)
+    return merged
+
+
+def edge_boundary(graph: SocialGraph, inside: Set[int]) -> Iterator[Tuple[int, int]]:
+    """Edges with exactly one endpoint in *inside* (cut edges)."""
+    for u in inside:
+        if u not in graph:
+            continue
+        for v in graph.neighbors_unsafe(u):
+            if v not in inside:
+                yield (u, v)
+
+
+def triangle_count_at(graph: SocialGraph, node: int) -> int:
+    """Number of triangles through *node* (for clustering metrics)."""
+    nbrs = list(graph.neighbors_unsafe(node))
+    count = 0
+    for i, u in enumerate(nbrs):
+        u_nbrs = graph.neighbors_unsafe(u)
+        for v in itertools.islice(nbrs, i + 1, None):
+            if v in u_nbrs:
+                count += 1
+    return count

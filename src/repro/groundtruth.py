@@ -1,0 +1,67 @@
+"""Exact ground-truth aggregates from the authoritative store.
+
+The paper evaluates its estimators against a Streaming-API-derived
+ground-truth corpus (§3.2, §6.1).  With a simulated platform we can do
+strictly better: compute the aggregate exactly over the full store.  Every
+benchmark's relative error is measured against these values.
+
+Ground truth sees *true* profile attributes (including gender on platforms
+whose API hides it) — it plays the role of the omniscient evaluator, not
+of an estimator.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.query import Aggregate, AggregateQuery, UserView
+from repro.errors import EstimationError
+from repro.platform.store import MicroblogStore
+
+
+def user_view_from_store(store: MicroblogStore, user_id: int, query: AggregateQuery) -> UserView:
+    """Omniscient :class:`UserView` of *user_id* for *query*."""
+    profile = store.profile(user_id)
+    matching = query.filter_matching_posts(store.timeline(user_id))
+    return UserView(
+        user_id=user_id,
+        display_name=profile.display_name,
+        followers=profile.followers,
+        gender=profile.gender,
+        age=profile.age,
+        matching_posts=matching,
+    )
+
+
+def matching_users(store: MicroblogStore, query: AggregateQuery) -> List[UserView]:
+    """Views of every user satisfying the query condition."""
+    views = []
+    for user_id in store.users_mentioning(query.keyword, query.window_start, query.window_end):
+        view = user_view_from_store(store, user_id, query)
+        if query.matches(view):
+            views.append(view)
+    return views
+
+
+def exact_value(store: MicroblogStore, query: AggregateQuery) -> float:
+    """The true answer to *query* over the complete platform data.
+
+    Raises :class:`EstimationError` for an AVG over an empty population
+    (undefined); COUNT and SUM of an empty population are 0.
+    """
+    views = matching_users(store, query)
+    if query.aggregate is Aggregate.COUNT:
+        return float(len(views))
+    values = [query.value(view) for view in views]
+    if query.aggregate is Aggregate.SUM:
+        return float(sum(values))
+    if not values:
+        raise EstimationError(f"AVG undefined: no users match {query.describe()}")
+    return sum(values) / len(values)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / |truth| — the paper's accuracy measure (§2)."""
+    if truth == 0:
+        raise EstimationError("relative error undefined for zero ground truth")
+    return abs(estimate - truth) / abs(truth)

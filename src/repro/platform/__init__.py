@@ -1,0 +1,41 @@
+"""Simulated microblogging platform.
+
+This subpackage is the substitute for the live 2013 Twitter/Google+/Tumblr
+platforms the paper experiments on (see DESIGN.md §2).  It produces a full
+synthetic platform — social graph, user profiles, timelines, and keyword
+cascades with realistic adoption-time structure — that the :mod:`repro.api`
+layer then exposes through the same limited, rate-metered interface the
+paper's MICROBLOG-ANALYZER has to work with.
+"""
+
+from repro.platform.clock import SimulatedClock, DAY, HOUR, MINUTE, WEEK
+from repro.platform.users import UserProfile, Gender
+from repro.platform.posts import Post
+from repro.platform.store import MicroblogStore
+from repro.platform.cascade import CascadeParams, run_cascade
+from repro.platform.workload import KeywordSpec, standard_keywords
+from repro.platform.profiles import PlatformProfile, TWITTER, GOOGLE_PLUS, TUMBLR
+from repro.platform.simulator import PlatformConfig, SimulatedPlatform, build_platform
+
+__all__ = [
+    "SimulatedClock",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "UserProfile",
+    "Gender",
+    "Post",
+    "MicroblogStore",
+    "CascadeParams",
+    "run_cascade",
+    "KeywordSpec",
+    "standard_keywords",
+    "PlatformProfile",
+    "TWITTER",
+    "GOOGLE_PLUS",
+    "TUMBLR",
+    "PlatformConfig",
+    "SimulatedPlatform",
+    "build_platform",
+]

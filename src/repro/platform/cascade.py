@@ -1,0 +1,259 @@
+"""Keyword propagation over the social graph.
+
+The level-by-level subgraph exists because keyword adoption times are not
+arbitrary: keywords *propagate along edges*, and followers respond fast —
+the paper cites Sysomos [3]: "92% of retweets produced by followers of a
+user occur within 1 hour of the original tweet" (§4.2.1).  That statistic
+is precisely what creates intra-level edges inside tightly connected
+communities.
+
+We model this as an independent-cascade process with two ingredients:
+
+* **exogenous seeding** — users start mentioning the keyword at a rate
+  given by the keyword's :class:`~repro.platform.workload.KeywordSpec`
+  intensity (news-driven adoption, independent of the graph);
+* **endogenous spread** — when a user first mentions the keyword at time
+  ``t``, each not-yet-adopted neighbor independently adopts with the
+  keyword's adoption probability, after a response delay drawn from a
+  two-component mixture: with probability ``fast_fraction`` (default 0.92)
+  an exponential with mean ~22 minutes (so almost all fast responses land
+  within the hour), otherwise a heavy slow tail with mean ~2 days.
+
+Adopters also post follow-up mentions after their first one, which keeps
+the search API's recency window populated and makes SUM(posts) differ from
+COUNT(users).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro._rng import RandomLike, ensure_rng
+from repro.errors import PlatformError
+from repro.platform.clock import DAY, HOUR, MINUTE
+from repro.platform.posts import Post, make_keywords
+from repro.platform.store import MicroblogStore
+from repro.platform.workload import KeywordSpec
+
+
+DELAY_MODELS = ("lognormal", "mixture")
+
+
+@dataclass(frozen=True)
+class CascadeParams:
+    """Tunable propagation constants (defaults calibrated per DESIGN.md §2).
+
+    Two response-delay models are provided:
+
+    * ``"lognormal"`` (default) — delay to a neighbor's own first mention
+      is lognormal with the given median and sigma.  Calibrated so the
+      Table 2 edge taxonomy comes out right: co-mention gaps of hours to
+      a few days, i.e. mostly intra-/adjacent-level edges at day-scale
+      bucket widths.
+    * ``"mixture"`` — the retweet-latency mixture: with ``fast_fraction``
+      an exponential of mean ``fast_delay_mean`` (the paper's "92% of
+      retweet responses within 1 hour" [3]), else a slow exponential.
+      Retweets are faster than composing one's own first mention, so this
+      variant produces starkly bimodal level gaps; it is kept for
+      sensitivity studies.
+    """
+
+    delay_model: str = "lognormal"
+    delay_median: float = 14 * HOUR
+    delay_sigma: float = 1.4
+    fast_fraction: float = 0.92
+    fast_delay_mean: float = 22 * MINUTE
+    slow_delay_mean: float = 2 * DAY
+    extra_mentions_mean: float = 2.5
+    extra_mention_gap_mean: float = 50 * DAY
+    """Adopters keep mentioning the keyword long after their first post
+    (follow-up count and spacing).  This sustained chatter is what keeps
+    a keyword searchable: the paper's seed users are *anyone* who posted
+    the keyword within the search window, not only brand-new adopters, so
+    the seed set spans many levels."""
+    post_length_range: Tuple[int, int] = (40, 140)
+    likes_pareto_alpha: float = 1.6
+    exposure_cap: int = 25
+    """At most this many (random) neighbors notice a new adopter's post.
+
+    Attention is finite: a celebrity's mention does not expose all 500k
+    followers.  Without this cap the heavy-tailed degree distribution
+    makes every cascade supercritical and keywords saturate the platform,
+    destroying the 'small matching fraction' regime the paper targets."""
+    weak_tie_common_neighbors: int = 2
+    weak_tie_multiplier: float = 0.015
+    """Edges whose endpoints share fewer than ``weak_tie_common_neighbors``
+    common neighbors transmit with probability scaled by this multiplier.
+
+    Granovetter-style weak ties: influence flows readily inside a tight
+    community and only occasionally across bridges.  This is what confines
+    each keyword wave to the communities it reaches (saturating them) and
+    keeps edges between different waves — cross-level edges — rare, as in
+    Table 2."""
+    max_adopters: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.delay_model not in DELAY_MODELS:
+            raise PlatformError(f"delay_model must be one of {DELAY_MODELS}")
+        if self.delay_median <= 0 or self.delay_sigma <= 0:
+            raise PlatformError("lognormal delay parameters must be positive")
+        if not 0.0 <= self.fast_fraction <= 1.0:
+            raise PlatformError("fast_fraction must be in [0, 1]")
+        if self.fast_delay_mean <= 0 or self.slow_delay_mean <= 0:
+            raise PlatformError("delay means must be positive")
+        if self.extra_mentions_mean < 0 or self.extra_mention_gap_mean <= 0:
+            raise PlatformError("extra-mention parameters out of range")
+        if self.exposure_cap < 1:
+            raise PlatformError("exposure_cap must be >= 1")
+        if self.weak_tie_common_neighbors < 0 or not 0.0 <= self.weak_tie_multiplier <= 1.0:
+            raise PlatformError("weak-tie parameters out of range")
+
+
+@dataclass
+class CascadeResult:
+    """Outcome of one keyword cascade."""
+
+    keyword: str
+    adoption_times: Dict[int, float]
+    total_posts: int
+
+    @property
+    def num_adopters(self) -> int:
+        return len(self.adoption_times)
+
+
+def sample_response_delay(params: CascadeParams, rng) -> float:
+    """One follower response delay per the configured delay model."""
+    if params.delay_model == "lognormal":
+        return rng.lognormvariate(math.log(params.delay_median), params.delay_sigma)
+    if rng.random() < params.fast_fraction:
+        return rng.expovariate(1.0 / params.fast_delay_mean)
+    return rng.expovariate(1.0 / params.slow_delay_mean)
+
+
+def _poisson(rng, mean: float) -> int:
+    """Poisson sample via inversion (means here are small, < ~100/day)."""
+    if mean <= 0:
+        return 0
+    # Split large means to avoid floating-point underflow of exp(-mean).
+    if mean > 30:
+        half = _poisson(rng, mean / 2.0)
+        return half + _poisson(rng, mean - mean / 2.0)
+    threshold = math.exp(-mean)
+    count, product = 0, rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def _make_mention_post(
+    store: MicroblogStore,
+    user_id: int,
+    timestamp: float,
+    keyword: str,
+    params: CascadeParams,
+    rng,
+) -> Post:
+    low, high = params.post_length_range
+    return Post(
+        post_id=store.new_post_id(),
+        user_id=user_id,
+        timestamp=timestamp,
+        keywords=make_keywords(keyword),
+        length=rng.randint(low, high),
+        likes=min(int(rng.paretovariate(params.likes_pareto_alpha)), 10_000) - 1,
+    )
+
+
+def run_cascade(
+    store: MicroblogStore,
+    spec: KeywordSpec,
+    horizon: float,
+    params: Optional[CascadeParams] = None,
+    seed: RandomLike = None,
+    intensity_scale: float = 1.0,
+) -> CascadeResult:
+    """Simulate *spec*'s keyword over ``[0, horizon)`` and write posts.
+
+    ``intensity_scale`` multiplies the spec's exogenous rate; the platform
+    builder passes ``num_users / 10_000`` so keyword populations stay a
+    fixed *fraction* of the platform regardless of its size (intensities
+    in :mod:`repro.platform.workload` are calibrated per 10k users).
+
+    Returns the adoption-time map — the ground truth from which the
+    level-by-level structure derives.  Deterministic given *seed*.
+    """
+    params = params or CascadeParams()
+    if intensity_scale <= 0:
+        raise PlatformError("intensity_scale must be positive")
+    rng = ensure_rng(seed)
+    users = store.user_ids()
+    if not users:
+        raise PlatformError("store has no users")
+
+    # Exogenous seed events, day by day.
+    events: List[Tuple[float, int]] = []
+    day_start = 0.0
+    while day_start < horizon:
+        rate = intensity_scale * spec.intensity(day_start + DAY / 2)
+        for _ in range(_poisson(rng, rate)):
+            timestamp = day_start + rng.random() * min(DAY, horizon - day_start)
+            events.append((timestamp, rng.choice(users)))
+        day_start += DAY
+    heapq.heapify(events)
+
+    adoption_times: Dict[int, float] = {}
+    total_posts = 0
+    while events:
+        timestamp, user_id = heapq.heappop(events)
+        if timestamp >= horizon or user_id in adoption_times:
+            continue
+        if params.max_adopters is not None and len(adoption_times) >= params.max_adopters:
+            break
+        adoption_times[user_id] = timestamp
+        total_posts += _emit_mentions(store, user_id, timestamp, spec.keyword, horizon, params, rng)
+        neighbors = store.graph.neighbors_unsafe(user_id)
+        if len(neighbors) > params.exposure_cap:
+            exposed = rng.sample(list(neighbors), params.exposure_cap)
+        else:
+            exposed = list(neighbors)
+        for neighbor in exposed:
+            if neighbor in adoption_times:
+                continue
+            probability = spec.adoption_probability
+            if (
+                params.weak_tie_common_neighbors > 0
+                and len(store.graph.common_neighbors(user_id, neighbor))
+                < params.weak_tie_common_neighbors
+            ):
+                probability *= params.weak_tie_multiplier
+            if rng.random() < probability:
+                delay = sample_response_delay(params, rng)
+                heapq.heappush(events, (timestamp + delay, neighbor))
+
+    return CascadeResult(spec.keyword, adoption_times, total_posts)
+
+
+def _emit_mentions(
+    store: MicroblogStore,
+    user_id: int,
+    adoption_time: float,
+    keyword: str,
+    horizon: float,
+    params: CascadeParams,
+    rng,
+) -> int:
+    """First mention plus geometric follow-ups; returns posts written."""
+    store.add_post(_make_mention_post(store, user_id, adoption_time, keyword, params, rng))
+    posted = 1
+    for _ in range(_poisson(rng, params.extra_mentions_mean)):
+        gap = rng.expovariate(1.0 / params.extra_mention_gap_mean)
+        timestamp = adoption_time + gap
+        if timestamp < horizon:
+            store.add_post(_make_mention_post(store, user_id, timestamp, keyword, params, rng))
+            posted += 1
+    return posted

@@ -1,0 +1,51 @@
+"""Simulated wall clock.
+
+All platform timestamps are seconds since the simulation epoch (we treat
+epoch 0 as 2013-01-01T00:00:00, matching the paper's ground-truth window of
+Jan 1 – Oct 31, 2013).  The clock only moves when something advances it —
+rate limiters "sleep" by advancing it — so experiments are deterministic
+and run at CPU speed regardless of the simulated rate limits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlatformError
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+MONTH = 30 * DAY
+
+
+class SimulatedClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds since epoch."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by *seconds* (must be non-negative)."""
+        if seconds < 0:
+            raise PlatformError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def sleep_until(self, timestamp: float) -> float:
+        """Advance to *timestamp* if it is in the future; no-op otherwise."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+
+def format_timestamp(timestamp: float) -> str:
+    """Human-readable ``day HH:MM`` rendering of a simulated timestamp."""
+    day, rem = divmod(timestamp, DAY)
+    hour, rem = divmod(rem, HOUR)
+    minute = rem // MINUTE
+    return f"day {int(day):3d} {int(hour):02d}:{int(minute):02d}"

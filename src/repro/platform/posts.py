@@ -1,0 +1,37 @@
+"""Micro-posts.
+
+A post records only what the estimators consume: author, timestamp, the
+keywords it mentions, its text length, and a like count (the Tumblr
+measure of Figure 14).  Full text bodies would only burn memory — every
+query in the paper is keyword-conditioned, never full-text-scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+@dataclass(frozen=True)
+class Post:
+    """One immutable micro-post."""
+
+    post_id: int
+    user_id: int
+    timestamp: float
+    keywords: FrozenSet[str] = frozenset()
+    length: int = 0
+    likes: int = 0
+
+    def mentions(self, keyword: str) -> bool:
+        """True when the post contains *keyword* (case-insensitive)."""
+        return keyword.lower() in self.keywords
+
+    def in_window(self, start: float, end: float) -> bool:
+        """True when ``start <= timestamp < end``."""
+        return start <= self.timestamp < end
+
+
+def make_keywords(*words: str) -> FrozenSet[str]:
+    """Normalised keyword set for a post (lower-cased, deduplicated)."""
+    return frozenset(word.lower() for word in words)

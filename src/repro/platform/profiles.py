@@ -1,0 +1,125 @@
+"""Platform API profiles: the access limitations of each microblog.
+
+Each :class:`PlatformProfile` captures the interface constraints the paper
+documents (§2, §3.2, §6.1) for the three platforms it evaluates:
+
+* **Twitter** — search API covers only the last week; timelines capped at
+  the most recent 3 200 posts, 200 per call; connections 5 000 per call;
+  180 calls per 15-minute window.
+* **Google+** — Activity search returns 20 results per call (the paper
+  attributes Google+'s much higher absolute query costs to this);
+  courtesy limit of 10 000 queries/day; gender visible on profiles;
+  connections derived from co-activity.
+* **Tumblr** — rich blog APIs but one request per 10 seconds; per-post
+  likes exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PlatformError
+from repro.platform.clock import DAY, MINUTE, WEEK
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """API constraints for one microblogging platform."""
+
+    name: str
+    search_window: float
+    """How far back the search API reaches (seconds)."""
+    search_page_size: int
+    timeline_page_size: int
+    timeline_cap: Optional[int]
+    """Most-recent-N cap on retrievable timeline posts (None = unlimited)."""
+    connections_page_size: int
+    rate_limit_calls: int
+    rate_limit_window: float
+    """Quota: at most ``rate_limit_calls`` API calls per window (seconds)."""
+    search_results_cap: Optional[int] = None
+    """Top-k cap on total search results.  §2: "Other microblogs restrict
+    search to top-k results where k could be in the low thousands."
+    Twitter caps by *time* (the one-week window) instead, so it is None
+    there; set it to model Instagram/Weibo-style interfaces."""
+    exposes_gender: bool = False
+    connections_are_coactivity: bool = False
+    """Google+: 'connected' means co-liked/shared/commented in the last year."""
+
+    def __post_init__(self) -> None:
+        if self.search_window <= 0:
+            raise PlatformError("search_window must be positive")
+        if min(self.search_page_size, self.timeline_page_size, self.connections_page_size) < 1:
+            raise PlatformError("page sizes must be >= 1")
+        if self.timeline_cap is not None and self.timeline_cap < 1:
+            raise PlatformError("timeline_cap must be >= 1 or None")
+        if self.rate_limit_calls < 1 or self.rate_limit_window <= 0:
+            raise PlatformError("rate limit must allow >= 1 call per positive window")
+        if self.search_results_cap is not None and self.search_results_cap < 1:
+            raise PlatformError("search_results_cap must be >= 1 or None")
+
+    def calls_for_items(self, items: int, page_size: int) -> int:
+        """API calls needed to page through *items* results.
+
+        Even an empty result set costs one call — you had to ask.
+        """
+        if items <= 0:
+            return 1
+        return -(-items // page_size)  # ceil division
+
+
+TWITTER = PlatformProfile(
+    name="twitter",
+    search_window=WEEK,
+    search_page_size=100,
+    timeline_page_size=200,
+    timeline_cap=3200,
+    connections_page_size=5000,
+    rate_limit_calls=180,
+    rate_limit_window=15 * MINUTE,
+    exposes_gender=False,
+)
+
+GOOGLE_PLUS = PlatformProfile(
+    name="google+",
+    search_window=WEEK,
+    search_page_size=20,
+    timeline_page_size=20,
+    timeline_cap=None,
+    connections_page_size=100,
+    rate_limit_calls=10_000,
+    rate_limit_window=DAY,
+    exposes_gender=True,
+    connections_are_coactivity=True,
+)
+
+TUMBLR = PlatformProfile(
+    name="tumblr",
+    search_window=WEEK,
+    search_page_size=50,
+    timeline_page_size=50,
+    timeline_cap=None,
+    connections_page_size=200,
+    rate_limit_calls=1,
+    rate_limit_window=10.0,
+    exposes_gender=False,
+)
+
+REDDIT = PlatformProfile(
+    name="reddit",
+    search_window=WEEK,
+    search_page_size=100,
+    timeline_page_size=100,
+    timeline_cap=1000,
+    connections_page_size=100,
+    rate_limit_calls=1,
+    rate_limit_window=2.0,  # "no more than one request every two seconds" (§2)
+    search_results_cap=1000,
+    exposes_gender=False,
+    connections_are_coactivity=True,  # "comments on same post" (§3.2)
+)
+
+ALL_PROFILES = {
+    profile.name: profile for profile in (TWITTER, GOOGLE_PLUS, TUMBLR, REDDIT)
+}

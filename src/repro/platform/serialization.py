@@ -1,0 +1,184 @@
+"""Save/load simulated platforms to a single ``.npz`` archive.
+
+Building a large platform takes seconds to minutes; benchmarks and CLI
+sessions want to reuse one across processes.  The archive stores columnar
+numpy arrays (edges, profile fields, post fields, adoption times) plus a
+small JSON header — no pickle, so archives are portable and inspectable.
+
+Only simulation *state* is persisted.  Function-valued configuration
+(keyword intensity shapes, cascade parameters) is not — it already did
+its job producing the posts; a loaded platform carries a default
+:class:`PlatformConfig` with the stored scalar fields restored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.errors import PlatformError
+from repro.graph.social_graph import SocialGraph
+from repro.platform.cascade import CascadeResult
+from repro.platform.clock import SimulatedClock
+from repro.platform.posts import Post
+from repro.platform.profiles import ALL_PROFILES
+from repro.platform.simulator import PlatformConfig, SimulatedPlatform
+from repro.platform.store import MicroblogStore
+from repro.platform.users import Gender, UserProfile
+
+PathLike = Union[str, os.PathLike]
+FORMAT_VERSION = 1
+_GENDERS = [Gender.MALE, Gender.FEMALE, Gender.UNDISCLOSED]
+_GENDER_INDEX = {gender: i for i, gender in enumerate(_GENDERS)}
+
+
+def save_platform(platform: SimulatedPlatform, path: PathLike) -> None:
+    """Write *platform* to a ``.npz`` archive at *path*."""
+    store = platform.store
+    user_ids = sorted(store.user_ids())
+    profiles = [store.profile(uid) for uid in user_ids]
+
+    edges = np.array(sorted(platform.graph.edges()), dtype=np.int64).reshape(-1, 2)
+
+    posts: List[Post] = sorted(store.all_posts(), key=lambda p: p.post_id)
+    keyword_list = sorted({kw for post in posts for kw in post.keywords})
+    keyword_index = {kw: i for i, kw in enumerate(keyword_list)}
+    # posts carry 0 or 1 keywords in the simulator; store -1 for none and
+    # a joined index string only if ever needed (multi-keyword posts are
+    # encoded as a semicolon list in an auxiliary ragged column).
+    post_keyword = np.full(len(posts), -1, dtype=np.int64)
+    multi: Dict[int, List[int]] = {}
+    for row, post in enumerate(posts):
+        kws = sorted(post.keywords)
+        if len(kws) == 1:
+            post_keyword[row] = keyword_index[kws[0]]
+        elif len(kws) > 1:
+            multi[row] = [keyword_index[kw] for kw in kws]
+
+    cascade_names = sorted(platform.cascades)
+    cascade_blobs = {}
+    for name in cascade_names:
+        result = platform.cascades[name]
+        items = sorted(result.adoption_times.items())
+        cascade_blobs[f"cascade_users_{name}"] = np.array(
+            [u for u, _ in items], dtype=np.int64
+        )
+        cascade_blobs[f"cascade_times_{name}"] = np.array(
+            [t for _, t in items], dtype=np.float64
+        )
+
+    header = {
+        "format_version": FORMAT_VERSION,
+        "num_users": platform.config.num_users,
+        "horizon_days": platform.config.horizon_days,
+        "seed": platform.config.seed,
+        "profile": platform.profile.name,
+        "now": platform.now,
+        "keywords": keyword_list,
+        "cascades": [
+            {"keyword": name, "total_posts": platform.cascades[name].total_posts}
+            for name in cascade_names
+        ],
+        "multi_keyword_posts": {str(row): kws for row, kws in multi.items()},
+    }
+
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        user_ids=np.array(user_ids, dtype=np.int64),
+        display_names=np.array([p.display_name for p in profiles], dtype=object),
+        genders=np.array([_GENDER_INDEX[p.gender] for p in profiles], dtype=np.int8),
+        ages=np.array([p.age for p in profiles], dtype=np.int16),
+        edges=edges,
+        post_user=np.array([p.user_id for p in posts], dtype=np.int64),
+        post_time=np.array([p.timestamp for p in posts], dtype=np.float64),
+        post_length=np.array([p.length for p in posts], dtype=np.int32),
+        post_likes=np.array([p.likes for p in posts], dtype=np.int32),
+        post_keyword=post_keyword,
+        **cascade_blobs,
+    )
+
+
+def load_platform(path: PathLike) -> SimulatedPlatform:
+    """Load a platform previously written by :func:`save_platform`."""
+    with np.load(path, allow_pickle=True) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        if header.get("format_version") != FORMAT_VERSION:
+            raise PlatformError(
+                f"unsupported platform archive version {header.get('format_version')}"
+            )
+        profile = ALL_PROFILES.get(header["profile"])
+        if profile is None:
+            raise PlatformError(f"unknown platform profile {header['profile']!r}")
+
+        graph = SocialGraph(nodes=(int(u) for u in archive["user_ids"]))
+        for u, v in archive["edges"]:
+            graph.add_edge(int(u), int(v))
+
+        store = MicroblogStore(graph)
+        genders = archive["genders"]
+        ages = archive["ages"]
+        names = archive["display_names"]
+        for index, user_id in enumerate(archive["user_ids"]):
+            store.add_user(
+                UserProfile(
+                    user_id=int(user_id),
+                    display_name=str(names[index]),
+                    gender=_GENDERS[int(genders[index])],
+                    age=int(ages[index]),
+                )
+            )
+        store.refresh_follower_counts()
+
+        keywords = header["keywords"]
+        multi = {int(k): v for k, v in header["multi_keyword_posts"].items()}
+        post_user = archive["post_user"]
+        post_time = archive["post_time"]
+        post_length = archive["post_length"]
+        post_likes = archive["post_likes"]
+        post_keyword = archive["post_keyword"]
+        for row in range(len(post_user)):
+            if row in multi:
+                kws = frozenset(keywords[i] for i in multi[row])
+            elif post_keyword[row] >= 0:
+                kws = frozenset({keywords[int(post_keyword[row])]})
+            else:
+                kws = frozenset()
+            store.add_post(
+                Post(
+                    post_id=store.new_post_id(),
+                    user_id=int(post_user[row]),
+                    timestamp=float(post_time[row]),
+                    keywords=kws,
+                    length=int(post_length[row]),
+                    likes=int(post_likes[row]),
+                )
+            )
+
+        cascades = {}
+        for entry in header["cascades"]:
+            name = entry["keyword"]
+            users = archive[f"cascade_users_{name}"]
+            times = archive[f"cascade_times_{name}"]
+            cascades[name] = CascadeResult(
+                keyword=name,
+                adoption_times={int(u): float(t) for u, t in zip(users, times)},
+                total_posts=int(entry["total_posts"]),
+            )
+
+        config = PlatformConfig(
+            num_users=int(header["num_users"]),
+            horizon_days=float(header["horizon_days"]),
+            keywords=(),
+            profile=profile,
+            seed=int(header["seed"]),
+        )
+        return SimulatedPlatform(
+            config=config,
+            store=store,
+            clock=SimulatedClock(float(header["now"])),
+            cascades=cascades,
+        )

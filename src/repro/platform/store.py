@@ -1,0 +1,160 @@
+"""The platform's complete data store.
+
+This is the "firehose view" only the platform operator has.  The
+:mod:`repro.api` layer exposes restricted, paginated, rate-limited slices of
+it; :mod:`repro.groundtruth` computes exact aggregates from it.  Keeping the
+store authoritative and the API restrictive is what lets us measure true
+relative error for every estimator, exactly as the paper does with its
+Streaming-API ground-truth corpus (§3.2, §6.1).
+
+Indexes maintained:
+
+* per-user timelines, kept sorted by timestamp (newest last);
+* per-keyword posting log ``[(timestamp, user_id, post_id), ...]`` sorted by
+  time — powers both the simulated search API and ground truth;
+* per-keyword first-mention time per user — the quantity that defines the
+  paper's level-by-level structure (§4.2.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PlatformError
+from repro.graph.social_graph import SocialGraph
+from repro.platform.posts import Post
+from repro.platform.users import UserProfile
+
+
+class MicroblogStore:
+    """Authoritative container of users, posts and the social graph."""
+
+    def __init__(self, graph: Optional[SocialGraph] = None) -> None:
+        self.graph = graph if graph is not None else SocialGraph()
+        self._profiles: Dict[int, UserProfile] = {}
+        self._timelines: Dict[int, List[Post]] = {}
+        self._keyword_log: Dict[str, List[Tuple[float, int, int]]] = {}
+        self._first_mention: Dict[str, Dict[int, float]] = {}
+        self._next_post_id = 0
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add_user(self, profile: UserProfile) -> None:
+        if profile.user_id in self._profiles:
+            raise PlatformError(f"duplicate user id {profile.user_id}")
+        self._profiles[profile.user_id] = profile
+        self._timelines[profile.user_id] = []
+        self.graph.add_node(profile.user_id)
+
+    def new_post_id(self) -> int:
+        post_id = self._next_post_id
+        self._next_post_id += 1
+        return post_id
+
+    def add_post(self, post: Post) -> None:
+        """Insert *post*, maintaining all indexes.
+
+        Posts may arrive out of timestamp order (cascades interleave), so
+        the timeline insert is a bisect, not an append.
+        """
+        if post.user_id not in self._profiles:
+            raise PlatformError(f"post by unknown user {post.user_id}")
+        timeline = self._timelines[post.user_id]
+        bisect.insort(timeline, post, key=lambda p: p.timestamp)
+        for keyword in post.keywords:
+            log = self._keyword_log.setdefault(keyword, [])
+            bisect.insort(log, (post.timestamp, post.user_id, post.post_id))
+            mentions = self._first_mention.setdefault(keyword, {})
+            previous = mentions.get(post.user_id)
+            if previous is None or post.timestamp < previous:
+                mentions[post.user_id] = post.timestamp
+
+    # ------------------------------------------------------------------
+    # users
+    # ------------------------------------------------------------------
+    def profile(self, user_id: int) -> UserProfile:
+        try:
+            return self._profiles[user_id]
+        except KeyError:
+            raise PlatformError(f"unknown user {user_id}") from None
+
+    def has_user(self, user_id: int) -> bool:
+        return user_id in self._profiles
+
+    def user_ids(self) -> List[int]:
+        return list(self._profiles)
+
+    @property
+    def num_users(self) -> int:
+        return len(self._profiles)
+
+    @property
+    def num_posts(self) -> int:
+        return self._next_post_id
+
+    # ------------------------------------------------------------------
+    # timelines and keyword access
+    # ------------------------------------------------------------------
+    def timeline(self, user_id: int) -> List[Post]:
+        """Full timeline of *user_id*, oldest first."""
+        try:
+            return list(self._timelines[user_id])
+        except KeyError:
+            raise PlatformError(f"unknown user {user_id}") from None
+
+    def timeline_length(self, user_id: int) -> int:
+        try:
+            return len(self._timelines[user_id])
+        except KeyError:
+            raise PlatformError(f"unknown user {user_id}") from None
+
+    def keywords(self) -> List[str]:
+        return list(self._keyword_log)
+
+    def keyword_posts(
+        self, keyword: str, start: float = float("-inf"), end: float = float("inf")
+    ) -> Iterator[Tuple[float, int, int]]:
+        """All ``(timestamp, user_id, post_id)`` mentions of *keyword* in
+        ``[start, end)``, oldest first."""
+        log = self._keyword_log.get(keyword.lower(), [])
+        lo = bisect.bisect_left(log, (start,))
+        for entry in log[lo:]:
+            if entry[0] >= end:
+                break
+            yield entry
+
+    def users_mentioning(
+        self, keyword: str, start: float = float("-inf"), end: float = float("inf")
+    ) -> List[int]:
+        """Distinct users with >= 1 mention of *keyword* in ``[start, end)``."""
+        seen: Dict[int, None] = {}
+        for _, user_id, _ in self.keyword_posts(keyword, start, end):
+            seen.setdefault(user_id)
+        return list(seen)
+
+    def first_mention_time(self, keyword: str, user_id: int) -> Optional[float]:
+        """When *user_id* first posted *keyword*, or None if never."""
+        return self._first_mention.get(keyword.lower(), {}).get(user_id)
+
+    def first_mention_times(self, keyword: str) -> Dict[int, float]:
+        """Copy of the full first-mention map for *keyword*."""
+        return dict(self._first_mention.get(keyword.lower(), {}))
+
+    def all_posts(self) -> Iterator[Post]:
+        """Every post on the platform (firehose order: per-user, by time)."""
+        for timeline in self._timelines.values():
+            yield from timeline
+
+    # ------------------------------------------------------------------
+    # derived maintenance
+    # ------------------------------------------------------------------
+    def refresh_follower_counts(self) -> None:
+        """Copy graph degrees into ``profile.followers``.
+
+        Call once after graph construction so the profile metadata agrees
+        with the connections API, as it would on a real platform.
+        """
+        for user_id, profile in self._profiles.items():
+            profile.followers = self.graph.degree(user_id)

@@ -1,0 +1,74 @@
+"""User identities and profile attributes.
+
+The paper's aggregate measures are functions of a user's profile and
+timeline: number of followers (Figures 2, 8, 9), display-name length
+(Figures 11, 12), gender as a predicate (Figure 13), and per-post likes
+(Figure 14).  Profiles carry all of these; the platform profile decides
+which fields the *API* exposes (e.g. gender is "generally missing from
+Twitter profiles" — §6.2 — but present on Google+).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro._rng import RandomLike, ensure_rng
+
+# Name fragments for synthetic display names.  Lengths span 4–20+ chars so
+# AVG(display-name length) has the low variance the paper exploits in Fig. 11.
+_FIRST = (
+    "alex", "sam", "jo", "chris", "pat", "taylor", "jordan", "casey",
+    "morgan", "riley", "avery", "quinn", "dana", "jamie", "lee", "max",
+)
+_LAST = (
+    "smith", "johnson", "lee", "garcia", "chen", "patel", "kim", "nguyen",
+    "brown", "davis", "martinez", "wilson", "anderson", "thomas", "moore",
+)
+
+
+class Gender(enum.Enum):
+    """Profile gender attribute (used by the Figure 13 predicate)."""
+
+    MALE = "male"
+    FEMALE = "female"
+    UNDISCLOSED = "undisclosed"
+
+
+@dataclass
+class UserProfile:
+    """All true attributes of one platform user.
+
+    ``followers`` is the user's total connection count in the undirected
+    social graph — the measure behind AVG(#followers).  It is stored on the
+    profile (as real platforms do) so a timeline fetch reveals it without
+    paging through the connections API.
+    """
+
+    user_id: int
+    display_name: str
+    gender: Gender
+    age: int
+    followers: int = 0
+
+    @property
+    def display_name_length(self) -> int:
+        return len(self.display_name)
+
+
+def generate_profile(user_id: int, seed: RandomLike = None) -> UserProfile:
+    """Random plausible profile for *user_id* (followers filled in later)."""
+    rng = ensure_rng(seed)
+    style = rng.random()
+    if style < 0.4:
+        name = rng.choice(_FIRST)
+    elif style < 0.8:
+        name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+    else:
+        name = f"{rng.choice(_FIRST)}_{rng.choice(_LAST)}{rng.randrange(100)}"
+    gender = rng.choices(
+        (Gender.MALE, Gender.FEMALE, Gender.UNDISCLOSED),
+        weights=(0.46, 0.44, 0.10),
+    )[0]
+    age = int(min(80, max(13, rng.gauss(29, 11))))
+    return UserProfile(user_id=user_id, display_name=name, gender=gender, age=age)

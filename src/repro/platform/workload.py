@@ -1,0 +1,187 @@
+"""Keyword workload shapes.
+
+Figure 7 of the paper plots the ground-truth frequency over time of three
+keyword archetypes:
+
+* ``privacy`` — "a relatively low frequency term with occasional spikes";
+* ``new york`` — "a perpetually popular and high frequency keyword";
+* ``boston`` — "medium frequency but a singular spike on Apr 15, 2013"
+  (the Marathon bombing).
+
+A :class:`KeywordSpec` captures one keyword's *exogenous seeding intensity*
+over the simulation horizon — how often users start talking about it for
+reasons outside the social graph (news, TV, ...).  The cascade model
+(:mod:`repro.platform.cascade`) then adds the endogenous, edge-correlated
+spread.  :func:`standard_keywords` also covers the seven Table 2/Table 3
+keywords with plausible shape assignments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import PlatformError
+from repro.platform.clock import DAY
+
+IntensityFn = Callable[[float], float]
+"""Maps a simulated timestamp to an exogenous seeding rate (seeds/day)."""
+
+
+@dataclass(frozen=True)
+class KeywordSpec:
+    """One keyword's exogenous arrival process.
+
+    ``intensity(t)`` is in expected new exogenous adopters per day at time
+    *t*; ``adoption_probability`` scales how virally the keyword spreads
+    along edges once seeded (see :class:`~repro.platform.cascade.CascadeParams`).
+    """
+
+    keyword: str
+    intensity: IntensityFn
+    adoption_probability: float = 0.30
+
+    def expected_seeds(self, horizon: float, step: float = DAY) -> float:
+        """Riemann approximation of total exogenous seeds over the horizon."""
+        total = 0.0
+        t = 0.0
+        while t < horizon:
+            total += self.intensity(t) * (min(t + step, horizon) - t) / DAY
+            t += step
+        return total
+
+
+# ----------------------------------------------------------------------
+# intensity shape constructors
+# ----------------------------------------------------------------------
+def constant_intensity(rate_per_day: float) -> IntensityFn:
+    """Flat exogenous rate — the "perpetually popular" shape (new york)."""
+    if rate_per_day < 0:
+        raise PlatformError("rate must be non-negative")
+    return lambda t: rate_per_day
+
+
+def spiky_intensity(
+    base_per_day: float, spikes: Sequence[tuple], spike_width_days: float = 3.0
+) -> IntensityFn:
+    """Low base rate plus Gaussian bumps: ``spikes = [(day, height), ...]``.
+
+    The "privacy" shape — quiet with occasional news-driven bursts (the
+    paper's example is the Snowden disclosures).
+    """
+    if base_per_day < 0 or spike_width_days <= 0:
+        raise PlatformError("base rate must be >= 0 and spike width > 0")
+    centers = [(day * DAY, height) for day, height in spikes]
+    width = spike_width_days * DAY
+
+    def intensity(t: float) -> float:
+        rate = base_per_day
+        for center, height in centers:
+            rate += height * math.exp(-0.5 * ((t - center) / width) ** 2)
+        return rate
+
+    return intensity
+
+
+def event_intensity(
+    base_per_day: float, event_day: float, peak_per_day: float, decay_days: float = 5.0
+) -> IntensityFn:
+    """Medium base with one sharp event followed by exponential decay.
+
+    The "boston" shape: a singular spike (day 104 ≈ Apr 15, 2013 relative
+    to the Jan 1 epoch) that decays over about a week.
+    """
+    if base_per_day < 0 or peak_per_day < 0 or decay_days <= 0:
+        raise PlatformError("rates must be >= 0 and decay > 0")
+    event_t = event_day * DAY
+    decay = decay_days * DAY
+
+    def intensity(t: float) -> float:
+        if t < event_t:
+            return base_per_day
+        return base_per_day + peak_per_day * math.exp(-(t - event_t) / decay)
+
+    return intensity
+
+
+def fading_intensity(
+    initial_per_day: float, half_life_days: float, floor_per_day: float = 0.0
+) -> IntensityFn:
+    """Interest that halves every *half_life_days* — old news (fiscalcliff).
+
+    ``floor_per_day`` keeps a trickle of residual chatter so the keyword
+    never vanishes from the search API's recency window (a keyword with
+    zero recent posters cannot seed any walk)."""
+    if initial_per_day < 0 or half_life_days <= 0 or floor_per_day < 0:
+        raise PlatformError("rates must be >= 0 and half-life > 0")
+    half_life = half_life_days * DAY
+    return lambda t: max(initial_per_day * 0.5 ** (t / half_life), floor_per_day)
+
+
+# ----------------------------------------------------------------------
+# standard catalogue
+# ----------------------------------------------------------------------
+def standard_keywords(scale: float = 1.0) -> List[KeywordSpec]:
+    """The keyword catalogue used across benchmarks.
+
+    Includes the paper's three Figure 7 archetypes plus the seven Table 2 /
+    Table 3 keywords.  *scale* multiplies every exogenous rate, letting
+    benchmarks trade population size for runtime without changing shape.
+    """
+    if scale <= 0:
+        raise PlatformError("scale must be positive")
+
+    def scaled(fn: IntensityFn) -> IntensityFn:
+        return lambda t: scale * fn(t)
+
+    # Intensities are calibrated per 10k users over the 304-day horizon so
+    # each keyword's population is a small fraction of the platform —
+    # keyword-conditioned populations being small relative to the platform
+    # is the core difficulty the paper addresses (§1: 0.4% for privacy).
+    # Adoption probabilities are calibrated jointly with the community
+    # graph and weak-tie damping (see CascadeParams): high enough that a
+    # wave saturates the communities it reaches (producing the Table 2
+    # intra/adjacent-heavy edge taxonomy), low enough across weak ties
+    # that the platform never saturates globally.
+    catalogue = [
+        KeywordSpec(
+            "privacy",
+            scaled(spiky_intensity(0.25, spikes=[(60, 1.5), (157, 6.0), (230, 2.0)])),
+            adoption_probability=0.30,
+        ),
+        KeywordSpec("new york", scaled(constant_intensity(2.0)), adoption_probability=0.27),
+        KeywordSpec(
+            "boston",
+            scaled(event_intensity(0.5, event_day=104, peak_per_day=17.0)),
+            adoption_probability=0.33,
+        ),
+        KeywordSpec(
+            "fiscalcliff",
+            scaled(fading_intensity(6.0, half_life_days=25, floor_per_day=0.5)),
+            0.30,
+        ),
+        KeywordSpec(
+            "super bowl",
+            scaled(spiky_intensity(0.4, spikes=[(34, 15.0)], spike_width_days=2.0)),
+            adoption_probability=0.36,
+        ),
+        KeywordSpec(
+            "obamacare",
+            scaled(spiky_intensity(0.75, spikes=[(270, 6.0)])),
+            adoption_probability=0.30,
+        ),
+        KeywordSpec("tunisia", scaled(constant_intensity(0.5)), adoption_probability=0.24),
+        KeywordSpec("simvastatin", scaled(constant_intensity(0.35)), adoption_probability=0.18),
+        KeywordSpec(
+            "oprah winfrey",
+            scaled(spiky_intensity(0.6, spikes=[(15, 3.0), (200, 3.5)])),
+            adoption_probability=0.27,
+        ),
+    ]
+    return catalogue
+
+
+def keyword_catalogue_by_name(scale: float = 1.0) -> Dict[str, KeywordSpec]:
+    """Name -> spec mapping over :func:`standard_keywords`."""
+    return {spec.keyword: spec for spec in standard_keywords(scale)}

@@ -1,0 +1,31 @@
+"""Graph sampling toolkit: walks, diagnostics and classical estimators.
+
+This subpackage contains the prior-work machinery the paper builds on and
+compares against (§4, §5, §7): simple random walks [20], the
+Metropolis–Hastings random walk [12], the mark-and-recapture COUNT
+estimator of Katzir et al. [15], Geweke convergence diagnostics [11], and
+the Hansen–Hurwitz estimator [14].  Everything is written against a plain
+``neighbors(node) -> sequence`` callable, so the same code runs over an
+in-memory :class:`~repro.graph.social_graph.SocialGraph` (tests, theory
+benches) or over the API-backed oracles of :mod:`repro.core.graph_builder`
+(the real estimators).
+"""
+
+from repro.sampling.random_walk import SimpleRandomWalk, WalkSamples, collect_samples
+from repro.sampling.metropolis import MetropolisHastingsWalk
+from repro.sampling.mark_recapture import chapman_estimate, katzir_count
+from repro.sampling.diagnostics import detect_burn_in, geweke_z
+from repro.sampling.estimators import hansen_hurwitz, ratio_average
+
+__all__ = [
+    "SimpleRandomWalk",
+    "WalkSamples",
+    "collect_samples",
+    "MetropolisHastingsWalk",
+    "katzir_count",
+    "chapman_estimate",
+    "geweke_z",
+    "detect_burn_in",
+    "hansen_hurwitz",
+    "ratio_average",
+]

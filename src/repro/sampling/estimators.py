@@ -1,0 +1,62 @@
+"""Classical sampling estimators.
+
+* :func:`hansen_hurwitz` — the unbiased with-replacement estimator of a
+  population total from samples with known selection probabilities
+  (Hansen & Hurwitz 1943, [14] in the paper).  MA-TARW's entire point is
+  that knowing ``p(u)`` makes this applicable to SUM/COUNT (§5.1).
+* :func:`ratio_average` — the standard SRW mean estimator: samples arrive
+  with probability proportional to degree, so AVG(f) is estimated by the
+  self-normalising ratio  sum(f/d) / sum(1/d)  [20].
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import EstimationError
+
+
+def hansen_hurwitz(values: Sequence[float], probabilities: Sequence[float]) -> float:
+    """Unbiased total:  (1/r) * sum_i  v_i / p_i.
+
+    Each draw *i* selected its unit with probability ``p_i`` (with
+    replacement); ``v_i`` is the measure of the selected unit.  Zero or
+    negative probabilities are a caller bug and raise.
+    """
+    if len(values) != len(probabilities):
+        raise EstimationError("values and probabilities must align")
+    if not values:
+        raise EstimationError("no samples")
+    total = 0.0
+    for value, probability in zip(values, probabilities):
+        if probability <= 0:
+            raise EstimationError(f"non-positive selection probability {probability}")
+        total += value / probability
+    return total / len(values)
+
+
+def ratio_average(values: Sequence[float], degrees: Sequence[int]) -> float:
+    """Degree-debiased mean:  sum(v/d) / sum(1/d)  over SRW samples."""
+    if len(values) != len(degrees):
+        raise EstimationError("values and degrees must align")
+    if not values:
+        raise EstimationError("no samples")
+    numerator = 0.0
+    denominator = 0.0
+    for value, degree in zip(values, degrees):
+        if degree <= 0:
+            raise EstimationError(f"non-positive degree {degree}")
+        numerator += value / degree
+        denominator += 1.0 / degree
+    if denominator == 0:
+        raise EstimationError("degenerate weights")
+    return numerator / denominator
+
+
+def weighted_fraction(indicator: Sequence[float], degrees: Sequence[int]) -> float:
+    """Degree-debiased fraction of samples with ``indicator != 0``.
+
+    A special case of :func:`ratio_average` for {0,1} measures, used for
+    predicate-conditioned COUNTs (e.g. Figure 13's "male users").
+    """
+    return ratio_average([1.0 if flag else 0.0 for flag in indicator], degrees)

@@ -1,0 +1,82 @@
+"""Mark-and-recapture population-size estimation.
+
+The paper's COUNT baseline M&R is the collision-based estimator of Katzir,
+Liberty & Somekh (WWW'11, [15]) adapted to the keyword subgraph: draw
+random-walk samples (stationary probability proportional to degree), count
+pairwise collisions, and estimate
+
+    n_hat = (sum d_i) * (sum 1/d_i) / (2 C) * (r - 1) / r
+
+where ``C`` is the number of colliding ordered-unordered sample pairs.
+Derivation:  E[sum d] = r * sum_v d_v^2 / 2|E|,  E[sum 1/d] = r n / 2|E|,
+E[2C] = r (r-1) sum_v d_v^2 / 4|E|^2 — the |E| and degree-moment terms
+cancel, leaving n * r/(r-1); the trailing factor removes that bias.
+
+The paper's complaint (§3.2) is the cost: Omega(sqrt(n)) samples are
+needed before the *first* collision is expected, so COUNTs over ~900k-user
+populations require thousands of samples.  :func:`chapman_estimate` — the
+classical two-occasion capture-recapture estimator [9] — is included for
+completeness and tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class KatzirEstimate:
+    """Result of :func:`katzir_count`."""
+
+    population: float
+    collisions: int
+    samples: int
+
+
+def count_collisions(nodes: Sequence[int]) -> int:
+    """Number of unordered sample pairs that hit the same node."""
+    collisions = 0
+    for _, multiplicity in Counter(nodes).items():
+        collisions += multiplicity * (multiplicity - 1) // 2
+    return collisions
+
+
+def katzir_count(nodes: Sequence[int], degrees: Sequence[int]) -> KatzirEstimate:
+    """Katzir et al. population-size estimate from SRW samples.
+
+    Raises :class:`EstimationError` when no collision has occurred yet —
+    the estimator is simply undefined there, which is the very cost
+    pathology MA-TARW removes.
+    """
+    if len(nodes) != len(degrees):
+        raise EstimationError("nodes and degrees must align")
+    r = len(nodes)
+    if r < 2:
+        raise EstimationError("need at least two samples")
+    if any(degree <= 0 for degree in degrees):
+        raise EstimationError("degrees must be positive")
+    collisions = count_collisions(nodes)
+    if collisions == 0:
+        raise EstimationError(
+            f"no collisions in {r} samples; population estimate undefined"
+        )
+    sum_degrees = float(sum(degrees))
+    sum_inverse = sum(1.0 / degree for degree in degrees)
+    population = sum_degrees * sum_inverse / (2.0 * collisions) * (r - 1) / r
+    return KatzirEstimate(population=population, collisions=collisions, samples=r)
+
+
+def chapman_estimate(marked: int, recaptured: int, overlap: int) -> float:
+    """Chapman's bias-corrected two-occasion mark-recapture estimate.
+
+    n_hat = (M+1)(C+1)/(m+1) - 1 for M marked, C recaptured, m overlap.
+    """
+    if marked < 0 or recaptured < 0 or overlap < 0:
+        raise EstimationError("counts must be non-negative")
+    if overlap > min(marked, recaptured):
+        raise EstimationError("overlap cannot exceed either sample size")
+    return (marked + 1) * (recaptured + 1) / (overlap + 1) - 1

@@ -1,0 +1,82 @@
+"""Metropolis–Hastings random walk targeting the uniform distribution.
+
+The MHRW [12 in the paper] corrects the SRW's degree bias on-line: propose
+a uniform neighbor ``v`` of ``u`` and accept with probability
+``min(1, d(u)/d(v))``, else stay.  Its stationary distribution is uniform
+over nodes, so samples need no reweighting — at the price of self-loops
+at high-degree nodes that slow mixing (the paper cites [13]: SRW is
+typically 1.5–8x faster, which our ablation bench verifies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro._rng import RandomLike, ensure_rng
+from repro.errors import EstimationError
+from repro.sampling.random_walk import NeighborFn, WalkSamples
+
+
+class MetropolisHastingsWalk:
+    """MHRW with the same interface as :class:`SimpleRandomWalk`."""
+
+    def __init__(self, neighbor_fn: NeighborFn, start: int, seed: RandomLike = None) -> None:
+        self.neighbor_fn = neighbor_fn
+        self.start = start
+        self.current = start
+        self.rng = ensure_rng(seed)
+        self.steps = 0
+        self.rejections = 0
+        self.dead_end_restarts = 0
+
+    def step(self) -> int:
+        neighbors = list(self.neighbor_fn(self.current))
+        if not neighbors:
+            self.dead_end_restarts += 1
+            self.current = self.start
+            self.steps += 1
+            return self.current
+        proposal = self.rng.choice(neighbors)
+        proposal_neighbors = self.neighbor_fn(proposal)
+        degree_u = len(neighbors)
+        degree_v = max(len(proposal_neighbors), 1)
+        if self.rng.random() < degree_u / degree_v:
+            self.current = proposal
+        else:
+            self.rejections += 1
+        self.steps += 1
+        return self.current
+
+    def run(self, steps: int) -> Iterator[int]:
+        for _ in range(steps):
+            yield self.step()
+
+
+def collect_uniform_samples(
+    neighbor_fn: NeighborFn,
+    start: int,
+    num_samples: int,
+    burn_in: int = 0,
+    thinning: int = 1,
+    seed: RandomLike = None,
+    max_steps: Optional[int] = None,
+) -> WalkSamples:
+    """MHRW analogue of :func:`repro.sampling.random_walk.collect_samples`.
+
+    Returned degrees are the true neighbor counts (useful for Katzir-style
+    estimators even though the sampling distribution is uniform).
+    """
+    if num_samples < 1:
+        raise EstimationError("num_samples must be >= 1")
+    if burn_in < 0 or thinning < 1:
+        raise EstimationError("burn_in must be >= 0 and thinning >= 1")
+    walk = MetropolisHastingsWalk(neighbor_fn, start, seed=seed)
+    samples = WalkSamples()
+    needed_steps = burn_in + num_samples * thinning
+    limit = needed_steps if max_steps is None else min(needed_steps, max_steps)
+    for step_index in range(limit):
+        node = walk.step()
+        if step_index >= burn_in and (step_index - burn_in) % thinning == thinning - 1:
+            samples.append(node, len(walk.neighbor_fn(node)))
+    samples.steps_taken = walk.steps
+    return samples

@@ -1,0 +1,64 @@
+"""Unit tests for query-cost accounting."""
+
+import pytest
+
+from repro.api.accounting import CALL_KINDS, CONNECTIONS, SEARCH, TIMELINE, CostMeter
+from repro.errors import BudgetExhaustedError, ReproError
+
+
+def test_charge_and_totals():
+    meter = CostMeter()
+    meter.charge(SEARCH, 2)
+    meter.charge(TIMELINE, 3)
+    meter.charge(CONNECTIONS)
+    assert meter.total == 6
+    assert meter.by_kind() == {SEARCH: 2, CONNECTIONS: 1, TIMELINE: 3}
+    assert meter.remaining is None
+
+
+def test_budget_enforced_before_recording():
+    meter = CostMeter(budget=5)
+    meter.charge(SEARCH, 5)
+    assert meter.remaining == 0
+    with pytest.raises(BudgetExhaustedError) as excinfo:
+        meter.charge(TIMELINE, 1)
+    assert excinfo.value.spent == 5
+    assert excinfo.value.budget == 5
+    # the failed charge was not recorded
+    assert meter.total == 5
+
+
+def test_partial_overrun_rejected_entirely():
+    meter = CostMeter(budget=5)
+    meter.charge(SEARCH, 4)
+    with pytest.raises(BudgetExhaustedError):
+        meter.charge(SEARCH, 2)
+    assert meter.total == 4
+
+
+def test_unknown_kind_and_negative_calls():
+    meter = CostMeter()
+    with pytest.raises(ReproError):
+        meter.charge("bogus")
+    with pytest.raises(ReproError):
+        meter.charge(SEARCH, -1)
+    with pytest.raises(ReproError):
+        CostMeter(budget=-1)
+
+
+def test_zero_charge_allowed():
+    meter = CostMeter(budget=0)
+    meter.charge(SEARCH, 0)
+    assert meter.total == 0
+
+
+def test_reset():
+    meter = CostMeter()
+    meter.charge(SEARCH, 3)
+    meter.reset()
+    assert meter.total == 0
+    assert all(count == 0 for count in meter.by_kind().values())
+
+
+def test_call_kinds_exported():
+    assert set(CALL_KINDS) == {SEARCH, CONNECTIONS, TIMELINE}

@@ -1,0 +1,156 @@
+"""Tests for the simulated API client and the caching wrapper."""
+
+import pytest
+
+from repro.api import accounting
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.errors import APIError, BudgetExhaustedError
+from repro.platform.clock import DAY
+from repro.platform.profiles import GOOGLE_PLUS
+
+
+class TestSearch:
+    def test_results_within_window_newest_first(self, tiny_platform):
+        client = SimulatedMicroblogClient(tiny_platform)
+        hits = client.search("privacy")
+        window_start = tiny_platform.now - tiny_platform.profile.search_window
+        assert hits, "fixture keyword should have recent posts"
+        assert all(hit.timestamp >= window_start for hit in hits)
+        times = [hit.timestamp for hit in hits]
+        assert times == sorted(times, reverse=True)
+
+    def test_old_posts_invisible_to_search(self, tiny_platform):
+        client = SimulatedMicroblogClient(tiny_platform)
+        hits = client.search("privacy")
+        store_total = len(list(tiny_platform.store.keyword_posts("privacy")))
+        assert len(hits) < store_total  # most mentions are older than a week
+
+    def test_max_results_truncates(self, tiny_platform):
+        client = SimulatedMicroblogClient(tiny_platform)
+        assert len(client.search("privacy", max_results=3)) <= 3
+
+    def test_search_cost_is_page_count(self, tiny_platform):
+        client = SimulatedMicroblogClient(tiny_platform)
+        hits = client.search("privacy")
+        pages = tiny_platform.profile.calls_for_items(
+            len(hits), tiny_platform.profile.search_page_size
+        )
+        assert client.meter.by_kind()[accounting.SEARCH] == pages
+
+    def test_empty_search_still_costs_one_call(self, tiny_platform):
+        client = SimulatedMicroblogClient(tiny_platform)
+        assert client.search("no-such-keyword") == []
+        assert client.meter.by_kind()[accounting.SEARCH] == 1
+
+
+class TestTimeline:
+    def test_timeline_contents_and_profile(self, tiny_platform):
+        store = tiny_platform.store
+        user_id = store.users_mentioning("privacy")[0]
+        client = SimulatedMicroblogClient(tiny_platform)
+        view = client.user_timeline(user_id)
+        assert view.profile.user_id == user_id
+        assert len(view.posts) == store.timeline_length(user_id)
+        assert view.first_mention_time("privacy") == store.first_mention_time(
+            "privacy", user_id
+        )
+
+    def test_gender_hidden_on_twitter(self, tiny_platform):
+        user_id = tiny_platform.store.user_ids()[0]
+        client = SimulatedMicroblogClient(tiny_platform)
+        assert client.user_timeline(user_id).profile.gender is None
+
+    def test_gender_visible_on_google_plus(self, tiny_platform):
+        gplus = tiny_platform.with_profile(GOOGLE_PLUS)
+        user_id = gplus.store.user_ids()[0]
+        client = SimulatedMicroblogClient(gplus)
+        view = client.user_timeline(user_id)
+        assert view.profile.gender == gplus.store.profile(user_id).gender
+
+    def test_unknown_user_raises(self, tiny_platform):
+        client = SimulatedMicroblogClient(tiny_platform)
+        with pytest.raises(APIError):
+            client.user_timeline(10**9)
+
+
+class TestConnections:
+    def test_connections_match_graph(self, tiny_platform):
+        user_id = tiny_platform.store.user_ids()[5]
+        client = SimulatedMicroblogClient(tiny_platform)
+        assert set(client.user_connections(user_id)) == set(
+            tiny_platform.graph.neighbors_unsafe(user_id)
+        )
+
+    def test_pagination_cost_on_google_plus(self, tiny_platform):
+        gplus = tiny_platform.with_profile(GOOGLE_PLUS)
+        # pick a user with degree above one Google+ page (100)
+        user_id = max(gplus.store.user_ids(), key=gplus.graph.degree)
+        degree = gplus.graph.degree(user_id)
+        if degree <= GOOGLE_PLUS.connections_page_size:
+            pytest.skip("fixture graph has no user above one page")
+        client = SimulatedMicroblogClient(gplus)
+        client.user_connections(user_id)
+        expected = GOOGLE_PLUS.calls_for_items(degree, GOOGLE_PLUS.connections_page_size)
+        assert client.meter.by_kind()[accounting.CONNECTIONS] == expected
+
+
+class TestBudgetAndClock:
+    def test_budget_exhaustion(self, tiny_platform):
+        client = SimulatedMicroblogClient(tiny_platform, budget=2)
+        client.search("privacy", max_results=5)
+        with pytest.raises(BudgetExhaustedError):
+            for user_id in tiny_platform.store.user_ids():
+                client.user_timeline(user_id)
+
+    def test_private_clock_does_not_touch_platform(self, tiny_platform):
+        before = tiny_platform.clock.now()
+        client = SimulatedMicroblogClient(tiny_platform)
+        # burn several rate windows
+        for user_id in tiny_platform.store.user_ids()[:300]:
+            client.user_timeline(user_id)
+        assert tiny_platform.clock.now() == before
+        assert client.simulated_wait >= 0.0
+
+
+class TestCachingClient:
+    def test_repeat_requests_free(self, tiny_platform):
+        client = CachingClient(SimulatedMicroblogClient(tiny_platform))
+        user_id = tiny_platform.store.user_ids()[0]
+        client.user_timeline(user_id)
+        cost_after_first = client.total_cost
+        client.user_timeline(user_id)
+        client.user_timeline(user_id)
+        assert client.total_cost == cost_after_first
+        assert client.hits == 2
+
+    def test_search_cached_by_args(self, tiny_platform):
+        client = CachingClient(SimulatedMicroblogClient(tiny_platform))
+        client.search("privacy")
+        cost = client.total_cost
+        client.search("privacy")
+        assert client.total_cost == cost
+        client.search("privacy", max_results=1)  # different key -> new call
+        assert client.total_cost > cost
+
+    def test_cached_lists_are_copies(self, tiny_platform):
+        client = CachingClient(SimulatedMicroblogClient(tiny_platform))
+        user_id = tiny_platform.store.user_ids()[3]
+        first = client.user_connections(user_id)
+        first.append(-1)
+        assert -1 not in client.user_connections(user_id)
+
+
+class TestSearchResultsCap:
+    def test_top_k_cap_truncates(self, tiny_platform):
+        import dataclasses
+
+        capped_profile = dataclasses.replace(
+            tiny_platform.profile, search_results_cap=2
+        )
+        capped = tiny_platform.with_profile(capped_profile)
+        client = SimulatedMicroblogClient(capped)
+        hits = client.search("privacy")
+        assert len(hits) <= 2
+        # and the survivors are the newest posts
+        uncapped = SimulatedMicroblogClient(tiny_platform).search("privacy")
+        assert [h.post_id for h in hits] == [h.post_id for h in uncapped[:len(hits)]]

@@ -1,0 +1,54 @@
+"""Tests for the API result types (views, pages)."""
+
+import pytest
+
+from repro.api.interface import ProfileView, SearchHit, TimelineView
+from repro.platform.posts import Post, make_keywords
+from repro.platform.users import Gender
+
+
+def make_view(posts):
+    profile = ProfileView(1, "alice", 5, Gender.FEMALE, 30)
+    return TimelineView(profile=profile, posts=tuple(posts), truncated=False)
+
+
+def post(timestamp, *keywords, likes=0):
+    return Post(0, 1, timestamp, keywords=make_keywords(*keywords), likes=likes)
+
+
+class TestTimelineView:
+    def test_mentions_filters_keyword_and_window(self):
+        view = make_view([post(10.0, "privacy"), post(20.0, "boston"),
+                          post(30.0, "privacy")])
+        assert len(view.mentions("privacy")) == 2
+        assert len(view.mentions("privacy", start=15.0)) == 1
+        assert len(view.mentions("privacy", end=15.0)) == 1
+        assert view.mentions("unknown") == []
+
+    def test_mentions_case_insensitive(self):
+        view = make_view([post(10.0, "Privacy")])
+        assert len(view.mentions("PRIVACY")) == 1
+
+    def test_first_mention_time(self):
+        view = make_view([post(10.0, "boston"), post(20.0, "privacy"),
+                          post(30.0, "privacy")])
+        assert view.first_mention_time("privacy") == 20.0
+        assert view.first_mention_time("boston") == 10.0
+        assert view.first_mention_time("zzz") is None
+
+    def test_empty_timeline(self):
+        view = make_view([])
+        assert view.first_mention_time("privacy") is None
+        assert view.mentions("privacy") == []
+
+
+def test_search_hit_is_frozen():
+    hit = SearchHit(user_id=1, post_id=2, timestamp=3.0)
+    with pytest.raises(AttributeError):
+        hit.user_id = 9
+
+
+def test_profile_view_is_frozen():
+    view = ProfileView(1, "a", 0, None, None)
+    with pytest.raises(AttributeError):
+        view.followers = 10

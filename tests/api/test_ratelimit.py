@@ -1,0 +1,70 @@
+"""Unit tests for the windowed rate limiter."""
+
+import pytest
+
+from repro.api.ratelimit import RateLimiter
+from repro.errors import RateLimitError, ReproError
+from repro.platform.clock import MINUTE, SimulatedClock
+from repro.platform.profiles import TWITTER, TUMBLR
+
+
+def test_within_quota_no_wait():
+    clock = SimulatedClock()
+    limiter = RateLimiter(TWITTER, clock)
+    limiter.acquire(180)
+    assert clock.now() == 0.0
+    assert limiter.total_wait == 0.0
+
+
+def test_sleep_policy_advances_clock():
+    clock = SimulatedClock()
+    limiter = RateLimiter(TWITTER, clock)
+    limiter.acquire(180)
+    limiter.acquire(1)  # 181st call must wait for the next window
+    assert clock.now() == pytest.approx(15 * MINUTE)
+    assert limiter.total_wait == pytest.approx(15 * MINUTE)
+
+
+def test_batch_split_across_windows():
+    clock = SimulatedClock()
+    limiter = RateLimiter(TWITTER, clock)
+    limiter.acquire(450)  # 2.5 windows worth
+    # two full sleeps needed
+    assert clock.now() == pytest.approx(30 * MINUTE)
+    assert limiter.used_in_current_window == 450 - 2 * 180
+
+
+def test_raise_policy():
+    clock = SimulatedClock()
+    limiter = RateLimiter(TWITTER, clock, policy="raise")
+    limiter.acquire(180)
+    with pytest.raises(RateLimitError) as excinfo:
+        limiter.acquire(1)
+    assert excinfo.value.retry_at == pytest.approx(15 * MINUTE)
+    assert clock.now() == 0.0
+
+
+def test_window_rolls_with_time():
+    clock = SimulatedClock()
+    limiter = RateLimiter(TWITTER, clock)
+    limiter.acquire(180)
+    clock.advance(15 * MINUTE)
+    limiter.acquire(180)  # fresh window, no wait
+    assert limiter.total_wait == 0.0
+
+
+def test_tumblr_one_call_per_ten_seconds():
+    clock = SimulatedClock()
+    limiter = RateLimiter(TUMBLR, clock)
+    limiter.acquire(3)
+    # first call free; two more wait 10s each
+    assert clock.now() == pytest.approx(20.0)
+
+
+def test_invalid_inputs():
+    clock = SimulatedClock()
+    with pytest.raises(ReproError):
+        RateLimiter(TWITTER, clock, policy="bogus")
+    limiter = RateLimiter(TWITTER, clock)
+    with pytest.raises(ReproError):
+        limiter.acquire(-1)

@@ -1,0 +1,68 @@
+"""Tests for the ground-truth streaming collector."""
+
+import pytest
+
+from repro.api.streaming import StreamingAPI
+from repro.errors import APIError
+from repro.platform.clock import DAY
+
+
+def test_track_returns_all_matching_posts(tiny_platform):
+    stream = StreamingAPI(tiny_platform.store)
+    horizon = tiny_platform.now
+    tracked = stream.track(["privacy"], start=0.0, end=horizon)
+    direct = list(tiny_platform.store.keyword_posts("privacy", 0.0, horizon))
+    assert len(tracked) == len(direct)
+    assert [t[0] for t in tracked] == sorted(t[0] for t in tracked)
+
+
+def test_track_deduplicates_across_keywords(tiny_platform):
+    stream = StreamingAPI(tiny_platform.store)
+    horizon = tiny_platform.now
+    both = stream.track(["privacy", "boston"], start=0.0, end=horizon)
+    only_privacy = stream.track(["privacy"], start=0.0, end=horizon)
+    only_boston = stream.track(["boston"], start=0.0, end=horizon)
+    # our fixture posts carry one keyword each, so dedup == concatenation
+    assert len(both) == len(only_privacy) + len(only_boston)
+
+
+def test_sample_rate(tiny_platform):
+    stream = StreamingAPI(tiny_platform.store, sample_rate=0.05)
+    horizon = tiny_platform.now
+    sample = list(stream.sample(0.0, horizon, seed=1))
+    total = tiny_platform.store.num_posts
+    assert 0.02 * total < len(sample) < 0.10 * total
+
+
+def test_firehose_limit_flag(tiny_platform):
+    stream = StreamingAPI(tiny_platform.store)
+    horizon = tiny_platform.now
+    # fixture keywords exceed 1% of a small platform's posts
+    flagged = stream.exceeds_firehose_limit("privacy", 0.0, horizon)
+    assert flagged == (
+        len(list(tiny_platform.store.keyword_posts("privacy", 0.0, horizon)))
+        / tiny_platform.store.num_posts
+        > 0.01
+    )
+
+
+def test_daily_frequency_covers_window(tiny_platform):
+    stream = StreamingAPI(tiny_platform.store)
+    horizon = tiny_platform.now
+    series = stream.daily_frequency("privacy", 0.0, horizon)
+    assert len(series) == int(horizon // DAY) + 1
+    assert sum(count for _, count in series) == len(
+        list(tiny_platform.store.keyword_posts("privacy", 0.0, horizon))
+    )
+
+
+def test_invalid_windows_and_rates(tiny_platform):
+    stream = StreamingAPI(tiny_platform.store)
+    with pytest.raises(APIError):
+        stream.track(["x"], 10.0, 10.0)
+    with pytest.raises(APIError):
+        list(stream.sample(10.0, 5.0))
+    with pytest.raises(APIError):
+        stream.daily_frequency("x", 5.0, 1.0)
+    with pytest.raises(APIError):
+        StreamingAPI(tiny_platform.store, sample_rate=0.0)

@@ -1,0 +1,51 @@
+"""Shared fixtures: small deterministic platforms reused across tests.
+
+The platforms are session-scoped (building one takes ~0.5 s; dozens of
+tests read from them without mutating platform state — estimator runs
+only touch their own client/oracle caches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.cascade import CascadeParams
+from repro.platform.simulator import PlatformConfig, build_platform
+from repro.platform.workload import (
+    KeywordSpec,
+    constant_intensity,
+    event_intensity,
+    spiky_intensity,
+)
+
+
+def tiny_keywords():
+    """Two cheap keywords: one steady, one event-driven."""
+    return [
+        KeywordSpec("privacy", spiky_intensity(0.6, spikes=[(150, 8.0)]), 0.30),
+        KeywordSpec("boston", event_intensity(0.5, event_day=104, peak_per_day=12.0), 0.33),
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_platform():
+    """~2 000 users, two keywords — fast enough for unit tests."""
+    config = PlatformConfig(
+        num_users=2_000,
+        keywords=tiny_keywords(),
+        background_posts_mean=3.0,
+        seed=11,
+    )
+    return build_platform(config)
+
+
+@pytest.fixture(scope="session")
+def small_platform():
+    """~5 000 users, two keywords — for integration/estimator tests."""
+    config = PlatformConfig(
+        num_users=5_000,
+        keywords=tiny_keywords(),
+        background_posts_mean=3.0,
+        seed=13,
+    )
+    return build_platform(config)

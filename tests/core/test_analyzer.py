@@ -1,0 +1,72 @@
+"""Tests for the MICROBLOG-ANALYZER facade."""
+
+import pytest
+
+from repro.core.analyzer import MicroblogAnalyzer
+from repro.core.query import avg_of, count_users, FOLLOWERS
+from repro.errors import EstimationError
+from repro.groundtruth import exact_value
+from repro.platform.clock import DAY
+
+
+def test_unknown_algorithm_rejected(small_platform):
+    with pytest.raises(EstimationError):
+        MicroblogAnalyzer(small_platform, algorithm="bogus")
+
+
+def test_unknown_graph_design_rejected(small_platform):
+    with pytest.raises(EstimationError):
+        MicroblogAnalyzer(small_platform, graph_design="bogus")
+
+
+def test_tarw_requires_level_graph(small_platform):
+    with pytest.raises(EstimationError):
+        MicroblogAnalyzer(small_platform, algorithm="ma-tarw", graph_design="social")
+
+
+def test_invalid_budget_and_interval(small_platform):
+    analyzer = MicroblogAnalyzer(small_platform)
+    with pytest.raises(EstimationError):
+        analyzer.estimate(count_users("privacy"), budget=0)
+    bad = MicroblogAnalyzer(small_platform, interval=-5.0)
+    with pytest.raises(EstimationError):
+        bad.estimate(count_users("privacy"), budget=100)
+
+
+@pytest.mark.parametrize("algorithm", ["ma-srw", "ma-tarw", "m&r"])
+def test_each_algorithm_runs_end_to_end(small_platform, algorithm):
+    query = count_users("privacy")
+    truth = exact_value(small_platform.store, query)
+    analyzer = MicroblogAnalyzer(small_platform, algorithm=algorithm, interval=DAY, seed=1)
+    result = analyzer.estimate(query, budget=9_000)
+    assert result.cost_total <= 9_000
+    assert result.value is not None
+    assert result.relative_error(truth) < 0.7
+    assert "simulated_wait_seconds" in result.diagnostics
+
+
+def test_auto_interval_selection(small_platform):
+    query = avg_of("privacy", FOLLOWERS)
+    analyzer = MicroblogAnalyzer(small_platform, algorithm="ma-srw",
+                                 interval="auto", seed=2)
+    result = analyzer.estimate(query, budget=9_000)
+    assert result.value is not None
+
+
+def test_srw_on_each_graph_design(small_platform):
+    query = avg_of("privacy", FOLLOWERS)
+    for design in ("social", "term-induced", "level-by-level"):
+        analyzer = MicroblogAnalyzer(small_platform, algorithm="ma-srw",
+                                     graph_design=design, interval=DAY, seed=3)
+        result = analyzer.estimate(query, budget=9_000)
+        assert design in result.algorithm
+
+
+def test_keep_intra_fraction_passthrough(small_platform):
+    query = count_users("privacy")
+    analyzer = MicroblogAnalyzer(
+        small_platform, algorithm="ma-srw", interval=DAY,
+        keep_intra_fraction=0.5, seed=4,
+    )
+    result = analyzer.estimate(query, budget=5_000)
+    assert result.value is not None

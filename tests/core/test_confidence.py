@@ -1,0 +1,98 @@
+"""Tests for replicate-based confidence intervals."""
+
+import pytest
+
+from repro.core.analyzer import MicroblogAnalyzer
+from repro.core.confidence import ConfidenceResult, combine_replicates, t_quantile
+from repro.core.query import avg_of, count_users, DISPLAY_NAME_LENGTH
+from repro.core.results import EstimateResult
+from repro.errors import EstimationError
+from repro.groundtruth import exact_value
+from repro.platform.clock import DAY
+
+
+def fake_run(value, cost=100):
+    return EstimateResult(query=count_users("x"), algorithm="fake",
+                          value=value, cost_total=cost)
+
+
+class TestTQuantile:
+    def test_table_values(self):
+        assert t_quantile(0.95, 1) == pytest.approx(12.706)
+        assert t_quantile(0.95, 4) == pytest.approx(2.776)
+        assert t_quantile(0.99, 9) == pytest.approx(3.250)
+
+    def test_rounds_dof_down_conservatively(self):
+        # dof 12 not in table: use dof 10's (larger) value
+        assert t_quantile(0.95, 12) == t_quantile(0.95, 10)
+
+    def test_large_dof_uses_normal(self):
+        assert t_quantile(0.95, 200) == pytest.approx(1.960)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            t_quantile(0.8, 5)
+        with pytest.raises(EstimationError):
+            t_quantile(0.95, 0)
+
+
+class TestCombineReplicates:
+    def test_interval_centred_on_mean(self):
+        runs = [fake_run(v) for v in (10.0, 12.0, 11.0, 13.0)]
+        ci = combine_replicates(runs)
+        assert ci.mean == pytest.approx(11.5)
+        assert ci.low < 11.5 < ci.high
+        assert ci.replicates == 4
+        assert ci.cost_total == 400
+
+    def test_contains(self):
+        ci = ConfidenceResult(mean=10.0, half_width=2.0, confidence=0.95,
+                              replicates=3, cost_total=0)
+        assert ci.contains(9.0)
+        assert not ci.contains(12.5)
+
+    def test_none_values_skipped(self):
+        runs = [fake_run(10.0), fake_run(None), fake_run(12.0)]
+        ci = combine_replicates(runs)
+        assert ci.replicates == 2
+
+    def test_too_few_runs(self):
+        with pytest.raises(EstimationError):
+            combine_replicates([fake_run(10.0)])
+        with pytest.raises(EstimationError):
+            combine_replicates([fake_run(10.0), fake_run(None)])
+
+    def test_wider_confidence_wider_interval(self):
+        runs = [fake_run(v) for v in (10.0, 12.0, 11.0)]
+        assert (combine_replicates(runs, 0.99).half_width
+                > combine_replicates(runs, 0.90).half_width)
+
+
+class TestAnalyzerIntegration:
+    def test_estimate_with_confidence(self, small_platform):
+        query = avg_of("privacy", DISPLAY_NAME_LENGTH)
+        truth = exact_value(small_platform.store, query)
+        analyzer = MicroblogAnalyzer(small_platform, algorithm="ma-srw",
+                                     interval=DAY, seed=8)
+        ci = analyzer.estimate_with_confidence(query, budget=12_000, replicates=3)
+        assert ci.replicates >= 2
+        assert ci.cost_total <= 12_000
+        # the interval should be in the right neighbourhood
+        assert abs(ci.mean - truth) / truth < 0.5
+
+    def test_replicates_are_independent(self, small_platform):
+        query = count_users("privacy")
+        analyzer = MicroblogAnalyzer(small_platform, algorithm="ma-srw",
+                                     interval=DAY, seed=9)
+        ci = analyzer.estimate_with_confidence(query, budget=9_000, replicates=3)
+        values = [run.value for run in ci.runs if run.value is not None]
+        assert len(set(values)) > 1, "replicates must differ (fresh walk seeds)"
+
+    def test_validation(self, small_platform):
+        analyzer = MicroblogAnalyzer(small_platform, seed=1)
+        with pytest.raises(EstimationError):
+            analyzer.estimate_with_confidence(count_users("privacy"), budget=100,
+                                              replicates=1)
+        with pytest.raises(EstimationError):
+            analyzer.estimate_with_confidence(count_users("privacy"), budget=1,
+                                              replicates=5)

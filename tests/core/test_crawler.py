@@ -1,0 +1,72 @@
+"""Tests for the BFS crawl baseline."""
+
+import pytest
+
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.core.crawler import CrawlConfig, CrawlEstimator
+from repro.core.graph_builder import LevelByLevelOracle, QueryContext, TermInducedOracle
+from repro.core.levels import LevelIndex
+from repro.core.query import avg_of, count_users, FOLLOWERS
+from repro.errors import EstimationError
+from repro.groundtruth import exact_value
+from repro.platform.clock import DAY
+
+
+def make_estimator(platform, query, budget=8000, seed=1, config=None):
+    client = CachingClient(SimulatedMicroblogClient(platform, budget=budget))
+    context = QueryContext(client, query)
+    oracle = TermInducedOracle(context)
+    return CrawlEstimator(context, oracle, config=config, seed=seed)
+
+
+def test_config_validation():
+    with pytest.raises(EstimationError):
+        CrawlConfig(trace_every=0)
+    with pytest.raises(EstimationError):
+        CrawlConfig(max_nodes=0)
+
+
+def test_count_is_lower_bound_that_grows(small_platform):
+    query = count_users("privacy")
+    truth = exact_value(small_platform.store, query)
+    small = make_estimator(small_platform, query, budget=1_000, seed=2).estimate()
+    large = make_estimator(small_platform, query, budget=12_000, seed=2).estimate()
+    assert small.value <= truth + 1e-9
+    assert large.value <= truth + 1e-9
+    assert large.value >= small.value
+
+
+def test_full_crawl_recovers_reachable_count(small_platform):
+    query = count_users("privacy")
+    truth = exact_value(small_platform.store, query)
+    result = make_estimator(small_platform, query, budget=60_000, seed=3).estimate()
+    # a completed crawl finds every matching user reachable from the seeds
+    assert result.diagnostics["frontier_left"] == 0.0
+    assert result.value >= truth * 0.7  # recall-of-seeded-components bound
+
+
+def test_avg_reasonable_after_decent_crawl(small_platform):
+    query = avg_of("privacy", FOLLOWERS)
+    truth = exact_value(small_platform.store, query)
+    result = make_estimator(small_platform, query, budget=20_000, seed=4).estimate()
+    assert result.value is not None
+    assert abs(result.value - truth) / truth < 0.5
+
+
+def test_max_nodes_cap(small_platform):
+    query = count_users("privacy")
+    config = CrawlConfig(max_nodes=10)
+    result = make_estimator(small_platform, query, budget=8_000, seed=5,
+                            config=config).estimate()
+    assert result.diagnostics["visited"] <= 10
+
+
+def test_via_analyzer(small_platform):
+    from repro.core.analyzer import MicroblogAnalyzer
+
+    query = count_users("privacy")
+    analyzer = MicroblogAnalyzer(small_platform, algorithm="crawl",
+                                 graph_design="term-induced", interval=DAY, seed=6)
+    result = analyzer.estimate(query, budget=4_000)
+    assert result.algorithm == "crawl[term-induced]"
+    assert result.cost_total <= 4_000

@@ -1,0 +1,90 @@
+"""Tests for pilot-walk time-interval selection."""
+
+import pytest
+
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.core.graph_builder import QueryContext
+from repro.core.interval import (
+    DEFAULT_CANDIDATE_INTERVALS,
+    IntervalSelection,
+    run_pilot,
+    select_time_interval,
+)
+from repro.core.levels import LevelIndex
+from repro.core.query import count_users
+from repro.errors import EstimationError
+from repro.platform.clock import DAY, HOUR
+
+
+@pytest.fixture()
+def context(tiny_platform):
+    client = CachingClient(SimulatedMicroblogClient(tiny_platform))
+    return QueryContext(client, count_users("privacy"))
+
+
+def test_run_pilot_reports_topology(context):
+    pilot = run_pilot(context, LevelIndex(DAY), label="1D", pilot_steps=40, seed=1)
+    assert pilot.label == "1D"
+    assert pilot.levels_spanned >= 1
+    assert pilot.nodes_visited >= 1
+    assert pilot.mean_level_width >= 1.0
+    assert 0.0 <= pilot.retention <= 1.0
+    assert pilot.spectral_score >= 0.0
+    assert pilot.eq3_score >= 0.0
+
+
+def test_select_time_interval_returns_candidate(context):
+    selection = select_time_interval(context, pilot_steps=30, seed=2)
+    assert isinstance(selection, IntervalSelection)
+    labels = {label for label, _ in DEFAULT_CANDIDATE_INTERVALS}
+    assert selection.label in labels
+    assert selection.interval in {value for _, value in DEFAULT_CANDIDATE_INTERVALS}
+    assert len(selection.pilots) >= 1
+
+
+def test_selection_single_repeat_maximises_score(context):
+    selection = select_time_interval(context, pilot_steps=30, pilot_repeats=1, seed=3)
+    best = max(selection.pilots, key=lambda pilot: pilot.score(selection.method))
+    assert selection.interval == best.interval
+
+
+def test_selection_with_repeats_returns_candidate(context):
+    selection = select_time_interval(context, pilot_steps=30, pilot_repeats=3, seed=3)
+    assert any(pilot.label == selection.label for pilot in selection.pilots)
+
+
+def test_eq3_score_method_also_selectable(context):
+    selection = select_time_interval(context, pilot_steps=30, pilot_repeats=1, seed=3,
+                                     score_method="eq3")
+    assert selection.method == "eq3"
+    best = max(selection.pilots, key=lambda pilot: pilot.eq3_score)
+    assert selection.interval == best.interval
+
+
+def test_invalid_repeats_rejected(context):
+    with pytest.raises(EstimationError):
+        select_time_interval(context, pilot_repeats=0)
+
+
+def test_unknown_score_method_rejected(context):
+    with pytest.raises(EstimationError):
+        select_time_interval(context, score_method="bogus")
+
+
+def test_custom_candidates(context):
+    candidates = (("6H", 6 * HOUR), ("3D", 3 * DAY))
+    selection = select_time_interval(context, candidates=candidates, pilot_steps=20, seed=4)
+    assert selection.label in {"6H", "3D"}
+
+
+def test_empty_candidates_rejected(context):
+    with pytest.raises(EstimationError):
+        select_time_interval(context, candidates=())
+
+
+def test_pilot_costs_queries(tiny_platform):
+    client = CachingClient(SimulatedMicroblogClient(tiny_platform))
+    context = QueryContext(client, count_users("privacy"))
+    before = client.total_cost
+    run_pilot(context, LevelIndex(DAY), label="1D", pilot_steps=30, seed=5)
+    assert client.total_cost > before

@@ -1,0 +1,130 @@
+"""Tests for level assignment and the edge taxonomy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.levels import (
+    EdgeKind,
+    EdgeTaxonomyStats,
+    LevelIndex,
+    STANDARD_INTERVALS,
+    classify_edge,
+    edge_taxonomy,
+    level_by_level_subgraph,
+    levels_present,
+)
+from repro.errors import QueryError
+from repro.graph.social_graph import SocialGraph
+from repro.platform.clock import DAY, HOUR
+
+
+class TestLevelIndex:
+    def test_level_of(self):
+        index = LevelIndex(interval=DAY)
+        assert index.level_of(0.0) == 0
+        assert index.level_of(DAY - 1) == 0
+        assert index.level_of(DAY) == 1
+        assert index.level_of(-1.0) == -1  # earlier than origin still maps
+
+    def test_origin_shift(self):
+        index = LevelIndex(interval=DAY, origin=DAY)
+        assert index.level_of(DAY) == 0
+
+    def test_positive_interval_required(self):
+        with pytest.raises(QueryError):
+            LevelIndex(interval=0.0)
+
+    def test_classify(self):
+        index = LevelIndex(interval=DAY)
+        assert index.classify(3, 3) is EdgeKind.INTRA
+        assert index.classify(3, 4) is EdgeKind.ADJACENT
+        assert index.classify(4, 3) is EdgeKind.ADJACENT
+        assert index.classify(1, 5) is EdgeKind.CROSS
+
+
+def test_classify_edge_on_times():
+    index = LevelIndex(interval=DAY)
+    assert classify_edge(index, 1 * HOUR, 2 * HOUR) is EdgeKind.INTRA
+    assert classify_edge(index, 1 * HOUR, DAY + HOUR) is EdgeKind.ADJACENT
+    assert classify_edge(index, 1 * HOUR, 5 * DAY) is EdgeKind.CROSS
+
+
+@given(st.floats(0, 1e8), st.floats(0, 1e8), st.sampled_from([HOUR, DAY, 7 * DAY]))
+def test_classification_symmetric(t_u, t_v, interval):
+    index = LevelIndex(interval=interval)
+    assert classify_edge(index, t_u, t_v) is classify_edge(index, t_v, t_u)
+
+
+@given(st.floats(0, 1e8), st.floats(0, 1e8))
+def test_larger_interval_never_increases_separation(t_u, t_v):
+    """Growing T can merge levels but never split them."""
+    ranks = {EdgeKind.INTRA: 0, EdgeKind.ADJACENT: 1, EdgeKind.CROSS: 2}
+    small = LevelIndex(interval=HOUR)
+    large = LevelIndex(interval=30 * DAY)
+    small_gap = abs(small.level_of(t_u) - small.level_of(t_v))
+    large_gap = abs(large.level_of(t_u) - large.level_of(t_v))
+    assert large_gap <= small_gap
+
+
+def taxonomy_fixture():
+    graph = SocialGraph(edges=[(1, 2), (1, 3), (2, 4), (3, 4)])
+    # levels at T=1day: u1=0, u2=0, u3=1, u4=3
+    mentions = {1: 1.0, 2: HOUR, 3: DAY + 1, 4: 3 * DAY + 1}
+    return graph, mentions, LevelIndex(interval=DAY)
+
+
+def test_edge_taxonomy_counts():
+    graph, mentions, index = taxonomy_fixture()
+    stats = edge_taxonomy(graph, mentions, index)
+    assert stats.total_edges == 4
+    assert stats.intra == 1        # 1-2
+    assert stats.adjacent == 1     # 1-3
+    assert stats.cross == 2        # 2-4, 3-4
+    assert stats.intra_fraction == pytest.approx(0.25)
+    assert stats.cross_fraction == pytest.approx(0.5)
+
+
+def test_empty_taxonomy_fractions():
+    stats = EdgeTaxonomyStats(0, 0, 0, 0)
+    assert stats.intra_fraction == 0.0
+    assert stats.adjacent_fraction == 0.0
+    assert stats.cross_fraction == 0.0
+
+
+class TestLevelByLevelSubgraph:
+    def test_removes_all_intra_by_default(self):
+        graph, mentions, index = taxonomy_fixture()
+        level_graph = level_by_level_subgraph(graph, mentions, index)
+        assert not level_graph.has_edge(1, 2)
+        assert level_graph.has_edge(1, 3)
+        assert level_graph.has_edge(2, 4)
+        assert level_graph.num_nodes == graph.num_nodes
+
+    def test_keep_fraction_one_keeps_everything(self):
+        graph, mentions, index = taxonomy_fixture()
+        kept = level_by_level_subgraph(graph, mentions, index, keep_intra_fraction=1.0)
+        assert sorted(kept.edges()) == sorted(graph.edges())
+
+    def test_keep_fraction_validated(self):
+        graph, mentions, index = taxonomy_fixture()
+        with pytest.raises(QueryError):
+            level_by_level_subgraph(graph, mentions, index, keep_intra_fraction=1.5)
+
+    def test_partial_keep_is_monotone_in_expectation(self):
+        graph, mentions, index = taxonomy_fixture()
+        low = level_by_level_subgraph(graph, mentions, index, 0.0, seed=1)
+        high = level_by_level_subgraph(graph, mentions, index, 1.0, seed=1)
+        assert low.num_edges <= high.num_edges
+
+
+def test_levels_present():
+    _, mentions, index = taxonomy_fixture()
+    assert levels_present(mentions, index) == [0, 1, 3]
+
+
+def test_standard_intervals_cover_figure5():
+    labels = [label for label, _ in STANDARD_INTERVALS]
+    assert labels == ["2H", "4H", "12H", "1D", "2D", "1W", "1M"]
+    values = [value for _, value in STANDARD_INTERVALS]
+    assert values == sorted(values)

@@ -1,0 +1,57 @@
+"""Tests for the M&R (mark-and-recapture) baseline."""
+
+import pytest
+
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.core.graph_builder import LevelByLevelOracle, QueryContext
+from repro.core.levels import LevelIndex
+from repro.core.mr import MarkRecaptureEstimator, MRConfig
+from repro.core.query import avg_of, count_users, FOLLOWERS
+from repro.errors import EstimationError
+from repro.groundtruth import exact_value
+from repro.platform.clock import DAY
+
+
+def make_estimator(platform, budget=8000, seed=1, config=None):
+    client = CachingClient(SimulatedMicroblogClient(platform, budget=budget))
+    context = QueryContext(client, count_users("privacy"))
+    oracle = LevelByLevelOracle(context, LevelIndex(DAY))
+    return MarkRecaptureEstimator(context, oracle, config=config, seed=seed)
+
+
+def test_rejects_non_count_queries(small_platform):
+    client = CachingClient(SimulatedMicroblogClient(small_platform))
+    context = QueryContext(client, avg_of("privacy", FOLLOWERS))
+    oracle = LevelByLevelOracle(context, LevelIndex(DAY))
+    with pytest.raises(EstimationError):
+        MarkRecaptureEstimator(context, oracle)
+
+
+def test_config_validation():
+    with pytest.raises(EstimationError):
+        MRConfig(burn_in=-1)
+    with pytest.raises(EstimationError):
+        MRConfig(trace_every=0)
+    with pytest.raises(EstimationError):
+        MRConfig(stall_steps=0)
+
+
+def test_count_estimate_reasonable(small_platform):
+    query = count_users("privacy")
+    truth = exact_value(small_platform.store, query)
+    result = make_estimator(small_platform, budget=8000, seed=2).estimate()
+    assert result.value is not None
+    assert result.relative_error(truth) < 0.6
+    assert result.algorithm == "m&r[level-by-level]"
+
+
+def test_budget_respected(small_platform):
+    result = make_estimator(small_platform, budget=400, seed=3).estimate()
+    assert result.cost_total <= 400
+
+
+def test_no_estimate_before_first_collision(small_platform):
+    config = MRConfig(burn_in=0, max_steps=3)
+    result = make_estimator(small_platform, budget=8000, seed=4, config=config).estimate()
+    # 3 samples will essentially never collide on a few-hundred-node graph
+    assert result.value is None or result.num_samples <= 3

@@ -1,0 +1,84 @@
+"""Tests for the adaptive quantile level index (§4.2.3 extension)."""
+
+import pytest
+
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.core.analyzer import MicroblogAnalyzer
+from repro.core.graph_builder import QueryContext
+from repro.core.interval import quantile_index_from_pilot
+from repro.core.levels import EdgeKind, QuantileLevelIndex
+from repro.core.query import count_users
+from repro.errors import EstimationError, QueryError
+from repro.groundtruth import exact_value
+
+
+class TestQuantileLevelIndex:
+    def test_level_of_respects_boundaries(self):
+        index = QuantileLevelIndex(boundaries=(10.0, 20.0, 30.0))
+        assert index.num_levels == 4
+        assert index.level_of(5.0) == 0
+        assert index.level_of(10.0) == 1  # boundary belongs to the later level
+        assert index.level_of(15.0) == 1
+        assert index.level_of(29.9) == 2
+        assert index.level_of(31.0) == 3
+
+    def test_classify_ternary(self):
+        index = QuantileLevelIndex(boundaries=(1.0,))
+        assert index.classify(0, 0) is EdgeKind.INTRA
+        assert index.classify(0, 1) is EdgeKind.ADJACENT
+        assert index.classify(0, 2) is EdgeKind.CROSS
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            QuantileLevelIndex(boundaries=())
+        with pytest.raises(QueryError):
+            QuantileLevelIndex(boundaries=(2.0, 1.0))
+        with pytest.raises(QueryError):
+            QuantileLevelIndex(boundaries=(1.0, 1.0))
+
+    def test_from_times_balances_mass(self):
+        # bursty times: quantile buckets get narrower through the burst
+        times = [float(t) for t in range(100)] + [100.0 + t / 100 for t in range(300)]
+        index = QuantileLevelIndex.from_times(times, levels=8)
+        counts = {}
+        for t in times:
+            counts[index.level_of(t)] = counts.get(index.level_of(t), 0) + 1
+        sizes = sorted(counts.values())
+        assert max(sizes) <= 3 * max(min(sizes), 1)
+
+    def test_from_times_validation(self):
+        with pytest.raises(QueryError):
+            QuantileLevelIndex.from_times([1.0, 2.0], levels=1)
+        with pytest.raises(QueryError):
+            QuantileLevelIndex.from_times([1.0], levels=4)
+        with pytest.raises(QueryError):
+            QuantileLevelIndex.from_times([5.0] * 10, levels=4)
+
+
+class TestPilotBuilder:
+    def test_builds_index_from_api_data(self, small_platform):
+        client = CachingClient(SimulatedMicroblogClient(small_platform))
+        context = QueryContext(client, count_users("privacy"))
+        index = quantile_index_from_pilot(context, levels=12, pilot_steps=50, seed=1)
+        assert 2 <= index.num_levels <= 12
+        horizon = small_platform.now
+        assert all(0 <= b <= horizon for b in index.boundaries)
+
+    def test_estimation_with_quantile_index(self, small_platform):
+        client = CachingClient(SimulatedMicroblogClient(small_platform))
+        context = QueryContext(client, count_users("privacy"))
+        index = quantile_index_from_pilot(context, levels=20, pilot_steps=60, seed=2)
+        query = count_users("privacy")
+        truth = exact_value(small_platform.store, query)
+        analyzer = MicroblogAnalyzer(
+            small_platform, algorithm="ma-tarw", level_index=index, seed=3
+        )
+        result = analyzer.estimate(query, budget=10_000)
+        assert result.value is not None
+        assert result.relative_error(truth) < 0.6
+
+    def test_unseedable_keyword_raises(self, small_platform):
+        client = CachingClient(SimulatedMicroblogClient(small_platform))
+        context = QueryContext(client, count_users("nobody-says-this"))
+        with pytest.raises(EstimationError):
+            quantile_index_from_pilot(context, seed=4)

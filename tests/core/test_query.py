@@ -1,0 +1,118 @@
+"""Tests for the aggregate query model."""
+
+import pytest
+
+from repro.core.query import (
+    Aggregate,
+    AggregateQuery,
+    CONSTANT_ONE,
+    DISPLAY_NAME_LENGTH,
+    FOLLOWERS,
+    MATCHING_POST_COUNT,
+    MEAN_LIKES,
+    TOTAL_LIKES,
+    UserView,
+    avg_of,
+    count_users,
+    gender_is,
+    min_followers,
+    sum_of,
+)
+from repro.errors import QueryError
+from repro.platform.posts import Post, make_keywords
+from repro.platform.users import Gender
+
+
+def view(posts=(), gender=Gender.MALE, followers=10, name="alice"):
+    return UserView(
+        user_id=1,
+        display_name=name,
+        followers=followers,
+        gender=gender,
+        age=30,
+        matching_posts=tuple(posts),
+    )
+
+
+def post(timestamp, keyword="privacy", likes=0):
+    return Post(0, 1, timestamp, keywords=make_keywords(keyword), likes=likes)
+
+
+class TestValidation:
+    def test_keyword_required(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("", Aggregate.COUNT)
+        with pytest.raises(QueryError):
+            AggregateQuery("   ", Aggregate.COUNT)
+
+    def test_window_must_be_nonempty(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("privacy", Aggregate.COUNT, window=(10.0, 10.0))
+
+
+class TestFiltering:
+    def test_filter_by_keyword(self):
+        query = count_users("privacy")
+        posts = [post(1.0), post(2.0, keyword="boston")]
+        assert len(query.filter_matching_posts(posts)) == 1
+
+    def test_filter_by_window(self):
+        query = count_users("privacy", window=(10.0, 20.0))
+        posts = [post(5.0), post(15.0), post(20.0)]
+        matched = query.filter_matching_posts(posts)
+        assert [p.timestamp for p in matched] == [15.0]
+
+    def test_no_window_means_all_time(self):
+        query = count_users("privacy")
+        assert query.window_start == float("-inf")
+        assert query.window_end == float("inf")
+
+
+class TestMatching:
+    def test_requires_matching_post(self):
+        query = count_users("privacy")
+        assert not query.matches(view(posts=[]))
+        assert query.matches(view(posts=[post(1.0)]))
+
+    def test_profile_predicate(self):
+        query = count_users("privacy", predicate=gender_is(Gender.FEMALE))
+        assert not query.matches(view(posts=[post(1.0)], gender=Gender.MALE))
+        assert query.matches(view(posts=[post(1.0)], gender=Gender.FEMALE))
+
+    def test_hidden_gender_never_matches(self):
+        query = count_users("privacy", predicate=gender_is(Gender.MALE))
+        assert not query.matches(view(posts=[post(1.0)], gender=None))
+
+    def test_min_followers(self):
+        query = count_users("privacy", predicate=min_followers(100))
+        assert not query.matches(view(posts=[post(1.0)], followers=99))
+        assert query.matches(view(posts=[post(1.0)], followers=100))
+
+
+class TestMeasures:
+    def test_builtin_measures(self):
+        v = view(posts=[post(1.0, likes=4), post(2.0, likes=6)], followers=55, name="bob")
+        assert CONSTANT_ONE(v) == 1.0
+        assert FOLLOWERS(v) == 55.0
+        assert DISPLAY_NAME_LENGTH(v) == 3.0
+        assert MATCHING_POST_COUNT(v) == 2.0
+        assert MEAN_LIKES(v) == 5.0
+        assert TOTAL_LIKES(v) == 10.0
+
+    def test_mean_likes_empty(self):
+        assert MEAN_LIKES(view(posts=[])) == 0.0
+
+
+class TestConstructorsAndDescribe:
+    def test_constructors(self):
+        assert count_users("x").aggregate is Aggregate.COUNT
+        assert avg_of("x", FOLLOWERS).aggregate is Aggregate.AVG
+        assert sum_of("x", MATCHING_POST_COUNT).aggregate is Aggregate.SUM
+
+    def test_describe_mentions_parts(self):
+        query = avg_of("privacy", FOLLOWERS, window=(0.0, 100.0),
+                       predicate=gender_is(Gender.MALE))
+        text = query.describe()
+        assert "AVG(followers)" in text
+        assert "'privacy'" in text
+        assert "predicate" in text

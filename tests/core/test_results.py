@@ -1,0 +1,61 @@
+"""Tests for EstimateResult and its trace-derived metrics."""
+
+import pytest
+
+from repro.core.query import count_users
+from repro.core.results import EstimateResult, TracePoint
+from repro.errors import EstimationError
+
+
+def make_result(trace, value=100.0):
+    return EstimateResult(
+        query=count_users("x"),
+        algorithm="test",
+        value=value,
+        cost_total=trace[-1].cost if trace else 0,
+        trace=trace,
+    )
+
+
+def test_trace_point_error():
+    point = TracePoint(cost=10, estimate=110.0)
+    assert point.error_against(100.0) == pytest.approx(0.1)
+    assert TracePoint(10, None).error_against(100.0) is None
+    assert TracePoint(10, 1.0).error_against(0.0) is None
+
+
+def test_relative_error():
+    result = make_result([TracePoint(5, 100.0)], value=95.0)
+    assert result.relative_error(100.0) == pytest.approx(0.05)
+    result_none = make_result([], value=None)
+    with pytest.raises(EstimationError):
+        result_none.relative_error(100.0)
+    with pytest.raises(EstimationError):
+        make_result([]).relative_error(0.0)
+
+
+class TestCostToReachError:
+    def test_requires_stable_convergence(self):
+        trace = [
+            TracePoint(100, 104.0),  # inside 5% band...
+            TracePoint(200, 150.0),  # ...but leaves again
+            TracePoint(300, 103.0),
+            TracePoint(400, 102.0),
+        ]
+        result = make_result(trace)
+        assert result.cost_to_reach_error(100.0, 0.05) == 300
+
+    def test_never_converging(self):
+        trace = [TracePoint(100, 200.0), TracePoint(200, 300.0)]
+        assert make_result(trace).cost_to_reach_error(100.0, 0.05) is None
+
+    def test_none_estimates_skipped(self):
+        trace = [TracePoint(50, None), TracePoint(100, 101.0)]
+        assert make_result(trace).cost_to_reach_error(100.0, 0.05) == 100
+
+    def test_validation(self):
+        result = make_result([TracePoint(1, 1.0)])
+        with pytest.raises(EstimationError):
+            result.cost_to_reach_error(0.0, 0.05)
+        with pytest.raises(EstimationError):
+            result.cost_to_reach_error(100.0, 0.0)

@@ -1,0 +1,105 @@
+"""Tests for the SQL-ish query parser."""
+
+import pytest
+
+from repro.core.query import Aggregate
+from repro.core.sql import parse_query
+from repro.errors import QueryError
+from repro.groundtruth import exact_value
+from repro.platform.clock import DAY
+from repro.platform.users import Gender
+from repro.core.query import UserView
+from repro.platform.posts import Post, make_keywords
+
+
+def view(gender=Gender.MALE, followers=10):
+    return UserView(1, "a", followers, gender, 30,
+                    (Post(0, 1, 50 * DAY, keywords=make_keywords("privacy")),))
+
+
+class TestParsing:
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'privacy'")
+        assert query.aggregate is Aggregate.COUNT
+        assert query.keyword == "privacy"
+        assert query.window is None
+        assert query.predicate is None
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select Avg(Followers) from USERS where "
+                            "TIMELINE contains 'new york'")
+        assert query.aggregate is Aggregate.AVG
+        assert query.measure.name == "followers"
+        assert query.keyword == "new york"
+
+    def test_time_between(self):
+        query = parse_query(
+            "SELECT SUM(matching_post_count) FROM users WHERE "
+            "timeline CONTAINS 'boston' AND time BETWEEN 100 AND 200"
+        )
+        assert query.window == (100 * DAY, 200 * DAY)
+
+    def test_gender_predicate(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'privacy' "
+            "AND gender = 'male'"
+        )
+        assert query.matches(view(gender=Gender.MALE))
+        assert not query.matches(view(gender=Gender.FEMALE))
+
+    def test_followers_predicate(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'privacy' "
+            "AND followers >= 20"
+        )
+        assert not query.matches(view(followers=10))
+        assert query.matches(view(followers=25))
+
+    def test_combined_predicates(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'privacy' "
+            "AND gender = 'male' AND followers >= 5"
+        )
+        assert query.matches(view(gender=Gender.MALE, followers=6))
+        assert not query.matches(view(gender=Gender.MALE, followers=2))
+        assert not query.matches(view(gender=Gender.FEMALE, followers=6))
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT MAX(followers) FROM users WHERE timeline CONTAINS 'x'",
+        "SELECT COUNT(*) FROM posts WHERE timeline CONTAINS 'x'",
+        "SELECT COUNT(*) FROM users",
+        "SELECT COUNT(*) FROM users WHERE gender = 'male'",  # no keyword
+        "SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'x' AND age > 5",
+        "SELECT AVG(*) FROM users WHERE timeline CONTAINS 'x'",
+        "SELECT AVG(bogus_measure) FROM users WHERE timeline CONTAINS 'x'",
+        "SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'x' AND gender = 'robot'",
+        "SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'a' "
+        "AND timeline CONTAINS 'b'",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+
+class TestAgainstGroundTruth:
+    def test_parsed_query_equals_programmatic(self, tiny_platform):
+        from repro.core.query import count_users
+
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'privacy'"
+        )
+        assert exact_value(tiny_platform.store, parsed) == exact_value(
+            tiny_platform.store, count_users("privacy")
+        )
+
+    def test_windowed_count_subset(self, tiny_platform):
+        full = parse_query("SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'privacy'")
+        windowed = parse_query(
+            "SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'privacy' "
+            "AND time BETWEEN 0 AND 150"
+        )
+        assert 0 < exact_value(tiny_platform.store, windowed) <= exact_value(
+            tiny_platform.store, full
+        )

@@ -1,0 +1,91 @@
+"""Tests for the MA-SRW estimator."""
+
+import pytest
+
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.core.graph_builder import LevelByLevelOracle, QueryContext, TermInducedOracle
+from repro.core.levels import LevelIndex
+from repro.core.query import avg_of, count_users, FOLLOWERS
+from repro.core.srw import MASRWEstimator, SRWConfig
+from repro.errors import EstimationError
+from repro.groundtruth import exact_value
+from repro.platform.clock import DAY
+
+
+def make_estimator(platform, query, budget=8000, seed=1, oracle_cls=LevelByLevelOracle,
+                   config=None):
+    client = CachingClient(SimulatedMicroblogClient(platform, budget=budget))
+    context = QueryContext(client, query)
+    if oracle_cls is LevelByLevelOracle:
+        oracle = LevelByLevelOracle(context, LevelIndex(DAY))
+    else:
+        oracle = oracle_cls(context)
+    return MASRWEstimator(context, oracle, config=config, seed=seed)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            SRWConfig(thinning=0)
+        with pytest.raises(EstimationError):
+            SRWConfig(min_burn_in=-1)
+        with pytest.raises(EstimationError):
+            SRWConfig(stall_steps=0)
+        with pytest.raises(EstimationError):
+            SRWConfig(teleport_after=0)
+
+
+class TestEstimation:
+    def test_avg_estimate_reasonable(self, small_platform):
+        query = avg_of("privacy", FOLLOWERS)
+        truth = exact_value(small_platform.store, query)
+        estimator = make_estimator(small_platform, query, budget=8000, seed=2)
+        result = estimator.estimate()
+        assert result.value is not None
+        assert result.relative_error(truth) < 0.5
+        assert result.cost_total <= 8000
+
+    def test_count_estimate_reasonable(self, small_platform):
+        query = count_users("privacy")
+        truth = exact_value(small_platform.store, query)
+        estimator = make_estimator(small_platform, query, budget=8000, seed=3)
+        result = estimator.estimate()
+        assert result.value is not None
+        assert result.relative_error(truth) < 0.6
+
+    def test_budget_respected(self, small_platform):
+        query = avg_of("privacy", FOLLOWERS)
+        estimator = make_estimator(small_platform, query, budget=500, seed=4)
+        result = estimator.estimate()
+        assert result.cost_total <= 500
+
+    def test_trace_costs_monotone(self, small_platform):
+        query = avg_of("privacy", FOLLOWERS)
+        result = make_estimator(small_platform, query, budget=4000, seed=5).estimate()
+        costs = [point.cost for point in result.trace]
+        assert costs == sorted(costs)
+
+    def test_works_on_term_induced_oracle(self, small_platform):
+        query = avg_of("privacy", FOLLOWERS)
+        truth = exact_value(small_platform.store, query)
+        estimator = make_estimator(
+            small_platform, query, budget=8000, seed=6, oracle_cls=TermInducedOracle
+        )
+        result = estimator.estimate()
+        assert result.algorithm == "ma-srw[term-induced]"
+        assert result.value is not None
+        assert result.relative_error(truth) < 0.5
+
+    def test_max_steps_bounds_walk(self, small_platform):
+        query = avg_of("privacy", FOLLOWERS)
+        config = SRWConfig(max_steps=100)
+        result = make_estimator(small_platform, query, budget=8000, seed=7,
+                                config=config).estimate()
+        assert result.diagnostics["steps"] <= 100
+
+    def test_deterministic_given_seed(self, small_platform):
+        query = count_users("privacy")
+        a = make_estimator(small_platform, query, budget=3000, seed=8).estimate()
+        b = make_estimator(small_platform, query, budget=3000, seed=8).estimate()
+        assert a.value == b.value
+        assert a.cost_total == b.cost_total

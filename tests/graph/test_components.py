@@ -1,0 +1,63 @@
+"""Unit tests for connected-component utilities."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.components import (
+    bfs_reachable,
+    connected_components,
+    is_connected,
+    largest_component,
+    recall_of_largest_component,
+    shortest_path_length,
+)
+from repro.graph.generators import path_graph
+from repro.graph.social_graph import SocialGraph
+
+
+def two_component_graph():
+    return SocialGraph(nodes=[7], edges=[(1, 2), (2, 3), (4, 5)])
+
+
+def test_bfs_reachable():
+    graph = two_component_graph()
+    assert bfs_reachable(graph, 1) == {1, 2, 3}
+    assert bfs_reachable(graph, 5) == {4, 5}
+    assert bfs_reachable(graph, 7) == {7}
+    with pytest.raises(GraphError):
+        bfs_reachable(graph, 99)
+
+
+def test_connected_components_sorted_by_size():
+    components = connected_components(two_component_graph())
+    assert [len(c) for c in components] == [3, 2, 1]
+
+
+def test_largest_component():
+    assert largest_component(two_component_graph()) == {1, 2, 3}
+    assert largest_component(SocialGraph()) == set()
+
+
+def test_recall_default_all_nodes():
+    recall = recall_of_largest_component(two_component_graph())
+    assert recall == pytest.approx(3 / 6)
+
+
+def test_recall_with_explicit_relevant_set():
+    graph = two_component_graph()
+    assert recall_of_largest_component(graph, relevant=[1, 2, 4]) == pytest.approx(2 / 3)
+    assert recall_of_largest_component(graph, relevant=[]) == 1.0
+
+
+def test_is_connected():
+    assert is_connected(path_graph(5))
+    assert not is_connected(two_component_graph())
+    assert is_connected(SocialGraph())
+
+
+def test_shortest_path_length():
+    graph = path_graph(6)
+    assert shortest_path_length(graph, 0, 5) == 5
+    assert shortest_path_length(graph, 2, 2) == 0
+    with pytest.raises(GraphError):
+        shortest_path_length(two_component_graph(), 1, 4)

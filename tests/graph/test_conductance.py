@@ -1,0 +1,155 @@
+"""Conductance: exact values, estimators, and the Theorem 4.1 closed forms."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.conductance import (
+    conductance_of_cut,
+    corollary41_optimal_degree,
+    estimate_conductance_spectral,
+    estimate_conductance_sweep,
+    exact_conductance,
+    horizontal_cut_conductance,
+    spectral_gap,
+    theorem41_conductance_with_intra,
+    theorem41_conductance_without_intra,
+)
+from repro.graph.generators import complete_graph, path_graph, planted_level_graph
+from repro.graph.social_graph import SocialGraph
+
+
+class TestCutConductance:
+    def test_path_middle_cut(self):
+        graph = path_graph(4)  # edges 0-1-2-3, volume 6
+        # cut {0,1}: 1 crossing edge, vol side = 3
+        assert conductance_of_cut(graph, [0, 1]) == pytest.approx(1 / 3)
+
+    def test_complete_graph_single_node(self):
+        graph = complete_graph(4)
+        # node side: cut 3, vol 3
+        assert conductance_of_cut(graph, [0]) == pytest.approx(1.0)
+
+    def test_trivial_cut_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(GraphError):
+            conductance_of_cut(graph, [])
+        with pytest.raises(GraphError):
+            conductance_of_cut(graph, [0, 1, 2])
+
+    def test_zero_volume_side_rejected(self):
+        graph = SocialGraph(nodes=[0, 1], edges=[(0, 1)])
+        graph.add_node(2)  # isolated
+        with pytest.raises(GraphError):
+            conductance_of_cut(graph, [2])
+
+
+class TestExactConductance:
+    def test_path_graph(self):
+        # phi(P4) = middle-cut value 1/3
+        assert exact_conductance(path_graph(4)) == pytest.approx(1 / 3)
+
+    def test_complete_graph(self):
+        # For K4: best cut is the balanced one: cut=4, vol=6 -> 2/3
+        assert exact_conductance(complete_graph(4)) == pytest.approx(2 / 3)
+
+    def test_guard_against_large_graphs(self):
+        with pytest.raises(GraphError):
+            exact_conductance(path_graph(21))
+
+
+class TestSpectral:
+    def test_gap_zero_for_disconnected(self):
+        graph = SocialGraph(edges=[(0, 1), (2, 3)])
+        assert spectral_gap(graph) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gap_positive_for_connected(self):
+        assert spectral_gap(path_graph(6)) > 0
+
+    def test_cheeger_sandwich(self):
+        """lazy gap <= phi <= sqrt(8 * gap) on assorted small graphs."""
+        for graph in (path_graph(6), complete_graph(5),
+                      planted_level_graph(3, 4, 2, seed=1)):
+            gap = spectral_gap(graph)
+            phi = exact_conductance(graph)
+            assert gap <= phi + 1e-9
+            assert phi <= math.sqrt(8 * gap) + 1e-9
+
+    def test_spectral_estimate_within_cheeger_band(self):
+        graph = planted_level_graph(4, 4, 2, seed=3)
+        estimate = estimate_conductance_spectral(graph)
+        phi = exact_conductance(graph)
+        # geometric-mean estimate should land within a 4x band of truth
+        assert phi / 4 < estimate < phi * 4
+
+    def test_sweep_is_upper_bound(self):
+        for graph in (path_graph(8), planted_level_graph(4, 4, 2, seed=5)):
+            assert estimate_conductance_sweep(graph) >= exact_conductance(graph) - 1e-9
+
+
+class TestTheorem41:
+    def test_without_intra_low_degree_branch(self):
+        # d <= n/2h: phi = h / (n d (h-1))
+        assert theorem41_conductance_without_intra(100, 5, 2) == pytest.approx(
+            5 / (100 * 2 * 4)
+        )
+
+    def test_without_intra_high_degree_branch(self):
+        # n=40, h=4 -> per level 10; d=8 in (5, 10)
+        value = theorem41_conductance_without_intra(40, 4, 8)
+        assert value == pytest.approx(min((2 * 4 * 8 - 40) / (40 * 8), 1 / 3))
+
+    def test_without_intra_domain(self):
+        with pytest.raises(GraphError):
+            theorem41_conductance_without_intra(40, 4, 10)  # d >= n/h
+        with pytest.raises(GraphError):
+            theorem41_conductance_without_intra(41, 4, 2)  # n % h != 0
+
+    def test_intra_edges_decrease_conductance(self):
+        """The theorem's punchline: adding intra-level edges hurts."""
+        base = theorem41_conductance_without_intra(1000, 10, 3)
+        for k in (1, 5, 20):
+            with_intra = theorem41_conductance_with_intra(1000, 10, 3, k)
+            assert with_intra < base
+
+    def test_with_intra_monotone_in_k(self):
+        values = [theorem41_conductance_with_intra(1000, 10, 3, k) for k in (1, 5, 20, 40)]
+        assert values == sorted(values, reverse=True)
+
+    def test_with_intra_domain(self):
+        with pytest.raises(GraphError):
+            theorem41_conductance_with_intra(40, 4, 2, 12)  # k >= n/h
+
+    def test_horizontal_cut_matches_proof_sketch(self):
+        # without intra edges the horizontal cut has conductance 1/(h-1)
+        assert horizontal_cut_conductance(100, 5, 3, 0) == pytest.approx(1 / 4)
+        # with intra edges it shrinks to 1/(h-1+hk/2d)
+        assert horizontal_cut_conductance(100, 5, 3, 6) == pytest.approx(
+            1 / (4 + 5 * 6 / 6)
+        )
+
+
+class TestCorollary41:
+    def test_limit_towards_two(self):
+        assert corollary41_optimal_degree(50) == pytest.approx(2.13, abs=0.01)
+        assert corollary41_optimal_degree(100) == pytest.approx(2.06, abs=0.01)
+
+    def test_small_h_rejected(self):
+        with pytest.raises(GraphError):
+            corollary41_optimal_degree(4)
+
+
+class TestEmpiricalAgreement:
+    def test_intra_removal_raises_measured_conductance(self):
+        """The Figure 4 mechanism on a planted lattice, measured spectrally.
+
+        adjacent_degree=3 keeps every instance connected (d=2 lattices can
+        leave a bottom-level node with no incoming edge).
+        """
+        for seed in (0, 1, 2):
+            with_intra = planted_level_graph(6, 8, 3, intra_degree=4, seed=seed)
+            without = planted_level_graph(6, 8, 3, intra_degree=0, seed=seed)
+            assert estimate_conductance_spectral(without) > estimate_conductance_spectral(
+                with_intra
+            )

@@ -1,0 +1,178 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    community_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    level_of_planted_node,
+    path_graph,
+    planted_level_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_extreme_probabilities(self):
+        assert erdos_renyi_graph(10, 0.0).num_edges == 0
+        assert erdos_renyi_graph(6, 1.0).num_edges == 15
+
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi_graph(400, 0.05, seed=1)
+        expected = 0.05 * 400 * 399 / 2
+        assert 0.7 * expected < graph.num_edges < 1.3 * expected
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi_graph(100, 0.1, seed=5)
+        b = erdos_renyi_graph(100, 0.1, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(-1, 0.5)
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        graph = barabasi_albert_graph(200, 3, seed=2)
+        assert graph.num_nodes == 200
+        # star of m edges + m per subsequent node
+        assert graph.num_edges == 3 + (200 - 4) * 3
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_graph(100, 2, seed=3))
+
+    def test_heavy_tail(self):
+        graph = barabasi_albert_graph(1000, 4, seed=4)
+        degrees = graph.degree_sequence()
+        assert degrees[0] > 5 * degrees[len(degrees) // 2]
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, 3)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 0)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring_lattice(self):
+        graph = watts_strogatz_graph(20, 4, 0.0, seed=1)
+        assert all(graph.degree(node) == 4 for node in graph)
+
+    def test_rewiring_preserves_edge_count(self):
+        graph = watts_strogatz_graph(50, 6, 0.5, seed=2)
+        assert graph.num_edges == 50 * 3
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd k
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(4, 4, 0.1)  # n <= k
+
+
+class TestPlantedLevelGraph:
+    def test_structure_without_intra(self):
+        graph = planted_level_graph(levels=5, nodes_per_level=10, adjacent_degree=3, seed=1)
+        assert graph.num_nodes == 50
+        # every edge connects adjacent levels
+        for u, v in graph.edges():
+            lu = level_of_planted_node(u, 10)
+            lv = level_of_planted_node(v, 10)
+            assert abs(lu - lv) == 1
+
+    def test_intra_edges_within_levels(self):
+        graph = planted_level_graph(5, 10, adjacent_degree=2, intra_degree=2, seed=1)
+        intra = [
+            (u, v)
+            for u, v in graph.edges()
+            if level_of_planted_node(u, 10) == level_of_planted_node(v, 10)
+        ]
+        assert intra  # some intra-level edges exist
+        assert all(abs(level_of_planted_node(u, 10) - level_of_planted_node(v, 10)) <= 1
+                   for u, v in graph.edges())
+
+    def test_bad_degrees_rejected(self):
+        with pytest.raises(GraphError):
+            planted_level_graph(3, 4, adjacent_degree=5)
+        with pytest.raises(GraphError):
+            planted_level_graph(3, 4, adjacent_degree=2, intra_degree=4)
+
+
+class TestCommunityGraph:
+    def test_size_and_determinism(self):
+        a = community_graph(500, seed=9)
+        b = community_graph(500, seed=9)
+        assert a.num_nodes == 500
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_has_hubs(self):
+        graph = community_graph(2000, seed=5)
+        degrees = graph.degree_sequence()
+        # Zipf-weighted hub attachment should produce a heavy tail.
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            community_graph(1)
+        with pytest.raises(GraphError):
+            community_graph(100, hub_fraction=0.0)
+        with pytest.raises(GraphError):
+            community_graph(100, hub_bias=1.5)
+
+
+class TestSmallFixtures:
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 10
+
+    def test_star_graph(self):
+        graph = star_graph(6)
+        assert graph.degree(0) == 6
+        assert graph.num_edges == 6
+
+    def test_path_graph(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+
+
+class TestConfigurationModel:
+    def test_degrees_bounded_by_request(self):
+        from repro.graph.generators import configuration_model
+
+        degrees = [3, 3, 2, 2, 1, 1]
+        graph = configuration_model(degrees, seed=1)
+        assert graph.num_nodes == 6
+        for node, requested in enumerate(degrees):
+            assert graph.degree(node) <= requested
+
+    def test_total_edges_close_to_half_sum(self):
+        from repro.graph.generators import configuration_model
+
+        degrees = [4] * 50
+        graph = configuration_model(degrees, seed=2)
+        # erased variant loses only the rare rejected stubs
+        assert graph.num_edges >= 0.8 * sum(degrees) / 2
+
+    def test_validation(self):
+        from repro.graph.generators import configuration_model
+
+        with pytest.raises(GraphError):
+            configuration_model([1, 1, 1])  # odd sum
+        with pytest.raises(GraphError):
+            configuration_model([-1, 1])
+
+    def test_deterministic(self):
+        from repro.graph.generators import configuration_model
+
+        a = configuration_model([2] * 20, seed=3)
+        b = configuration_model([2] * 20, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the graph substrate.
+
+These check structural invariants on arbitrary edge sets, plus agreement
+with networkx as an independent reference implementation.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import connected_components, is_connected
+from repro.graph.conductance import conductance_of_cut, exact_conductance
+from repro.graph.social_graph import SocialGraph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(lambda e: e[0] != e[1]),
+    max_size=40,
+)
+
+
+def build(edges):
+    graph = SocialGraph()
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def to_networkx(graph: SocialGraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+@given(edge_lists)
+def test_handshake_lemma(edges):
+    graph = build(edges)
+    assert sum(graph.degree(n) for n in graph) == 2 * graph.num_edges
+
+
+@given(edge_lists)
+def test_adjacency_is_symmetric(edges):
+    graph = build(edges)
+    for u in graph:
+        for v in graph.neighbors_unsafe(u):
+            assert u in graph.neighbors_unsafe(v)
+
+
+@given(edge_lists)
+def test_components_partition_nodes(edges):
+    graph = build(edges)
+    components = connected_components(graph)
+    seen = set()
+    for component in components:
+        assert not (component & seen)
+        seen |= component
+    assert seen == set(graph.nodes())
+
+
+@given(edge_lists)
+def test_components_agree_with_networkx(edges):
+    graph = build(edges)
+    ours = sorted(sorted(c) for c in connected_components(graph))
+    theirs = sorted(sorted(c) for c in nx.connected_components(to_networkx(graph)))
+    assert ours == theirs
+
+
+@given(edge_lists)
+def test_subgraph_edges_subset(edges):
+    graph = build(edges)
+    nodes = [n for n in graph.nodes() if n % 2 == 0]
+    sub = graph.subgraph(nodes)
+    for u, v in sub.edges():
+        assert graph.has_edge(u, v)
+        assert u in nodes and v in nodes
+
+
+@given(edge_lists)
+def test_is_connected_matches_component_count(edges):
+    graph = build(edges)
+    if graph.num_nodes == 0:
+        assert is_connected(graph)
+    else:
+        assert is_connected(graph) == (len(connected_components(graph)) == 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(lambda e: e[0] != e[1]),
+        min_size=3,
+        max_size=20,
+    )
+)
+def test_exact_conductance_is_minimum_over_cuts(edges):
+    graph = build(edges)
+    if graph.num_nodes < 2 or graph.num_edges == 0 or not is_connected(graph):
+        return
+    phi = exact_conductance(graph)
+    nodes = graph.nodes()
+    # any specific cut must be >= the exact minimum
+    for k in range(1, len(nodes)):
+        try:
+            assert conductance_of_cut(graph, nodes[:k]) >= phi - 1e-12
+        except Exception:
+            continue

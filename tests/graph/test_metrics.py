@@ -1,0 +1,70 @@
+"""Unit tests for descriptive graph statistics."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import complete_graph, path_graph, star_graph
+from repro.graph.metrics import (
+    average_clustering,
+    average_common_neighbors,
+    degree_statistics,
+    edge_density,
+    local_clustering,
+    partition_modularity,
+)
+from repro.graph.social_graph import SocialGraph
+
+
+def test_average_common_neighbors():
+    graph = complete_graph(4)
+    # every edge in K4 shares exactly 2 common neighbors
+    assert average_common_neighbors(graph, graph.edges()) == pytest.approx(2.0)
+    assert average_common_neighbors(graph, []) == 0.0
+
+
+def test_local_clustering():
+    assert local_clustering(complete_graph(4), 0) == pytest.approx(1.0)
+    assert local_clustering(star_graph(5), 0) == 0.0
+    assert local_clustering(path_graph(3), 2) == 0.0  # degree < 2
+
+
+def test_average_clustering():
+    assert average_clustering(complete_graph(5)) == pytest.approx(1.0)
+    assert average_clustering(path_graph(4)) == 0.0
+    with pytest.raises(GraphError):
+        average_clustering(SocialGraph())
+
+
+def test_degree_statistics():
+    stats = degree_statistics(star_graph(4))
+    assert stats["max"] == 4
+    assert stats["min"] == 1
+    assert stats["median"] == 1
+    with pytest.raises(GraphError):
+        degree_statistics(SocialGraph())
+
+
+def test_edge_density():
+    assert edge_density(complete_graph(5)) == pytest.approx(1.0)
+    assert edge_density(path_graph(4)) == pytest.approx(3 / 6)
+    with pytest.raises(GraphError):
+        edge_density(SocialGraph(nodes=[1]))
+
+
+def test_modularity_of_clean_partition():
+    # Two triangles joined by one bridge: the natural partition scores high.
+    graph = SocialGraph(
+        edges=[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    )
+    good = partition_modularity(graph, [{0, 1, 2}, {3, 4, 5}])
+    bad = partition_modularity(graph, [{0, 3}, {1, 4}, {2, 5}])
+    assert good > 0.3
+    assert good > bad
+
+
+def test_modularity_rejects_overlap_and_empty():
+    graph = complete_graph(3)
+    with pytest.raises(GraphError):
+        partition_modularity(graph, [{0, 1}, {1, 2}])
+    with pytest.raises(GraphError):
+        partition_modularity(SocialGraph(nodes=[0, 1]), [{0}, {1}])

@@ -1,0 +1,55 @@
+"""Round-trip and parsing tests for SNAP edge-list I/O."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.snap import read_snap_edgelist, write_snap_edgelist
+
+
+def test_round_trip(tmp_path):
+    graph = erdos_renyi_graph(60, 0.1, seed=3)
+    path = tmp_path / "graph.txt"
+    write_snap_edgelist(graph, path, header="test graph")
+    loaded = read_snap_edgelist(path)
+    assert sorted(loaded.edges()) == sorted(graph.edges())
+
+
+def test_comments_blank_lines_and_self_loops(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text(
+        "# Directed SNAP-style file\n"
+        "\n"
+        "1\t2\n"
+        "2 1\n"  # reverse duplicate collapses
+        "3 3\n"  # self-loop dropped
+        "2 4\n"
+    )
+    graph = read_snap_edgelist(path)
+    assert graph.num_edges == 2
+    assert graph.has_edge(1, 2)
+    assert graph.has_edge(2, 4)
+    assert 3 not in graph  # only appeared in a dropped self-loop
+
+
+def test_malformed_line_raises(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("1\n")
+    with pytest.raises(GraphError):
+        read_snap_edgelist(path)
+
+
+def test_non_integer_ids_raise(tmp_path):
+    path = tmp_path / "bad2.txt"
+    path.write_text("a b\n")
+    with pytest.raises(GraphError):
+        read_snap_edgelist(path)
+
+
+def test_header_written(tmp_path):
+    graph = erdos_renyi_graph(10, 0.3, seed=1)
+    path = tmp_path / "g.txt"
+    write_snap_edgelist(graph, path, header="line one\nline two")
+    text = path.read_text()
+    assert text.startswith("# line one\n# line two\n")
+    assert f"# Nodes: {graph.num_nodes}" in text

@@ -1,0 +1,151 @@
+"""Unit tests for the SocialGraph container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.social_graph import (
+    SocialGraph,
+    edge_boundary,
+    triangle_count_at,
+    union_of_edges,
+)
+
+
+def test_empty_graph():
+    graph = SocialGraph()
+    assert graph.num_nodes == 0
+    assert graph.num_edges == 0
+    assert list(graph.edges()) == []
+
+
+def test_add_nodes_and_edges():
+    graph = SocialGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    assert graph.num_nodes == 3
+    assert graph.num_edges == 2
+    assert graph.has_edge(1, 2)
+    assert graph.has_edge(2, 1)
+    assert not graph.has_edge(1, 3)
+
+
+def test_add_node_idempotent():
+    graph = SocialGraph()
+    graph.add_node(5)
+    graph.add_node(5)
+    assert graph.num_nodes == 1
+
+
+def test_duplicate_edge_is_noop():
+    graph = SocialGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 1)
+    assert graph.num_edges == 1
+
+
+def test_self_loop_rejected():
+    graph = SocialGraph()
+    with pytest.raises(GraphError):
+        graph.add_edge(3, 3)
+
+
+def test_constructor_with_nodes_and_edges():
+    graph = SocialGraph(nodes=[1, 2, 3, 9], edges=[(1, 2), (2, 3)])
+    assert graph.num_nodes == 4
+    assert graph.degree(9) == 0
+    assert graph.degree(2) == 2
+
+
+def test_remove_edge():
+    graph = SocialGraph(edges=[(1, 2), (2, 3)])
+    graph.remove_edge(1, 2)
+    assert not graph.has_edge(1, 2)
+    assert graph.num_edges == 1
+    with pytest.raises(GraphError):
+        graph.remove_edge(1, 2)
+
+
+def test_remove_node_removes_incident_edges():
+    graph = SocialGraph(edges=[(1, 2), (2, 3), (1, 3)])
+    graph.remove_node(2)
+    assert 2 not in graph
+    assert graph.num_edges == 1
+    assert graph.has_edge(1, 3)
+
+
+def test_remove_missing_node_raises():
+    with pytest.raises(GraphError):
+        SocialGraph().remove_node(1)
+
+
+def test_neighbors_and_degree():
+    graph = SocialGraph(edges=[(1, 2), (1, 3)])
+    assert graph.neighbors(1) == frozenset({2, 3})
+    assert graph.degree(1) == 2
+    assert graph.degree(2) == 1
+    with pytest.raises(GraphError):
+        graph.neighbors(42)
+    with pytest.raises(GraphError):
+        graph.degree(42)
+
+
+def test_edges_listed_once():
+    graph = SocialGraph(edges=[(2, 1), (3, 1), (2, 3)])
+    edges = sorted(graph.edges())
+    assert edges == [(1, 2), (1, 3), (2, 3)]
+
+
+def test_common_neighbors():
+    graph = SocialGraph(edges=[(1, 2), (1, 3), (2, 3), (3, 4), (2, 4)])
+    assert graph.common_neighbors(1, 4) == {2, 3}
+    assert graph.common_neighbors(1, 2) == {3}
+    assert graph.common_neighbors(1, 42) == set()
+
+
+def test_subgraph_induced():
+    graph = SocialGraph(edges=[(1, 2), (2, 3), (3, 4)])
+    sub = graph.subgraph([1, 2, 3, 99])
+    assert sub.num_nodes == 3  # unknown id 99 ignored
+    assert sub.has_edge(1, 2)
+    assert sub.has_edge(2, 3)
+    assert not sub.has_edge(3, 4)
+
+
+def test_copy_is_independent():
+    graph = SocialGraph(edges=[(1, 2)])
+    clone = graph.copy()
+    clone.add_edge(2, 3)
+    assert graph.num_edges == 1
+    assert clone.num_edges == 2
+
+
+def test_degree_sequence_descending():
+    graph = SocialGraph(edges=[(1, 2), (1, 3), (1, 4)])
+    assert graph.degree_sequence() == [3, 1, 1, 1]
+
+
+def test_volume():
+    graph = SocialGraph(edges=[(1, 2), (2, 3)])
+    assert graph.volume([2]) == 2
+    assert graph.volume([1, 3]) == 2
+    assert graph.volume(graph.nodes()) == 2 * graph.num_edges
+
+
+def test_union_of_edges():
+    a = SocialGraph(edges=[(1, 2)])
+    b = SocialGraph(edges=[(2, 3)])
+    merged = union_of_edges([a, b])
+    assert merged.num_edges == 2
+    assert merged.num_nodes == 3
+
+
+def test_edge_boundary():
+    graph = SocialGraph(edges=[(1, 2), (2, 3), (3, 4)])
+    cut = set(edge_boundary(graph, {1, 2}))
+    assert cut == {(2, 3)}
+
+
+def test_triangle_count():
+    graph = SocialGraph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+    assert triangle_count_at(graph, 1) == 1
+    assert triangle_count_at(graph, 4) == 0

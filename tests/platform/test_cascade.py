@@ -1,0 +1,126 @@
+"""Unit and behavioural tests for the cascade propagation model."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.graph.generators import community_graph
+from repro.platform.cascade import (
+    CascadeParams,
+    run_cascade,
+    sample_response_delay,
+)
+from repro.platform.clock import DAY, HOUR
+from repro.platform.store import MicroblogStore
+from repro.platform.users import generate_profile
+from repro.platform.workload import KeywordSpec, constant_intensity
+
+
+def make_store(n=400, seed=5):
+    store = MicroblogStore(community_graph(n, seed=seed))
+    rng = random.Random(seed)
+    for user_id in range(n):
+        store.add_user(generate_profile(user_id, seed=rng))
+    store.refresh_follower_counts()
+    return store
+
+
+def test_params_validation():
+    with pytest.raises(PlatformError):
+        CascadeParams(delay_model="bogus")
+    with pytest.raises(PlatformError):
+        CascadeParams(fast_fraction=1.5)
+    with pytest.raises(PlatformError):
+        CascadeParams(exposure_cap=0)
+    with pytest.raises(PlatformError):
+        CascadeParams(weak_tie_multiplier=2.0)
+    with pytest.raises(PlatformError):
+        CascadeParams(delay_median=0)
+
+
+def test_lognormal_delay_median():
+    params = CascadeParams(delay_model="lognormal", delay_median=4 * HOUR, delay_sigma=1.0)
+    rng = random.Random(1)
+    delays = [sample_response_delay(params, rng) for _ in range(4000)]
+    assert statistics.median(delays) == pytest.approx(4 * HOUR, rel=0.15)
+
+
+def test_mixture_delay_mostly_fast():
+    params = CascadeParams(delay_model="mixture", fast_fraction=0.92)
+    rng = random.Random(2)
+    delays = [sample_response_delay(params, rng) for _ in range(4000)]
+    within_hour = sum(1 for d in delays if d <= 3600.0) / len(delays)
+    # ~92% of draws are fast with mean 22min; most of those land within 1h
+    assert within_hour > 0.8
+
+
+def test_cascade_determinism():
+    store_a, store_b = make_store(), make_store()
+    spec = KeywordSpec("topic", constant_intensity(4.0), 0.3)
+    result_a = run_cascade(store_a, spec, horizon=60 * DAY, seed=3)
+    result_b = run_cascade(store_b, spec, horizon=60 * DAY, seed=3)
+    assert result_a.adoption_times == result_b.adoption_times
+    assert result_a.total_posts == result_b.total_posts
+
+
+def test_adoption_times_within_horizon():
+    store = make_store()
+    spec = KeywordSpec("topic", constant_intensity(4.0), 0.3)
+    result = run_cascade(store, spec, horizon=60 * DAY, seed=4)
+    assert result.num_adopters > 0
+    assert all(0 <= t < 60 * DAY for t in result.adoption_times.values())
+
+
+def test_first_mentions_match_adoption_times():
+    store = make_store()
+    spec = KeywordSpec("topic", constant_intensity(4.0), 0.3)
+    result = run_cascade(store, spec, horizon=60 * DAY, seed=5)
+    mentions = store.first_mention_times("topic")
+    assert mentions == result.adoption_times
+
+
+def test_posts_written_for_each_adopter():
+    store = make_store()
+    spec = KeywordSpec("topic", constant_intensity(4.0), 0.3)
+    result = run_cascade(store, spec, horizon=60 * DAY, seed=6)
+    assert result.total_posts >= result.num_adopters
+    assert store.num_posts == result.total_posts
+
+
+def test_higher_adoption_probability_spreads_further():
+    sizes = []
+    for beta in (0.05, 0.5):
+        store = make_store()
+        spec = KeywordSpec("topic", constant_intensity(2.0), beta)
+        sizes.append(run_cascade(store, spec, horizon=60 * DAY, seed=7).num_adopters)
+    assert sizes[1] > sizes[0]
+
+
+def test_max_adopters_cap():
+    store = make_store()
+    spec = KeywordSpec("topic", constant_intensity(10.0), 0.5)
+    params = CascadeParams(max_adopters=25)
+    result = run_cascade(store, spec, horizon=60 * DAY, params=params, seed=8)
+    assert result.num_adopters <= 25
+
+
+def test_intensity_scale():
+    small = run_cascade(
+        make_store(), KeywordSpec("t", constant_intensity(4.0), 0.0),
+        horizon=60 * DAY, seed=9, intensity_scale=0.25,
+    )
+    large = run_cascade(
+        make_store(), KeywordSpec("t", constant_intensity(4.0), 0.0),
+        horizon=60 * DAY, seed=9, intensity_scale=4.0,
+    )
+    assert large.num_adopters > small.num_adopters
+    with pytest.raises(PlatformError):
+        run_cascade(make_store(), KeywordSpec("t", constant_intensity(1.0)), 10 * DAY,
+                    intensity_scale=0)
+
+
+def test_empty_store_rejected():
+    with pytest.raises(PlatformError):
+        run_cascade(MicroblogStore(), KeywordSpec("t", constant_intensity(1.0)), 10 * DAY)

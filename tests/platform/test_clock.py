@@ -1,0 +1,40 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.clock import DAY, HOUR, MINUTE, WEEK, SimulatedClock, format_timestamp
+
+
+def test_constants_consistent():
+    assert HOUR == 60 * MINUTE
+    assert DAY == 24 * HOUR
+    assert WEEK == 7 * DAY
+
+
+def test_advance():
+    clock = SimulatedClock()
+    assert clock.now() == 0.0
+    clock.advance(10.0)
+    assert clock.now() == 10.0
+    clock.advance(0.0)
+    assert clock.now() == 10.0
+
+
+def test_negative_advance_rejected():
+    with pytest.raises(PlatformError):
+        SimulatedClock().advance(-1.0)
+
+
+def test_sleep_until_only_moves_forward():
+    clock = SimulatedClock(start=100.0)
+    clock.sleep_until(50.0)
+    assert clock.now() == 100.0
+    clock.sleep_until(200.0)
+    assert clock.now() == 200.0
+
+
+def test_format_timestamp():
+    stamp = format_timestamp(2 * DAY + 3 * HOUR + 25 * MINUTE)
+    assert "day   2" in stamp
+    assert "03:25" in stamp

@@ -1,0 +1,71 @@
+"""Unit tests for platform API profiles."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.clock import DAY, MINUTE, WEEK
+from repro.platform.profiles import ALL_PROFILES, GOOGLE_PLUS, TUMBLR, TWITTER, PlatformProfile
+
+
+def test_twitter_constants_match_paper():
+    assert TWITTER.search_window == WEEK
+    assert TWITTER.timeline_cap == 3200
+    assert TWITTER.connections_page_size == 5000
+    assert TWITTER.rate_limit_calls == 180
+    assert TWITTER.rate_limit_window == 15 * MINUTE
+    assert not TWITTER.exposes_gender
+
+
+def test_google_plus_constants_match_paper():
+    assert GOOGLE_PLUS.search_page_size == 20
+    assert GOOGLE_PLUS.rate_limit_calls == 10_000
+    assert GOOGLE_PLUS.rate_limit_window == DAY
+    assert GOOGLE_PLUS.exposes_gender
+    assert GOOGLE_PLUS.connections_are_coactivity
+
+
+def test_tumblr_rate_limit():
+    assert TUMBLR.rate_limit_calls == 1
+    assert TUMBLR.rate_limit_window == 10.0
+
+
+def test_all_profiles_registry():
+    assert set(ALL_PROFILES) == {"twitter", "google+", "tumblr", "reddit"}
+
+
+def test_calls_for_items_ceiling():
+    assert TWITTER.calls_for_items(0, 200) == 1
+    assert TWITTER.calls_for_items(1, 200) == 1
+    assert TWITTER.calls_for_items(200, 200) == 1
+    assert TWITTER.calls_for_items(201, 200) == 2
+    assert TWITTER.calls_for_items(1000, 200) == 5
+
+
+def test_validation():
+    with pytest.raises(PlatformError):
+        PlatformProfile("x", -1, 10, 10, None, 10, 10, 60.0)
+    with pytest.raises(PlatformError):
+        PlatformProfile("x", WEEK, 0, 10, None, 10, 10, 60.0)
+    with pytest.raises(PlatformError):
+        PlatformProfile("x", WEEK, 10, 10, 0, 10, 10, 60.0)
+    with pytest.raises(PlatformError):
+        PlatformProfile("x", WEEK, 10, 10, None, 10, 0, 60.0)
+
+
+def test_search_results_cap_validation():
+    import dataclasses
+
+    with pytest.raises(PlatformError):
+        dataclasses.replace(TWITTER, search_results_cap=0)
+    capped = dataclasses.replace(TWITTER, search_results_cap=1000)
+    assert capped.search_results_cap == 1000
+
+
+def test_reddit_profile():
+    from repro.platform.profiles import REDDIT, ALL_PROFILES
+
+    assert REDDIT.rate_limit_calls == 1
+    assert REDDIT.rate_limit_window == 2.0
+    assert REDDIT.search_results_cap == 1000
+    assert REDDIT.connections_are_coactivity
+    assert "reddit" in ALL_PROFILES

@@ -1,0 +1,88 @@
+"""Round-trip tests for platform save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import MicroblogAnalyzer
+from repro.core.query import count_users
+from repro.errors import PlatformError
+from repro.groundtruth import exact_value
+from repro.platform.clock import DAY
+from repro.platform.serialization import load_platform, save_platform
+
+
+@pytest.fixture(scope="module")
+def archive_path(tmp_path_factory):
+    return tmp_path_factory.mktemp("platforms") / "platform.npz"
+
+
+def test_round_trip_preserves_everything(tiny_platform, archive_path):
+    save_platform(tiny_platform, archive_path)
+    loaded = load_platform(archive_path)
+
+    assert loaded.store.num_users == tiny_platform.store.num_users
+    assert loaded.store.num_posts == tiny_platform.store.num_posts
+    assert sorted(loaded.graph.edges()) == sorted(tiny_platform.graph.edges())
+    assert loaded.now == tiny_platform.now
+    assert loaded.profile.name == tiny_platform.profile.name
+
+    # profiles
+    for user_id in list(tiny_platform.store.user_ids())[:50]:
+        original = tiny_platform.store.profile(user_id)
+        restored = loaded.store.profile(user_id)
+        assert restored.display_name == original.display_name
+        assert restored.gender == original.gender
+        assert restored.age == original.age
+        assert restored.followers == original.followers
+
+    # keyword indexes
+    for keyword in tiny_platform.store.keywords():
+        assert loaded.store.first_mention_times(keyword) == (
+            tiny_platform.store.first_mention_times(keyword)
+        )
+
+    # cascades
+    for keyword, cascade in tiny_platform.cascades.items():
+        assert loaded.cascades[keyword].adoption_times == cascade.adoption_times
+        assert loaded.cascades[keyword].total_posts == cascade.total_posts
+
+
+def test_ground_truth_identical_after_reload(tiny_platform, archive_path):
+    save_platform(tiny_platform, archive_path)
+    loaded = load_platform(archive_path)
+    query = count_users("privacy")
+    assert exact_value(loaded.store, query) == exact_value(tiny_platform.store, query)
+
+
+def test_estimation_runs_on_loaded_platform(tiny_platform, archive_path):
+    save_platform(tiny_platform, archive_path)
+    loaded = load_platform(archive_path)
+    analyzer = MicroblogAnalyzer(loaded, algorithm="ma-srw", interval=DAY, seed=1)
+    result = analyzer.estimate(count_users("privacy"), budget=3_000)
+    assert result.cost_total <= 3_000
+
+
+def test_version_check(tiny_platform, tmp_path):
+    path = tmp_path / "bad.npz"
+    save_platform(tiny_platform, path)
+    with np.load(path, allow_pickle=True) as archive:
+        data = {name: archive[name] for name in archive.files}
+    import json
+
+    header = json.loads(bytes(data["header"]).decode("utf-8"))
+    header["format_version"] = 999
+    data["header"] = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **data)
+    with pytest.raises(PlatformError):
+        load_platform(path)
+
+
+def test_round_trip_preserves_alternate_profile(tiny_platform, tmp_path):
+    from repro.platform.profiles import GOOGLE_PLUS
+
+    gplus = tiny_platform.with_profile(GOOGLE_PLUS)
+    path = tmp_path / "gplus.npz"
+    save_platform(gplus, path)
+    loaded = load_platform(path)
+    assert loaded.profile.name == "google+"
+    assert loaded.profile.exposes_gender

@@ -1,0 +1,105 @@
+"""Unit tests for the MicroblogStore."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.posts import Post, make_keywords
+from repro.platform.store import MicroblogStore
+from repro.platform.users import Gender, UserProfile
+
+
+def make_store():
+    store = MicroblogStore()
+    for user_id in (1, 2, 3):
+        store.add_user(UserProfile(user_id, f"user{user_id}", Gender.MALE, 30))
+    return store
+
+
+def keyword_post(store, user_id, timestamp, *words):
+    post = Post(
+        post_id=store.new_post_id(),
+        user_id=user_id,
+        timestamp=timestamp,
+        keywords=make_keywords(*words),
+    )
+    store.add_post(post)
+    return post
+
+
+def test_add_user_and_duplicates():
+    store = make_store()
+    assert store.num_users == 3
+    with pytest.raises(PlatformError):
+        store.add_user(UserProfile(1, "dup", Gender.FEMALE, 20))
+
+
+def test_post_by_unknown_user_rejected():
+    store = make_store()
+    with pytest.raises(PlatformError):
+        store.add_post(Post(0, 99, 1.0))
+
+
+def test_timeline_sorted_even_with_out_of_order_inserts():
+    store = make_store()
+    keyword_post(store, 1, 50.0, "privacy")
+    keyword_post(store, 1, 10.0, "privacy")
+    keyword_post(store, 1, 30.0)
+    times = [p.timestamp for p in store.timeline(1)]
+    assert times == [10.0, 30.0, 50.0]
+    assert store.timeline_length(1) == 3
+
+
+def test_unknown_user_lookups_raise():
+    store = make_store()
+    with pytest.raises(PlatformError):
+        store.timeline(99)
+    with pytest.raises(PlatformError):
+        store.profile(99)
+    with pytest.raises(PlatformError):
+        store.timeline_length(99)
+
+
+def test_keyword_posts_window():
+    store = make_store()
+    keyword_post(store, 1, 10.0, "privacy")
+    keyword_post(store, 2, 20.0, "privacy")
+    keyword_post(store, 3, 30.0, "privacy")
+    hits = list(store.keyword_posts("privacy", start=15.0, end=30.0))
+    assert [h[1] for h in hits] == [2]
+    # case-insensitivity
+    assert len(list(store.keyword_posts("PRIVACY"))) == 3
+
+
+def test_users_mentioning_distinct_and_ordered_by_first_seen():
+    store = make_store()
+    keyword_post(store, 2, 10.0, "privacy")
+    keyword_post(store, 1, 20.0, "privacy")
+    keyword_post(store, 2, 30.0, "privacy")
+    assert store.users_mentioning("privacy") == [2, 1]
+
+
+def test_first_mention_time_tracks_minimum():
+    store = make_store()
+    keyword_post(store, 1, 50.0, "privacy")
+    keyword_post(store, 1, 10.0, "privacy")
+    assert store.first_mention_time("privacy", 1) == 10.0
+    assert store.first_mention_time("privacy", 2) is None
+    assert store.first_mention_times("privacy") == {1: 10.0}
+
+
+def test_refresh_follower_counts():
+    store = make_store()
+    store.graph.add_edge(1, 2)
+    store.graph.add_edge(1, 3)
+    store.refresh_follower_counts()
+    assert store.profile(1).followers == 2
+    assert store.profile(2).followers == 1
+
+
+def test_all_posts_and_counts():
+    store = make_store()
+    keyword_post(store, 1, 1.0, "a")
+    keyword_post(store, 2, 2.0)
+    assert store.num_posts == 2
+    assert len(list(store.all_posts())) == 2
+    assert sorted(store.keywords()) == ["a"]

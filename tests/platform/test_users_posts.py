@@ -1,0 +1,53 @@
+"""Unit tests for user profiles and posts."""
+
+import random
+
+from repro.platform.posts import Post, make_keywords
+from repro.platform.users import Gender, UserProfile, generate_profile
+
+
+class TestProfiles:
+    def test_generate_profile_fields(self):
+        profile = generate_profile(7, seed=1)
+        assert profile.user_id == 7
+        assert profile.display_name
+        assert 13 <= profile.age <= 80
+        assert isinstance(profile.gender, Gender)
+        assert profile.followers == 0  # filled in later from the graph
+
+    def test_deterministic_given_seed(self):
+        assert generate_profile(1, seed=9) == generate_profile(1, seed=9)
+
+    def test_display_name_length_property(self):
+        profile = UserProfile(1, "abcdef", Gender.FEMALE, 30)
+        assert profile.display_name_length == 6
+
+    def test_gender_distribution_contains_all(self):
+        rng = random.Random(3)
+        genders = {generate_profile(i, seed=rng).gender for i in range(300)}
+        assert genders == {Gender.MALE, Gender.FEMALE, Gender.UNDISCLOSED}
+
+
+class TestPosts:
+    def test_make_keywords_normalises(self):
+        assert make_keywords("Privacy", "NEW YORK") == frozenset({"privacy", "new york"})
+
+    def test_mentions_case_insensitive(self):
+        post = Post(1, 2, 100.0, keywords=make_keywords("Privacy"))
+        assert post.mentions("privacy")
+        assert post.mentions("PRIVACY")
+        assert not post.mentions("boston")
+
+    def test_in_window_half_open(self):
+        post = Post(1, 2, 100.0)
+        assert post.in_window(100.0, 101.0)
+        assert not post.in_window(99.0, 100.0)
+
+    def test_posts_are_immutable(self):
+        post = Post(1, 2, 100.0)
+        try:
+            post.likes = 5
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

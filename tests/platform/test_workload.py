@@ -1,0 +1,70 @@
+"""Unit tests for keyword workload shapes."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.clock import DAY
+from repro.platform.workload import (
+    KeywordSpec,
+    constant_intensity,
+    event_intensity,
+    fading_intensity,
+    keyword_catalogue_by_name,
+    spiky_intensity,
+    standard_keywords,
+)
+
+
+def test_constant_intensity():
+    fn = constant_intensity(5.0)
+    assert fn(0) == fn(100 * DAY) == 5.0
+    with pytest.raises(PlatformError):
+        constant_intensity(-1)
+
+
+def test_spiky_intensity_peaks_at_spike_day():
+    fn = spiky_intensity(1.0, spikes=[(100, 20.0)], spike_width_days=3.0)
+    assert fn(100 * DAY) == pytest.approx(21.0)
+    assert fn(100 * DAY) > fn(60 * DAY)
+    assert fn(60 * DAY) == pytest.approx(1.0, abs=0.2)
+
+
+def test_event_intensity_step_and_decay():
+    fn = event_intensity(2.0, event_day=104, peak_per_day=50.0, decay_days=5.0)
+    before = fn(100 * DAY)
+    at_event = fn(104 * DAY)
+    later = fn(120 * DAY)
+    assert before == pytest.approx(2.0)
+    assert at_event == pytest.approx(52.0)
+    assert before < later < at_event
+
+
+def test_fading_intensity_halves_and_floors():
+    fn = fading_intensity(8.0, half_life_days=10, floor_per_day=0.5)
+    assert fn(0) == pytest.approx(8.0)
+    assert fn(10 * DAY) == pytest.approx(4.0)
+    assert fn(1000 * DAY) == pytest.approx(0.5)
+
+
+def test_expected_seeds_riemann():
+    spec = KeywordSpec("x", constant_intensity(2.0))
+    assert spec.expected_seeds(horizon=10 * DAY) == pytest.approx(20.0, rel=0.05)
+
+
+def test_standard_keywords_catalogue():
+    specs = standard_keywords()
+    names = {spec.keyword for spec in specs}
+    # the Figure 7 archetypes plus the Table 2 keywords
+    assert {"privacy", "new york", "boston", "fiscalcliff", "super bowl",
+            "obamacare", "tunisia", "simvastatin", "oprah winfrey"} <= names
+    for spec in specs:
+        assert 0 < spec.adoption_probability < 1
+        assert spec.intensity(100 * DAY) >= 0
+
+
+def test_scale_multiplies_rates():
+    base = keyword_catalogue_by_name(1.0)["new york"]
+    doubled = keyword_catalogue_by_name(2.0)["new york"]
+    assert doubled.intensity(0) == pytest.approx(2 * base.intensity(0))
+    with pytest.raises(PlatformError):
+        standard_keywords(scale=0)

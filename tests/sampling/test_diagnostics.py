@@ -1,0 +1,97 @@
+"""Tests for the Geweke diagnostic and burn-in detection."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.sampling.diagnostics import autocorrelation, detect_burn_in, geweke_z
+
+
+def white_noise(n, seed=1):
+    rng = random.Random(seed)
+    return [rng.gauss(0, 1) for _ in range(n)]
+
+
+class TestGewekeZ:
+    def test_stationary_series_has_small_z(self):
+        series = white_noise(3000)
+        assert abs(geweke_z(series)) < 2.0
+
+    def test_trending_series_has_large_z(self):
+        rng = random.Random(2)
+        series = [i / 100.0 + rng.gauss(0, 0.1) for i in range(2000)]
+        assert abs(geweke_z(series)) > 3.0
+
+    def test_constant_series_is_zero(self):
+        assert geweke_z([5.0] * 200) == 0.0
+
+    def test_step_change_detected_as_infinite_or_large(self):
+        series = [0.0] * 100 + [10.0] * 900
+        z = geweke_z(series)
+        assert math.isinf(z) or abs(z) > 3.0
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(EstimationError):
+            geweke_z([1.0])
+
+    def test_fraction_validation(self):
+        series = white_noise(100)
+        with pytest.raises(EstimationError):
+            geweke_z(series, first_fraction=0.0)
+        with pytest.raises(EstimationError):
+            geweke_z(series, first_fraction=0.6, last_fraction=0.6)
+        with pytest.raises(EstimationError):
+            geweke_z(series, batches=1)
+
+    def test_autocorrelated_chain_not_overconfident(self):
+        """Batch-means variance keeps Z honest for slowly mixing chains."""
+        rng = random.Random(3)
+        series = [0.0]
+        for _ in range(4999):
+            series.append(0.98 * series[-1] + rng.gauss(0, 1))
+        # an AR(0.98) chain started at its mean is stationary; naive iid
+        # variance would blow |Z| well past 10 here
+        assert abs(geweke_z(series[1000:])) < 4.0
+
+
+class TestDetectBurnIn:
+    def test_no_burn_in_needed(self):
+        assert detect_burn_in(white_noise(2000)) == 0
+
+    def test_detects_transient_prefix(self):
+        rng = random.Random(4)
+        transient = [10.0 - i / 20.0 for i in range(200)]
+        stationary = [rng.gauss(0, 1) for _ in range(2000)]
+        burn = detect_burn_in(transient + stationary, step=50)
+        assert burn is not None
+        # must discard at least half the transient, and not most of the chain
+        assert 100 <= burn <= 1200
+
+    def test_never_converging_returns_none(self):
+        series = [float(i) for i in range(1000)]
+        assert detect_burn_in(series) is None
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            detect_burn_in([1.0] * 10, threshold=0)
+        with pytest.raises(EstimationError):
+            detect_burn_in([1.0] * 10, step=0)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        assert autocorrelation(white_noise(500), 0) == pytest.approx(1.0)
+
+    def test_white_noise_uncorrelated(self):
+        assert abs(autocorrelation(white_noise(5000), 5)) < 0.1
+
+    def test_constant_series(self):
+        assert autocorrelation([3.0] * 50, 3) == 0.0
+
+    def test_lag_bounds(self):
+        with pytest.raises(EstimationError):
+            autocorrelation([1.0, 2.0], 2)
+        with pytest.raises(EstimationError):
+            autocorrelation([1.0, 2.0], -1)

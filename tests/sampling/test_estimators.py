@@ -1,0 +1,79 @@
+"""Tests for Hansen–Hurwitz and ratio estimators, including a
+property-based unbiasedness check."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimationError
+from repro.sampling.estimators import hansen_hurwitz, ratio_average, weighted_fraction
+
+
+class TestHansenHurwitz:
+    def test_exact_for_uniform_sampling(self):
+        # sampling each of 4 units with p=1/4, observing all once
+        values = [10.0, 20.0, 30.0, 40.0]
+        probabilities = [0.25] * 4
+        assert hansen_hurwitz(values, probabilities) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            hansen_hurwitz([1.0], [])
+        with pytest.raises(EstimationError):
+            hansen_hurwitz([], [])
+        with pytest.raises(EstimationError):
+            hansen_hurwitz([1.0], [0.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=8),
+        st.integers(0, 1000),
+    )
+    def test_unbiased_over_repeated_sampling(self, population, seed):
+        """Empirical mean of HH estimates approaches the true total."""
+        total = sum(population)
+        n = len(population)
+        weights = [index + 1.0 for index in range(n)]  # non-uniform probs
+        prob_sum = sum(weights)
+        probabilities = [w / prob_sum for w in weights]
+        rng = random.Random(seed)
+        estimates = []
+        for _ in range(600):
+            draws = rng.choices(range(n), weights=weights, k=4)
+            estimates.append(
+                hansen_hurwitz(
+                    [population[i] for i in draws],
+                    [probabilities[i] for i in draws],
+                )
+            )
+        assert statistics.fmean(estimates) == pytest.approx(total, rel=0.25, abs=1.0)
+
+
+class TestRatioAverage:
+    def test_recovers_uniform_mean_from_degree_biased_samples(self):
+        # degree-2 unit sampled twice as often as degree-1 unit
+        values = [10.0, 10.0, 40.0]
+        degrees = [2, 2, 1]
+        # debiased: (10/2 + 10/2 + 40/1) / (1/2 + 1/2 + 1/1) = 50/2 = 25
+        assert ratio_average(values, degrees) == pytest.approx(25.0)
+
+    def test_constant_values(self):
+        assert ratio_average([7.0] * 5, [1, 2, 3, 4, 5]) == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            ratio_average([], [])
+        with pytest.raises(EstimationError):
+            ratio_average([1.0], [0])
+        with pytest.raises(EstimationError):
+            ratio_average([1.0, 2.0], [1])
+
+
+def test_weighted_fraction():
+    flags = [1.0, 0.0, 1.0]
+    degrees = [1, 1, 2]
+    # (1/1 + 0 + 1/2) / (1 + 1 + 1/2) = 1.5 / 2.5
+    assert weighted_fraction(flags, degrees) == pytest.approx(0.6)

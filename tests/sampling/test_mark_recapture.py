@@ -1,0 +1,76 @@
+"""Tests for mark-and-recapture COUNT estimation."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+from repro.graph.components import largest_component
+from repro.sampling.mark_recapture import (
+    chapman_estimate,
+    count_collisions,
+    katzir_count,
+)
+from repro.sampling.random_walk import collect_samples
+
+
+def test_count_collisions():
+    assert count_collisions([1, 2, 3]) == 0
+    assert count_collisions([1, 1]) == 1
+    assert count_collisions([1, 1, 1]) == 3
+    assert count_collisions([1, 1, 2, 2, 2]) == 4
+
+
+def test_katzir_validation():
+    with pytest.raises(EstimationError):
+        katzir_count([1], [2])
+    with pytest.raises(EstimationError):
+        katzir_count([1, 2], [2])
+    with pytest.raises(EstimationError):
+        katzir_count([1, 2], [2, 0])
+    with pytest.raises(EstimationError):
+        katzir_count([1, 2], [2, 2])  # no collisions yet
+
+
+def test_katzir_on_complete_graph_samples():
+    """Uniform sampling over K_n is exactly the regular-graph case."""
+    n = 40
+    rng = random.Random(1)
+    estimates = []
+    for _ in range(40):
+        nodes = [rng.randrange(n) for _ in range(60)]
+        degrees = [n - 1] * 60
+        estimates.append(katzir_count(nodes, degrees).population)
+    assert statistics.median(estimates) == pytest.approx(n, rel=0.3)
+
+
+def test_katzir_on_random_walk_samples():
+    graph = erdos_renyi_graph(300, 0.05, seed=2)
+    component = largest_component(graph)
+    start = next(iter(component))
+    estimates = []
+    for seed in range(15):
+        samples = collect_samples(
+            lambda node: sorted(graph.neighbors_unsafe(node)),
+            start, num_samples=400, burn_in=100, seed=seed,
+        )
+        estimates.append(katzir_count(samples.nodes, samples.degrees).population)
+    assert statistics.median(estimates) == pytest.approx(len(component), rel=0.35)
+
+
+def test_katzir_result_fields():
+    result = katzir_count([1, 1, 2], [2, 2, 2])
+    assert result.samples == 3
+    assert result.collisions == 1
+    assert result.population > 0
+
+
+def test_chapman_estimate():
+    # classic example: 100 marked, 100 recaptured, 20 overlap -> ~480
+    assert chapman_estimate(100, 100, 20) == pytest.approx(485.2, abs=1.0)
+    with pytest.raises(EstimationError):
+        chapman_estimate(10, 10, 11)
+    with pytest.raises(EstimationError):
+        chapman_estimate(-1, 10, 0)

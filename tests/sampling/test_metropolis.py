@@ -1,0 +1,54 @@
+"""Tests for the Metropolis–Hastings walk."""
+
+import collections
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.graph.generators import star_graph
+from repro.sampling.metropolis import MetropolisHastingsWalk, collect_uniform_samples
+
+
+def neighbor_fn(graph):
+    return lambda node: sorted(graph.neighbors_unsafe(node))
+
+
+def test_uniform_stationary_distribution():
+    graph = star_graph(4)  # SRW would give the hub 50% of samples
+    samples = collect_uniform_samples(
+        neighbor_fn(graph), 0, num_samples=5000, burn_in=100, seed=4
+    )
+    counts = collections.Counter(samples.nodes)
+    hub_fraction = counts[0] / len(samples)
+    # uniform over 5 nodes -> 0.2
+    assert hub_fraction == pytest.approx(0.2, abs=0.05)
+
+
+def test_rejections_happen_at_degree_mismatch():
+    graph = star_graph(6)
+    walk = MetropolisHastingsWalk(neighbor_fn(graph), start=0, seed=1)
+    list(walk.run(300))
+    # hub (degree 6) proposes spokes (degree 1); acceptance 1, but spokes
+    # propose the hub with acceptance 1/6 -> rejections must occur
+    assert walk.rejections > 0
+
+
+def test_deterministic_given_seed():
+    graph = star_graph(3)
+    a = list(MetropolisHastingsWalk(neighbor_fn(graph), 0, seed=2).run(40))
+    b = list(MetropolisHastingsWalk(neighbor_fn(graph), 0, seed=2).run(40))
+    assert a == b
+
+
+def test_dead_end_restart():
+    walk = MetropolisHastingsWalk(lambda n: [], start=5, seed=1)
+    assert walk.step() == 5
+    assert walk.dead_end_restarts == 1
+
+
+def test_validation():
+    graph = star_graph(3)
+    with pytest.raises(EstimationError):
+        collect_uniform_samples(neighbor_fn(graph), 0, num_samples=0)
+    with pytest.raises(EstimationError):
+        collect_uniform_samples(neighbor_fn(graph), 0, num_samples=1, thinning=0)

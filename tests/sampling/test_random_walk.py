@@ -1,0 +1,73 @@
+"""Tests for the simple random walk."""
+
+import collections
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.graph.generators import complete_graph, path_graph, star_graph
+from repro.graph.social_graph import SocialGraph
+from repro.sampling.random_walk import SimpleRandomWalk, collect_samples
+
+
+def neighbor_fn(graph):
+    return lambda node: sorted(graph.neighbors_unsafe(node))
+
+
+def test_walk_stays_on_graph():
+    graph = complete_graph(6)
+    walk = SimpleRandomWalk(neighbor_fn(graph), start=0, seed=1)
+    for node in walk.run(200):
+        assert node in graph
+
+
+def test_walk_deterministic_given_seed():
+    graph = complete_graph(6)
+    a = list(SimpleRandomWalk(neighbor_fn(graph), 0, seed=3).run(50))
+    b = list(SimpleRandomWalk(neighbor_fn(graph), 0, seed=3).run(50))
+    assert a == b
+
+
+def test_dead_end_restarts():
+    graph = SocialGraph(nodes=[0, 1])
+    graph.add_edge(0, 1)
+    graph.add_node(2)  # isolated
+    walk = SimpleRandomWalk(lambda n: [] if n == 2 else [2], start=2, seed=1)
+    walk.step()
+    assert walk.dead_end_restarts == 1
+    assert walk.current == 2  # restarted at start
+
+
+def test_stationary_distribution_proportional_to_degree():
+    graph = star_graph(4)  # hub 0 degree 4, spokes degree 1
+    samples = collect_samples(neighbor_fn(graph), 0, num_samples=4000, burn_in=50, seed=5)
+    counts = collections.Counter(samples.nodes)
+    hub_fraction = counts[0] / len(samples)
+    # stationary: hub mass = 4/8 = 0.5
+    assert hub_fraction == pytest.approx(0.5, abs=0.05)
+
+
+def test_collect_samples_respects_thinning_and_burn_in():
+    graph = path_graph(5)
+    samples = collect_samples(neighbor_fn(graph), 0, num_samples=10, burn_in=20,
+                              thinning=3, seed=2)
+    assert len(samples) == 10
+    assert samples.steps_taken == 20 + 10 * 3
+    assert all(degree in (1, 2) for degree in samples.degrees)
+
+
+def test_collect_samples_max_steps_truncates():
+    graph = path_graph(5)
+    samples = collect_samples(neighbor_fn(graph), 0, num_samples=100, burn_in=0,
+                              max_steps=10, seed=2)
+    assert len(samples) == 10
+
+
+def test_collect_samples_validation():
+    graph = path_graph(3)
+    with pytest.raises(EstimationError):
+        collect_samples(neighbor_fn(graph), 0, num_samples=0)
+    with pytest.raises(EstimationError):
+        collect_samples(neighbor_fn(graph), 0, num_samples=1, thinning=0)
+    with pytest.raises(EstimationError):
+        collect_samples(neighbor_fn(graph), 0, num_samples=1, burn_in=-1)

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (driven in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def saved_platform(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "platform.npz"
+    code = main(["simulate", "--users", "1500", "--seed", "5", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_simulate_and_keywords(saved_platform, capsys):
+    code = main(["keywords", "--platform", str(saved_platform)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "privacy" in captured.out
+    assert "recent posters" in captured.out
+
+
+def test_truth_command(saved_platform, capsys):
+    code = main(["truth", "--platform", str(saved_platform), "--keyword", "privacy"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "COUNT(one)" in captured.out
+
+
+def test_estimate_count(saved_platform, capsys):
+    code = main([
+        "estimate", "--platform", str(saved_platform),
+        "--keyword", "privacy", "--budget", "4000",
+        "--algorithm", "ma-srw",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "estimate" in captured.out
+    assert "rel. err" in captured.out
+
+
+def test_estimate_avg_with_window(saved_platform, capsys):
+    code = main([
+        "estimate", "--platform", str(saved_platform),
+        "--keyword", "privacy", "--aggregate", "avg", "--measure", "followers",
+        "--window-days", "0", "304", "--budget", "4000",
+        "--algorithm", "ma-srw",
+    ])
+    assert code == 0
+    assert "AVG(followers)" in capsys.readouterr().out
+
+
+def test_estimate_with_replicates(saved_platform, capsys):
+    code = main([
+        "estimate", "--platform", str(saved_platform),
+        "--keyword", "privacy", "--budget", "9000", "--replicates", "3",
+        "--algorithm", "ma-srw",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "±" in captured.out
+    assert "interval" in captured.out
+
+
+def test_error_reported_cleanly(saved_platform, capsys):
+    code = main([
+        "estimate", "--platform", str(saved_platform),
+        "--keyword", "keyword-that-nobody-posted", "--budget", "2000",
+    ])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+
+
+def test_estimate_with_sql_query(saved_platform, capsys):
+    code = main([
+        "estimate", "--platform", str(saved_platform),
+        "--query", "SELECT COUNT(*) FROM users WHERE timeline CONTAINS 'privacy'",
+        "--budget", "4000", "--algorithm", "ma-srw",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "COUNT(one)" in captured.out
+
+
+def test_missing_keyword_and_query_rejected(saved_platform, capsys):
+    code = main(["truth", "--platform", str(saved_platform)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err

@@ -1,0 +1,86 @@
+"""Tests for exact ground-truth evaluation."""
+
+import pytest
+
+from repro.core.query import (
+    Aggregate,
+    AggregateQuery,
+    CONSTANT_ONE,
+    FOLLOWERS,
+    MATCHING_POST_COUNT,
+    avg_of,
+    count_users,
+    gender_is,
+    sum_of,
+)
+from repro.errors import EstimationError
+from repro.groundtruth import exact_value, matching_users, relative_error, user_view_from_store
+from repro.platform.users import Gender
+
+
+def test_count_matches_store(tiny_platform):
+    store = tiny_platform.store
+    query = count_users("privacy")
+    assert exact_value(store, query) == len(store.users_mentioning("privacy"))
+
+
+def test_count_with_window(tiny_platform):
+    store = tiny_platform.store
+    horizon = tiny_platform.now
+    query = count_users("privacy", window=(0.0, horizon / 2))
+    full = exact_value(store, count_users("privacy"))
+    half = exact_value(store, query)
+    assert 0 < half <= full
+
+
+def test_sum_of_post_counts_equals_total_mentions(tiny_platform):
+    """§2's observation: COUNT of posts == SUM over users of per-user counts."""
+    store = tiny_platform.store
+    query = sum_of("privacy", MATCHING_POST_COUNT)
+    assert exact_value(store, query) == len(list(store.keyword_posts("privacy")))
+
+
+def test_avg_followers_manual(tiny_platform):
+    store = tiny_platform.store
+    users = store.users_mentioning("privacy")
+    expected = sum(store.profile(u).followers for u in users) / len(users)
+    assert exact_value(store, avg_of("privacy", FOLLOWERS)) == pytest.approx(expected)
+
+
+def test_gender_predicate_counts_subset(tiny_platform):
+    store = tiny_platform.store
+    total = exact_value(store, count_users("privacy"))
+    males = exact_value(store, count_users("privacy", predicate=gender_is(Gender.MALE)))
+    females = exact_value(store, count_users("privacy", predicate=gender_is(Gender.FEMALE)))
+    assert 0 < males < total
+    assert males + females <= total  # some users are undisclosed
+
+
+def test_avg_of_empty_population_raises(tiny_platform):
+    with pytest.raises(EstimationError):
+        exact_value(tiny_platform.store, avg_of("unused-keyword", FOLLOWERS))
+
+
+def test_count_of_empty_population_is_zero(tiny_platform):
+    assert exact_value(tiny_platform.store, count_users("unused-keyword")) == 0.0
+
+
+def test_matching_users_views(tiny_platform):
+    query = count_users("privacy")
+    views = matching_users(tiny_platform.store, query)
+    assert views
+    assert all(view.matching_posts for view in views)
+
+
+def test_user_view_sees_true_gender(tiny_platform):
+    store = tiny_platform.store
+    user = store.user_ids()[0]
+    view = user_view_from_store(store, user, count_users("privacy"))
+    assert view.gender == store.profile(user).gender
+
+
+def test_relative_error():
+    assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+    assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+    with pytest.raises(EstimationError):
+        relative_error(1.0, 0.0)

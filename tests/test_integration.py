@@ -1,0 +1,83 @@
+"""End-to-end integration tests: the full MICROBLOG-ANALYZER pipeline
+against exact ground truth, and the paper's qualitative claims at test
+scale."""
+
+import pytest
+
+from repro import (
+    MicroblogAnalyzer,
+    avg_of,
+    count_users,
+    exact_value,
+    DISPLAY_NAME_LENGTH,
+    FOLLOWERS,
+)
+from repro.bench.harness import bench_platform, format_table, mean_cost_to_error, run_estimator
+from repro.platform.clock import DAY
+from repro.platform.profiles import GOOGLE_PLUS, TUMBLR
+
+
+class TestEndToEnd:
+    def test_count_pipeline(self, small_platform):
+        query = count_users("privacy")
+        truth = exact_value(small_platform.store, query)
+        analyzer = MicroblogAnalyzer(small_platform, algorithm="ma-tarw",
+                                     interval=DAY, seed=21)
+        result = analyzer.estimate(query, budget=12_000)
+        assert result.relative_error(truth) < 0.4
+
+    def test_avg_pipeline_low_variance_measure(self, small_platform):
+        query = avg_of("privacy", DISPLAY_NAME_LENGTH)
+        truth = exact_value(small_platform.store, query)
+        analyzer = MicroblogAnalyzer(small_platform, algorithm="ma-tarw",
+                                     interval=DAY, seed=22)
+        result = analyzer.estimate(query, budget=9_000)
+        assert result.relative_error(truth) < 0.15
+
+    def test_other_platform_profiles_run(self, small_platform):
+        query = count_users("privacy")
+        for profile in (GOOGLE_PLUS, TUMBLR):
+            platform = small_platform.with_profile(profile)
+            truth = exact_value(platform.store, query)
+            analyzer = MicroblogAnalyzer(platform, algorithm="ma-srw",
+                                         interval=DAY, seed=23)
+            result = analyzer.estimate(query, budget=15_000)
+            assert result.value is not None
+            assert result.relative_error(truth) < 1.0
+
+    def test_google_plus_costs_more_than_twitter(self, small_platform):
+        """The §6.2 observation: Google+'s 20-per-page APIs make the same
+        estimation far more expensive in API calls."""
+        query = avg_of("privacy", DISPLAY_NAME_LENGTH)
+        twitter_result = MicroblogAnalyzer(
+            small_platform, algorithm="ma-srw", interval=DAY, seed=24
+        ).estimate(query, budget=50_000)
+        gplus_result = MicroblogAnalyzer(
+            small_platform.with_profile(GOOGLE_PLUS),
+            algorithm="ma-srw", interval=DAY, seed=24,
+        ).estimate(query, budget=50_000)
+        assert gplus_result.cost_total > twitter_result.cost_total
+
+
+class TestBenchHarness:
+    def test_bench_platform_cached(self):
+        a = bench_platform(num_users=1_000, seed=3)
+        b = bench_platform(num_users=1_000, seed=3)
+        assert a is b
+
+    def test_run_estimator_and_cost_metric(self, small_platform):
+        query = count_users("privacy")
+        truth = exact_value(small_platform.store, query)
+        results = [
+            run_estimator(small_platform, query, "ma-srw", budget=8_000, seed=seed)
+            for seed in (1, 2)
+        ]
+        point = mean_cost_to_error(results, truth, target=0.9)
+        assert point.total_runs == 2
+        assert point.achieved_runs <= 2
+
+    def test_format_table(self):
+        text = format_table("Title", ["a", "b"], [[1, 2.5], ["x", None]])
+        assert "Title" in text
+        assert "n/a" in text
+        assert "2.50" in text

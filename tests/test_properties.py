@@ -1,0 +1,139 @@
+"""Cross-module property-based tests (hypothesis).
+
+Structural invariants that must hold for *any* platform state or call
+sequence — complements the per-module example-based tests.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.accounting import CALL_KINDS, CostMeter
+from repro.core.levels import LevelIndex, edge_taxonomy, level_by_level_subgraph
+from repro.errors import BudgetExhaustedError
+from repro.graph.generators import community_graph
+from repro.platform.cascade import CascadeParams, run_cascade
+from repro.platform.clock import DAY, HOUR
+from repro.platform.store import MicroblogStore
+from repro.platform.posts import Post, make_keywords
+from repro.platform.users import generate_profile
+from repro.platform.workload import KeywordSpec, constant_intensity
+
+
+# ----------------------------------------------------------------------
+# cost meter: charges sum exactly; budget is a hard invariant
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(CALL_KINDS), st.integers(0, 20)),
+        max_size=40,
+    ),
+    st.integers(0, 200),
+)
+def test_cost_meter_never_exceeds_budget(charges, budget):
+    meter = CostMeter(budget=budget)
+    accepted = 0
+    for kind, calls in charges:
+        try:
+            meter.charge(kind, calls)
+            accepted += calls
+        except BudgetExhaustedError:
+            pass
+    assert meter.total == accepted
+    assert meter.total <= budget
+    assert sum(meter.by_kind().values()) == meter.total
+
+
+# ----------------------------------------------------------------------
+# store: first-mention index always equals the timeline-derived minimum
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5),                      # user
+            st.floats(0, 1000, allow_nan=False),    # timestamp
+            st.booleans(),                           # mentions the keyword?
+        ),
+        max_size=30,
+    )
+)
+def test_store_first_mention_consistent(posts):
+    store = MicroblogStore()
+    rng = random.Random(0)
+    for user_id in range(6):
+        store.add_user(generate_profile(user_id, seed=rng))
+    for user_id, timestamp, mentions in posts:
+        store.add_post(
+            Post(
+                post_id=store.new_post_id(),
+                user_id=user_id,
+                timestamp=timestamp,
+                keywords=make_keywords("kw") if mentions else frozenset(),
+            )
+        )
+    for user_id in range(6):
+        expected = min(
+            (p.timestamp for p in store.timeline(user_id) if "kw" in p.keywords),
+            default=None,
+        )
+        assert store.first_mention_time("kw", user_id) == expected
+    # users_mentioning is exactly the set with a first mention
+    assert set(store.users_mentioning("kw")) == {
+        u for u in range(6) if store.first_mention_time("kw", u) is not None
+    }
+
+
+# ----------------------------------------------------------------------
+# level subgraph: the taxonomy partitions edges; removal only drops intra
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000), st.sampled_from([6 * HOUR, DAY, 3 * DAY]))
+def test_level_subgraph_invariants(seed, interval):
+    graph = community_graph(150, seed=seed)
+    store = MicroblogStore(graph)
+    rng = random.Random(seed)
+    for user_id in range(150):
+        store.add_user(generate_profile(user_id, seed=rng))
+    spec = KeywordSpec("kw", constant_intensity(8.0), 0.3)
+    cascade = run_cascade(store, spec, horizon=60 * DAY, seed=seed)
+    if cascade.num_adopters < 3:
+        return
+    subgraph = graph.subgraph(cascade.adoption_times)
+    index = LevelIndex(interval)
+    taxonomy = edge_taxonomy(subgraph, cascade.adoption_times, index)
+    assert taxonomy.intra + taxonomy.adjacent + taxonomy.cross == taxonomy.total_edges
+
+    level_graph = level_by_level_subgraph(subgraph, cascade.adoption_times, index)
+    # node set preserved; edges = non-intra edges exactly
+    assert level_graph.num_nodes == subgraph.num_nodes
+    assert level_graph.num_edges == taxonomy.adjacent + taxonomy.cross
+    for u, v in level_graph.edges():
+        assert index.level_of(cascade.adoption_times[u]) != index.level_of(
+            cascade.adoption_times[v]
+        )
+
+
+# ----------------------------------------------------------------------
+# cascade: determinism and containment under any parameters
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    st.floats(0.05, 0.6),
+    st.floats(1.0, 48.0),
+    st.integers(0, 10_000),
+)
+def test_cascade_parameter_space(beta, delay_hours, seed):
+    graph = community_graph(120, seed=7)
+    store = MicroblogStore(graph)
+    rng = random.Random(7)
+    for user_id in range(120):
+        store.add_user(generate_profile(user_id, seed=rng))
+    params = CascadeParams(delay_median=delay_hours * HOUR)
+    spec = KeywordSpec("kw", constant_intensity(5.0), beta)
+    result = run_cascade(store, spec, horizon=30 * DAY, params=params, seed=seed)
+    assert 0 <= result.num_adopters <= 120
+    assert all(0 <= t < 30 * DAY for t in result.adoption_times.values())
+    assert result.total_posts >= result.num_adopters
+    assert store.first_mention_times("kw") == result.adoption_times

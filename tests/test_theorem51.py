@@ -1,0 +1,215 @@
+"""Tests for the Theorem 5.1 analysis module — including an exact,
+path-enumerated proof of Algorithm 2's unbiasedness."""
+
+import random
+
+import pytest
+
+from repro.analysis.theorem51 import (
+    LevelDag,
+    enumerate_estimate_paths,
+    enumerate_instances,
+    exact_estimate_p_distribution,
+    exact_instance_variance,
+    exact_selection_probabilities,
+    theorem51_variance_as_printed,
+)
+from repro.errors import EstimationError, GraphError
+from repro.graph.social_graph import SocialGraph
+
+
+def path_dag():
+    """0(top) - 1 - 2(bottom, seed): the minimal level graph."""
+    graph = SocialGraph(edges=[(0, 1), (1, 2)])
+    return LevelDag(graph, levels={0: 0, 1: 1, 2: 2}, seeds={2})
+
+
+def diamond_dag():
+    """Seed 3 at the bottom, two middle nodes, one root."""
+    graph = SocialGraph(edges=[(0, 1), (0, 2), (1, 3), (2, 3)])
+    return LevelDag(graph, levels={0: 0, 1: 1, 2: 1, 3: 2}, seeds={3})
+
+
+def random_dag(seed, nodes=14, extra_edges=18):
+    rng = random.Random(seed)
+    levels = {n: rng.randrange(4) for n in range(nodes)}
+    graph = SocialGraph(nodes=range(nodes))
+    # spanning chain through levels to keep things connected-ish
+    ordered = sorted(range(nodes), key=lambda n: levels[n])
+    attempts = 0
+    while graph.num_edges < extra_edges and attempts < 400:
+        attempts += 1
+        u, v = rng.sample(range(nodes), 2)
+        if levels[u] != levels[v]:
+            graph.add_edge(u, v)
+    bottom_level = max(levels.values())
+    seeds = {n for n in range(nodes) if levels[n] == bottom_level}
+    return LevelDag(graph, levels=levels, seeds=seeds)
+
+
+class TestValidation:
+    def test_intra_level_edge_rejected(self):
+        graph = SocialGraph(edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            LevelDag(graph, levels={0: 1, 1: 1}, seeds={0})
+
+    def test_unknown_seed_rejected(self):
+        graph = SocialGraph(edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            LevelDag(graph, levels={0: 0, 1: 1}, seeds={9})
+
+    def test_empty_seed_set_rejected(self):
+        graph = SocialGraph(edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            LevelDag(graph, levels={0: 0, 1: 1}, seeds=set())
+
+
+class TestSelectionProbabilities:
+    def test_path_graph_probabilities_are_one(self):
+        p_up, p_down = exact_selection_probabilities(path_dag())
+        # single seed, single chain: the walk visits every node surely
+        assert p_up == {2: 1.0, 1: 1.0, 0: 1.0}
+        assert p_down == {0: 1.0, 1: 1.0, 2: 1.0}
+
+    def test_diamond_probabilities(self):
+        p_up, p_down = exact_selection_probabilities(diamond_dag())
+        assert p_up[3] == pytest.approx(1.0)
+        assert p_up[1] == pytest.approx(0.5)
+        assert p_up[2] == pytest.approx(0.5)
+        assert p_up[0] == pytest.approx(1.0)  # both middles lead to the root
+        assert p_down[0] == pytest.approx(1.0)
+        assert p_down[3] == pytest.approx(1.0)
+
+    def test_probability_mass_per_level_bounded(self):
+        dag = random_dag(3)
+        p_up, _ = exact_selection_probabilities(dag)
+        # at each step the walk is at exactly one node, so summed visit
+        # probabilities per level never exceed 1
+        by_level = {}
+        for node, probability in p_up.items():
+            by_level.setdefault(dag.levels[node], 0.0)
+            by_level[dag.levels[node]] += probability
+        for level, mass in by_level.items():
+            assert mass <= 1.0 + 1e-9
+
+
+class TestEstimatePUnbiasedness:
+    @pytest.mark.parametrize("dag_seed", range(6))
+    def test_exact_mean_equals_p_up_on_random_dags(self, dag_seed):
+        """Algorithm 2 is unbiased: E[ω] == p_up, node by node, exactly."""
+        dag = random_dag(dag_seed)
+        p_up, _ = exact_selection_probabilities(dag)
+        for node in dag.graph.nodes():
+            mean, variance = exact_estimate_p_distribution(dag, node)
+            assert mean == pytest.approx(p_up[node], abs=1e-12)
+            assert variance >= -1e-12
+
+    def test_path_probabilities_sum_to_one(self):
+        dag = random_dag(9)
+        for node in dag.graph.nodes():
+            paths = enumerate_estimate_paths(dag, node)
+            assert sum(p.probability for p in paths) == pytest.approx(1.0)
+
+    def test_matches_monte_carlo_estimator(self, small_platform):
+        """The production sampler agrees with the enumerated distribution."""
+        dag = diamond_dag()
+        rng = random.Random(1)
+
+        def sample_once(node):
+            # replicate the estimator's unroll on this tiny DAG
+            estimate, factor, current = 0.0, 1.0, node
+            while True:
+                estimate += factor * dag.start_probability(current)
+                downs = dag.down(current)
+                if not downs:
+                    return estimate
+                chosen = rng.choice(downs)
+                factor *= len(downs) / len(dag.up(chosen))
+                current = chosen
+
+        draws = [sample_once(0) for _ in range(20_000)]
+        mean, _ = exact_estimate_p_distribution(dag, 0)
+        assert sum(draws) / len(draws) == pytest.approx(mean, rel=0.05)
+
+
+class TestInstanceEnumeration:
+    def test_instance_probabilities_sum_to_one(self):
+        for dag in (path_dag(), diamond_dag(), random_dag(2), random_dag(7)):
+            instances = enumerate_instances(dag)
+            assert sum(i.probability for i in instances) == pytest.approx(1.0)
+
+    def test_paths_are_monotone_in_levels(self):
+        dag = random_dag(4)
+        for instance in enumerate_instances(dag):
+            up_levels = [dag.levels[n] for n in instance.up_path]
+            down_levels = [dag.levels[n] for n in instance.down_path]
+            assert up_levels == sorted(up_levels, reverse=True)
+            assert down_levels == sorted(down_levels)
+            # the down phase starts where the up phase ended
+            assert instance.down_path[0] == instance.up_path[-1]
+
+
+class TestExactInstanceVariance:
+    def test_zero_variance_on_deterministic_chain(self):
+        dag = path_dag()
+        f = {0: 1.0, 1: 1.0, 2: 1.0}
+        mean, variance = exact_instance_variance(dag, f)
+        assert mean == pytest.approx(3.0)
+        assert variance == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("dag_seed", range(4))
+    def test_unbiased_for_the_support_sum(self, dag_seed):
+        """E[X] equals Σf over the up/down supports averaged — with full
+        supports (every node reachable) it is exactly Σ f(u)."""
+        dag = random_dag(dag_seed)
+        p_up, p_down = exact_selection_probabilities(dag)
+        f = {node: float(1 + node % 3) for node in dag.graph.nodes()}
+        mean, variance = exact_instance_variance(dag, f)
+        expected = 0.5 * (
+            sum(v for n, v in f.items() if p_up[n] > 0)
+            + sum(v for n, v in f.items() if p_down[n] > 0)
+        )
+        assert mean == pytest.approx(expected, abs=1e-9)
+        assert variance >= -1e-12
+
+    def test_matches_monte_carlo(self):
+        dag = diamond_dag()
+        f = {0: 2.0, 1: 1.0, 2: 1.0, 3: 5.0}
+        mean, variance = exact_instance_variance(dag, f)
+        p_up, p_down = exact_selection_probabilities(dag)
+        rng = random.Random(3)
+        draws = []
+        for _ in range(20_000):
+            # simulate one instance
+            current = 3
+            up_path = [current]
+            while dag.up(current):
+                current = rng.choice(dag.up(current))
+                up_path.append(current)
+            down_path = [current]
+            while dag.down(current):
+                current = rng.choice(dag.down(current))
+                down_path.append(current)
+            x = 0.5 * (
+                sum(f[n] / p_up[n] for n in up_path)
+                + sum(f[n] / p_down[n] for n in down_path)
+            )
+            draws.append(x)
+        mc_mean = sum(draws) / len(draws)
+        mc_var = sum((d - mc_mean) ** 2 for d in draws) / (len(draws) - 1)
+        assert mc_mean == pytest.approx(mean, rel=0.05)
+        assert mc_var == pytest.approx(variance, rel=0.15, abs=1e-6)
+
+
+class TestTheorem51AsPrinted:
+    def test_printed_formula_goes_negative_on_chain(self):
+        """Documents the printed-formula defect: a deterministic chain has
+        zero true variance, but the printed σ² is Σf² − Q² < 0."""
+        dag = path_dag()
+        f = {0: 1.0, 1: 1.0, 2: 1.0}
+        sigma2 = theorem51_variance_as_printed(dag, f, instances=1)
+        assert sigma2 == pytest.approx(3.0 - 9.0)
+
+    def test_instances_validated(self):
+        with pytest.raises(EstimationError):
+            theorem51_variance_as_printed(path_dag(), {0: 1.0}, instances=0)
