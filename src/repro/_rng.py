@@ -9,7 +9,9 @@ All stochastic components in this library accept either an integer seed, a
 from __future__ import annotations
 
 import random
-from typing import Union
+from typing import List, Union
+
+import numpy as np
 
 RandomLike = Union[int, random.Random, None]
 
@@ -38,3 +40,32 @@ def spawn(rng: random.Random, label: str) -> random.Random:
     their streams while staying deterministic.
     """
     return random.Random(f"{rng.getrandbits(64)}:{label}")
+
+
+def spawn_worker_seeds(seed: RandomLike, n: int) -> List[int]:
+    """*n* independent integer seeds for parallel walker streams.
+
+    Derived through :class:`numpy.random.SeedSequence` spawning, so the
+    streams are statistically independent regardless of how close the
+    master seeds are (sequential integers included) — the property plain
+    ``Random(seed + i)`` derivation lacks.  The result depends only on the
+    master seed and *n*, never on worker count or scheduling, which is
+    what makes parallel walk execution bit-reproducible: shard *i* always
+    receives the same stream.
+
+    An ``int`` master seed maps straight to SeedSequence entropy; a
+    ``random.Random`` contributes 128 deterministic bits drawn from it
+    (advancing it, identically for every worker count); ``None`` yields
+    fresh OS entropy.
+    """
+    if n < 1:
+        raise ValueError("need at least one worker seed")
+    if seed is None:
+        sequence = np.random.SeedSequence()
+    elif isinstance(seed, random.Random):
+        sequence = np.random.SeedSequence(seed.getrandbits(128))
+    elif isinstance(seed, int):
+        sequence = np.random.SeedSequence(seed)
+    else:
+        raise TypeError(f"seed must be int, random.Random or None, got {type(seed)!r}")
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in sequence.spawn(n)]

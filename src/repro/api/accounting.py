@@ -7,11 +7,17 @@ The paper's efficiency measure is "the number of queries and/or API calls
 query", §6.1).  :class:`CostMeter` charges every page individually and
 optionally enforces a hard budget, which is how the MICROBLOG-ANALYZER
 "query budget" system input (§3.1) is implemented.
+
+Charging is thread-safe (a lock serialises the check-then-record), so a
+meter shared by concurrently executing pilot walks keeps an exact count;
+the parallel walk engine instead gives each walk shard its *own* meter
+and merges the final per-kind tallies with :func:`merge_cost_by_kind`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import threading
+from typing import Dict, Iterable, Optional
 
 from repro.errors import BudgetExhaustedError, ReproError
 
@@ -29,6 +35,7 @@ class CostMeter:
             raise ReproError("budget must be non-negative")
         self.budget = budget
         self._by_kind: Dict[str, int] = {kind: 0 for kind in CALL_KINDS}
+        self._lock = threading.Lock()
 
     @property
     def total(self) -> int:
@@ -55,15 +62,53 @@ class CostMeter:
             raise ReproError(f"unknown call kind {kind!r}; expected one of {CALL_KINDS}")
         if calls < 0:
             raise ReproError("calls must be non-negative")
-        if self.budget is not None and self.total + calls > self.budget:
-            raise BudgetExhaustedError(spent=self.total, budget=self.budget)
-        self._by_kind[kind] += calls
+        with self._lock:
+            if self.budget is not None and self.total + calls > self.budget:
+                raise BudgetExhaustedError(spent=self.total, budget=self.budget)
+            self._by_kind[kind] += calls
 
     def reset(self) -> None:
-        for kind in self._by_kind:
-            self._by_kind[kind] = 0
+        with self._lock:
+            for kind in self._by_kind:
+                self._by_kind[kind] = 0
+
+    # pickling drops the lock (a fresh one is created on restore) so
+    # meters can ride along in results shipped across process workers
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def merge_from(self, other: "CostMeter") -> None:
+        """Fold another meter's tallies into this one (budget unchecked).
+
+        Used when independent per-shard meters are folded into a parent
+        run's accounting after the fact — the shards' own budgets already
+        enforced the spend, so merging must not re-trip this meter.
+        """
+        for kind, count in other.by_kind().items():
+            with self._lock:
+                self._by_kind[kind] = self._by_kind.get(kind, 0) + count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{kind}={count}" for kind, count in self._by_kind.items())
         budget = f", budget={self.budget}" if self.budget is not None else ""
         return f"CostMeter({parts}{budget})"
+
+
+def merge_cost_by_kind(tallies: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Sum per-kind call tallies from independent walk shards.
+
+    Pure addition over already-final dictionaries, so the result is
+    deterministic in any merge order and safe to compute after the
+    shards' meters stopped moving.
+    """
+    merged: Dict[str, int] = {kind: 0 for kind in CALL_KINDS}
+    for tally in tallies:
+        for kind, count in tally.items():
+            merged[kind] = merged.get(kind, 0) + count
+    return merged

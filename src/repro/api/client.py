@@ -17,6 +17,8 @@ memoise responses.  Estimators always run behind a caching client.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.api import accounting
@@ -42,8 +44,16 @@ class SimulatedMicroblogClient(MicroblogAPI):
         platform: SimulatedPlatform,
         budget: Optional[int] = None,
         rate_limit_policy: str = "sleep",
+        latency: float = 0.0,
     ) -> None:
         self.platform = platform
+        self.latency = latency
+        """Real (wall-clock) seconds slept per charged API call, emulating
+        network round-trip time.  0 (the default) keeps runs pure-CPU;
+        benchmarks set a small value to study how the parallel engine
+        overlaps per-call latency across concurrent walkers ("Walk, Not
+        Wait").  Distinct from the rate limiter, whose waits advance only
+        the *simulated* clock."""
         self.meter = CostMeter(budget=budget)
         # Each client gets a private clock forked from the platform's:
         # rate-limit sleeps advance only this client's view of time, so one
@@ -59,6 +69,8 @@ class SimulatedMicroblogClient(MicroblogAPI):
         # request must not consume rate-limit quota for it.
         self.meter.charge(kind, calls)
         self.limiter.acquire(calls)
+        if self.latency > 0.0 and calls > 0:
+            time.sleep(self.latency * calls)
 
     def _profile_view(self, user_id: int) -> ProfileView:
         profile = self.platform.store.profile(user_id)
@@ -149,6 +161,11 @@ class CachingClient(MicroblogAPI):
     meter or the rate limiter; the underlying client is only consulted on
     misses.  Search results are cached per (keyword, max_results) because
     the simulated "now" is frozen during an estimation run.
+
+    A lock serialises fill-on-miss so a client shared by concurrently
+    executing pilot walks (see ``select_time_interval(n_workers=...)``)
+    never double-pays for the same response.  Per-shard clients in the
+    parallel walk engine are single-threaded and pay no contention.
     """
 
     def __init__(self, inner: MicroblogAPI) -> None:
@@ -156,33 +173,37 @@ class CachingClient(MicroblogAPI):
         self._timelines: Dict[int, TimelineView] = {}
         self._connections: Dict[int, List[int]] = {}
         self._searches: Dict[Tuple[str, Optional[int]], List[SearchHit]] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def search(self, keyword: str, max_results: Optional[int] = None) -> List[SearchHit]:
         key = (keyword.lower(), max_results)
-        if key not in self._searches:
-            self.misses += 1
-            self._searches[key] = self.inner.search(keyword, max_results)
-        else:
-            self.hits += 1
-        return list(self._searches[key])
+        with self._lock:
+            if key not in self._searches:
+                self.misses += 1
+                self._searches[key] = self.inner.search(keyword, max_results)
+            else:
+                self.hits += 1
+            return list(self._searches[key])
 
     def user_connections(self, user_id: int) -> List[int]:
-        if user_id not in self._connections:
-            self.misses += 1
-            self._connections[user_id] = self.inner.user_connections(user_id)
-        else:
-            self.hits += 1
-        return list(self._connections[user_id])
+        with self._lock:
+            if user_id not in self._connections:
+                self.misses += 1
+                self._connections[user_id] = self.inner.user_connections(user_id)
+            else:
+                self.hits += 1
+            return list(self._connections[user_id])
 
     def user_timeline(self, user_id: int) -> TimelineView:
-        if user_id not in self._timelines:
-            self.misses += 1
-            self._timelines[user_id] = self.inner.user_timeline(user_id)
-        else:
-            self.hits += 1
-        return self._timelines[user_id]
+        with self._lock:
+            if user_id not in self._timelines:
+                self.misses += 1
+                self._timelines[user_id] = self.inner.user_timeline(user_id)
+            else:
+                self.hits += 1
+            return self._timelines[user_id]
 
     @property
     def meter(self) -> CostMeter:

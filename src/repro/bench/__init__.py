@@ -14,6 +14,7 @@ from repro.bench.harness import (
     ground_truth,
     mean_cost_to_error,
     median_error_at_budget,
+    replicate_runs,
     run_estimator,
 )
 
@@ -23,6 +24,7 @@ __all__ = [
     "BENCH_REPLICATES",
     "CostErrorPoint",
     "bench_platform",
+    "replicate_runs",
     "run_estimator",
     "cost_to_reach_error",
     "mean_cost_to_error",

@@ -78,6 +78,7 @@ def run_estimator(
     keep_intra_fraction: float = 0.0,
     tarw_config: Optional[TARWConfig] = None,
     srw_config: Optional[SRWConfig] = None,
+    api_latency: float = 0.0,
 ) -> EstimateResult:
     """One budgeted estimation run with benchmark-friendly defaults."""
     analyzer = MicroblogAnalyzer(
@@ -89,6 +90,7 @@ def run_estimator(
         tarw_config=tarw_config,
         srw_config=srw_config,
         seed=seed,
+        api_latency=api_latency,
     )
     return analyzer.estimate(query, budget=budget)
 
@@ -128,18 +130,53 @@ def error_at_budget(result: EstimateResult, truth: float) -> Optional[float]:
     return abs(result.value - truth) / abs(truth)
 
 
+def _replicate_task(
+    ref,
+    query: AggregateQuery,
+    algorithm: str,
+    seed: int,
+    kwargs: Dict,
+) -> EstimateResult:
+    """One replicate, addressed through a :class:`PlatformRef`.
+
+    Module-level (not a closure) so it is picklable: process workers
+    receive the ref, load the platform from its ``.npz`` spill once per
+    process, and run the replicate locally.
+    """
+    return run_estimator(ref.resolve(), query, algorithm, seed=seed, **kwargs)
+
+
 def replicate_runs(
     platform: SimulatedPlatform,
     query: AggregateQuery,
     algorithm: str,
     replicates: int,
+    n_workers: Optional[int] = None,
+    executor: str = "auto",
     **kwargs,
 ) -> List[EstimateResult]:
-    """*replicates* independent runs differing only in walk seed."""
-    return [
-        run_estimator(platform, query, algorithm, seed=1000 + rep, **kwargs)
-        for rep in range(replicates)
+    """*replicates* independent runs differing only in walk seed.
+
+    With ``n_workers > 1`` the replicates are dispatched through the
+    parallel execution engine (each on its own client, so there is no
+    shared state to race on); results come back in replicate order and
+    are identical to the serial ones — every replicate's seed is fixed
+    by its index, not by scheduling.
+    """
+    if n_workers is None or n_workers <= 1:
+        return [
+            run_estimator(platform, query, algorithm, seed=1000 + rep, **kwargs)
+            for rep in range(replicates)
+        ]
+    from repro.parallel.engine import ExecutionEngine
+    from repro.parallel.platform_ref import PlatformRef
+
+    ref = PlatformRef(platform)
+    tasks = [
+        (ref, query, algorithm, 1000 + rep, dict(kwargs)) for rep in range(replicates)
     ]
+    engine = ExecutionEngine(n_workers=n_workers, executor=executor)
+    return engine.run(_replicate_task, tasks)
 
 
 def ground_truth(platform: SimulatedPlatform, query: AggregateQuery) -> float:

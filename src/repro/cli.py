@@ -80,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--replicates", type=int, default=1,
                           help=">1 splits the budget and reports a 95%% CI")
     estimate.add_argument("--walk-seed", type=int, default=0)
+    estimate.add_argument("--workers", type=int, default=None,
+                          help="run the walk budget as parallel shards on this "
+                               "many workers (ma-tarw / ma-srw only; the point "
+                               "estimate is worker-count-invariant)")
+    estimate.add_argument("--executor", default="auto",
+                          choices=["auto", "process", "thread", "serial"],
+                          help="worker pool kind for --workers (default auto)")
 
     truth = sub.add_parser("truth", help="print the exact ground-truth answer")
     _platform_source_args(truth)
@@ -187,6 +194,8 @@ def cmd_estimate(args: argparse.Namespace) -> int:
         graph_design=args.graph_design,
         interval=interval,
         seed=args.walk_seed,
+        n_workers=args.workers,
+        executor=args.executor,
     )
     truth = exact_value(platform.store, query)
     print(query.describe())
@@ -207,6 +216,8 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     print(f"truth    : {truth:,.4f}")
     print(f"rel. err : {relative_error(result.value, truth):.2%}")
     print(f"cost     : {result.cost_total:,} API calls {result.cost_by_kind}")
+    if result.walk_stats is not None:
+        print(f"parallel : {result.walk_stats.summary()}")
     return 0
 
 

@@ -60,6 +60,10 @@ class MicroblogAnalyzer:
         crawl_config: Optional[CrawlConfig] = None,
         keep_intra_fraction: float = 0.0,
         seed: RandomLike = None,
+        n_workers: Optional[int] = None,
+        n_shards: Optional[int] = None,
+        executor: str = "auto",
+        api_latency: float = 0.0,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise EstimationError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
@@ -82,28 +86,57 @@ class MicroblogAnalyzer:
         self.crawl_config = crawl_config or CrawlConfig()
         self.keep_intra_fraction = keep_intra_fraction
         self.rng = ensure_rng(seed)
+        self.api_latency = api_latency
+        """Real seconds of emulated network latency per API call (0 =
+        pure CPU).  See ``SimulatedMicroblogClient.latency``."""
+        self.parallel = None
+        """Walk-shard execution plan for MA-TARW / MA-SRW, built from
+        ``n_workers``/``n_shards``/``executor``.  ``n_workers=None``
+        (the default) keeps the classic single-walker serial run; any
+        integer — including 1 — switches to the shard-merge engine, whose
+        point estimate depends on the seed and shard count but never on
+        the worker count.  ``m&r`` and ``crawl`` ignore it."""
+        if n_workers is not None:
+            from repro.parallel.engine import ParallelConfig
+
+            self.parallel = ParallelConfig(
+                n_workers=n_workers, n_shards=n_shards, executor=executor
+            )
+        self.n_workers = n_workers
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def estimate(self, query: AggregateQuery, budget: int) -> EstimateResult:
         """Estimate *query* spending at most *budget* API calls."""
         if budget < 1:
             raise EstimationError("budget must be >= 1")
-        client = CachingClient(SimulatedMicroblogClient(self.platform, budget=budget))
+        client = CachingClient(
+            SimulatedMicroblogClient(self.platform, budget=budget, latency=self.api_latency)
+        )
         context = QueryContext(client, query)
         run_rng = spawn(self.rng, f"run:{query.keyword}:{query.aggregate.value}")
 
         oracle = self._build_oracle(context, run_rng)
         if self.algorithm == "ma-tarw":
-            estimator = MATARWEstimator(context, oracle, self.tarw_config, seed=run_rng)
+            estimator = MATARWEstimator(
+                context, oracle, self.tarw_config, seed=run_rng, parallel=self.parallel
+            )
         elif self.algorithm == "ma-srw":
-            estimator = MASRWEstimator(context, oracle, self.srw_config, seed=run_rng)
+            estimator = MASRWEstimator(
+                context, oracle, self.srw_config, seed=run_rng, parallel=self.parallel
+            )
         elif self.algorithm == "crawl":
             estimator = CrawlEstimator(context, oracle, self.crawl_config, seed=run_rng)
         else:
             estimator = MarkRecaptureEstimator(context, oracle, self.mr_config, seed=run_rng)
         result = estimator.estimate()
-        result.diagnostics["simulated_wait_seconds"] = client.inner.simulated_wait  # type: ignore[attr-defined]
-        result.diagnostics["cache_hits"] = float(client.hits)
+        if result.walk_stats is None:
+            result.diagnostics["simulated_wait_seconds"] = client.inner.simulated_wait  # type: ignore[attr-defined]
+            result.diagnostics["cache_hits"] = float(client.hits)
+        else:
+            # Sharded runs account their own waits/hits; fold any cost the
+            # outer client paid before sharding (interval selection) in.
+            result.diagnostics["cache_hits"] += float(client.hits)
         return result
 
     def estimate_with_confidence(
@@ -154,7 +187,9 @@ class MicroblogAnalyzer:
                 raise EstimationError("interval must be positive")
             return interval
         try:
-            selection = select_time_interval(context, seed=run_rng)
+            selection = select_time_interval(
+                context, seed=run_rng, n_workers=self.n_workers, executor=self.executor
+            )
         except BudgetExhaustedError:
             raise EstimationError("budget exhausted during interval selection") from None
         return selection.interval

@@ -3,8 +3,21 @@
 GRAPH-BUILDER must pick the bucket width ``T`` before the main walk
 starts.  The paper's procedure: run a cheap pilot random walk for each
 candidate interval, read off the partial topology it reveals, and rank
-candidates by estimated conductance; the winner is used for the rest of
-the estimation.
+candidates by estimated conductance (Eq. 3's closed form for the
+level-by-level lattice, or our spectral surrogate); the winner is used
+for the rest of the estimation.  Corollary 4.1 supplies the theory the
+ranking leans on: conductance of the level-by-level subgraph is maximised
+when the mean adjacent-level degree ``d`` is small (≈ 2 for large level
+counts ``h``), so the scorers reward candidates whose pilots observe
+near-optimal ``d``.
+
+Pilot walks for different candidates are independent, so
+:func:`select_time_interval` accepts ``n_workers`` and dispatches the
+(candidate × repeat) grid through the parallel execution engine.  Pilot
+seeds are pre-spawned in grid order, making the chosen interval
+independent of worker count whenever the pilot budget suffices (with a
+near-exhausted budget, which pilot hits the wall first can depend on
+scheduling — the serial default keeps the paper's exact semantics).
 
 Two scorers are provided:
 
@@ -30,7 +43,7 @@ Corollary 4.1's guidance is visible either way: candidates whose observed
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro._rng import RandomLike, ensure_rng, spawn
 from repro.core.graph_builder import LevelByLevelOracle, QueryContext, TermInducedOracle
@@ -229,6 +242,19 @@ def quantile_index_from_pilot(
     return QuantileLevelIndex.from_times(times, levels=levels)
 
 
+def _pilot_task(
+    context: QueryContext,
+    index: LevelIndex,
+    label: str,
+    pilot_steps: int,
+    seed,
+) -> Optional[PilotTopology]:
+    try:
+        return run_pilot(context, index, label, pilot_steps=pilot_steps, seed=seed)
+    except EstimationError:
+        return None  # this repeat revealed nothing
+
+
 def select_time_interval(
     context: QueryContext,
     candidates: Sequence[Tuple[str, float]] = DEFAULT_CANDIDATE_INTERVALS,
@@ -237,6 +263,8 @@ def select_time_interval(
     origin: float = 0.0,
     score_method: str = "spectral",
     seed: RandomLike = None,
+    n_workers: Optional[int] = None,
+    executor: str = "auto",
 ) -> IntervalSelection:
     """Pick the score-maximising bucket width among *candidates*.
 
@@ -246,6 +274,12 @@ def select_time_interval(
     queries (which the response cache largely amortises across repeats
     anyway).  The returned ``pilots`` list holds the repeat whose score is
     the median for each candidate.
+
+    With ``n_workers > 1`` the (candidate × repeat) pilot grid runs on
+    the parallel execution engine (threaded — the pilots share this
+    context's caching client, whose cost meter and cache are
+    thread-safe).  Pilot RNG streams are spawned in grid order up front,
+    so every worker count walks identical pilots.
     """
     if not candidates:
         raise EstimationError("no candidate intervals")
@@ -254,22 +288,30 @@ def select_time_interval(
     if score_method not in SCORE_METHODS:
         raise EstimationError(f"score_method must be one of {SCORE_METHODS}")
     rng = ensure_rng(seed)
+    # Spawn every pilot's stream up front, in a fixed grid order, so the
+    # dispatch mode cannot influence which walks the pilots take.
+    grid = [
+        (label, LevelIndex(interval=interval, origin=origin), repeat)
+        for label, interval in candidates
+        for repeat in range(pilot_repeats)
+    ]
+    tasks = [
+        (context, index, label, pilot_steps, spawn(rng, f"{label}:{repeat}"))
+        for label, index, repeat in grid
+    ]
+    from repro.parallel.engine import ExecutionEngine
+
+    engine = ExecutionEngine(n_workers=n_workers or 1, executor=executor)
+    grid_results = engine.run(_pilot_task, tasks)
+    by_label: Dict[str, List[PilotTopology]] = {}
+    for (label, _, _), pilot in zip(grid, grid_results):
+        if pilot is not None:
+            by_label.setdefault(label, []).append(pilot)
+
     pilots: List[PilotTopology] = []
     mean_scores: Dict[str, float] = {}
-    for label, interval in candidates:
-        index = LevelIndex(interval=interval, origin=origin)
-        repeats: List[PilotTopology] = []
-        for repeat in range(pilot_repeats):
-            try:
-                repeats.append(
-                    run_pilot(
-                        context, index, label,
-                        pilot_steps=pilot_steps,
-                        seed=spawn(rng, f"{label}:{repeat}"),
-                    )
-                )
-            except EstimationError:
-                continue  # this repeat revealed nothing
+    for label, _interval in candidates:
+        repeats = by_label.get(label, [])
         if not repeats:
             continue
         scores = sorted(pilot.score(score_method) for pilot in repeats)

@@ -56,7 +56,14 @@ PredicateFn = Callable[[UserView], bool]
 
 @dataclass(frozen=True)
 class Measure:
-    """A named numeric function ``f(u)`` over user views."""
+    """A named numeric function ``f(u)`` over user views.
+
+    The module-level measure constants pickle *by name* (resolved through
+    a registry on load), so queries built from them can cross process
+    boundaries — required by the parallel replicate engine — despite
+    wrapping plain lambdas.  Ad-hoc measures built elsewhere fall back to
+    default pickling and may not be process-portable.
+    """
 
     name: str
     fn: MeasureFn
@@ -64,11 +71,32 @@ class Measure:
     def __call__(self, view: UserView) -> float:
         return float(self.fn(view))
 
+    def __reduce__(self):
+        if _MEASURE_REGISTRY.get(self.name) is self:
+            return (_measure_from_registry, (self.name,))
+        return super().__reduce__()
 
-CONSTANT_ONE = Measure("one", lambda view: 1.0)
-FOLLOWERS = Measure("followers", lambda view: view.followers)
-DISPLAY_NAME_LENGTH = Measure("display_name_length", lambda view: len(view.display_name))
-MATCHING_POST_COUNT = Measure("matching_post_count", lambda view: len(view.matching_posts))
+
+_MEASURE_REGISTRY: dict = {}
+
+
+def _measure_from_registry(name: str) -> "Measure":
+    return _MEASURE_REGISTRY[name]
+
+
+def _registered(measure: Measure) -> Measure:
+    _MEASURE_REGISTRY[measure.name] = measure
+    return measure
+
+
+CONSTANT_ONE = _registered(Measure("one", lambda view: 1.0))
+FOLLOWERS = _registered(Measure("followers", lambda view: view.followers))
+DISPLAY_NAME_LENGTH = _registered(
+    Measure("display_name_length", lambda view: len(view.display_name))
+)
+MATCHING_POST_COUNT = _registered(
+    Measure("matching_post_count", lambda view: len(view.matching_posts))
+)
 
 
 def _mean_likes(view: UserView) -> float:
@@ -77,8 +105,10 @@ def _mean_likes(view: UserView) -> float:
     return sum(post.likes for post in view.matching_posts) / len(view.matching_posts)
 
 
-MEAN_LIKES = Measure("mean_likes", _mean_likes)
-TOTAL_LIKES = Measure("total_likes", lambda view: sum(p.likes for p in view.matching_posts))
+MEAN_LIKES = _registered(Measure("mean_likes", _mean_likes))
+TOTAL_LIKES = _registered(
+    Measure("total_likes", lambda view: sum(p.likes for p in view.matching_posts))
+)
 
 
 def gender_is(gender: Gender) -> PredicateFn:

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.core.query import AggregateQuery
 from repro.errors import EstimationError
+from repro.parallel.stats import WalkStats
 
 
 @dataclass
@@ -42,6 +43,9 @@ class EstimateResult:
     trace: List[TracePoint] = field(default_factory=list)
     num_samples: int = 0
     diagnostics: Dict[str, float] = field(default_factory=dict)
+    walk_stats: Optional[WalkStats] = None
+    """Parallel-execution instrumentation; None for classic serial runs.
+    See :class:`repro.parallel.stats.WalkStats`."""
 
     def relative_error(self, truth: float) -> float:
         if self.value is None:

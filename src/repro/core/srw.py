@@ -23,9 +23,12 @@ which is precisely the mechanism behind the paper's query-cost gaps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol
+from typing import TYPE_CHECKING, List, Optional, Protocol, Tuple
 
 from repro._rng import RandomLike, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.parallel.engine import ParallelConfig
 from repro.core.graph_builder import QueryContext
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
@@ -97,11 +100,19 @@ class MASRWEstimator:
         oracle: NeighborOracle,
         config: Optional[SRWConfig] = None,
         seed: RandomLike = None,
+        parallel: Optional["ParallelConfig"] = None,
     ) -> None:
         self.context = context
         self.oracle = oracle
         self.config = config or SRWConfig()
         self.rng = ensure_rng(seed)
+        self.parallel = parallel
+        """When set, :meth:`estimate` partitions the budget into logical
+        walk shards executed by :mod:`repro.parallel` (each shard a full
+        serial MA-SRW run on its own client and RNG stream) and pools the
+        post-burn-in samples.  None keeps the classic run."""
+        self._chain_nodes: List[List[int]] = []
+        self._chain_degrees: List[List[float]] = []
 
     # ------------------------------------------------------------------
     def estimate(self) -> EstimateResult:
@@ -113,10 +124,19 @@ class MASRWEstimator:
         which covers multi-component subgraphs faster than one teleporting
         chain.
         """
+        if self.parallel is not None:
+            from repro.parallel.walkers import run_parallel_estimate
+
+            return run_parallel_estimate(self)
+        return self._estimate_serial()
+
+    def _estimate_serial(self) -> EstimateResult:
         config = self.config
         query = self.context.query
         chain_nodes: List[List[int]] = [[] for _ in range(config.chains)]
         chain_degrees: List[List[float]] = [[] for _ in range(config.chains)]
+        self._chain_nodes = chain_nodes
+        self._chain_degrees = chain_degrees
         trace: List[TracePoint] = []
         steps = 0
         restarts = 0
@@ -239,6 +259,31 @@ class MASRWEstimator:
             return count * self._avg_estimate(kept_nodes, kept_degrees)
         except EstimationError:
             return None
+
+    # ------------------------------------------------------------------
+    # partial samples for cross-walker merging (repro.parallel)
+    # ------------------------------------------------------------------
+    def shard_samples(self) -> List[Tuple[int, int, Optional[bool], float]]:
+        """Post-burn-in, thinned samples of this walker's run, evaluated.
+
+        Called after :meth:`estimate` by the parallel engine.  Each tuple
+        is ``(node, subgraph_degree, condition_matches, f_value)`` with
+        ``condition_matches`` None when the walker's budget died before
+        the sample could be evaluated (the merge skips those, exactly as
+        the serial estimator does).  Evaluation reuses the walker's own
+        response cache, so extracting the samples costs no further API
+        calls beyond what the final in-run estimate already paid.
+        """
+        samples: List[Tuple[int, int, Optional[bool], float]] = []
+        for nodes, degrees in zip(self._chain_nodes, self._chain_degrees):
+            if len(nodes) < 4:
+                continue
+            kept_nodes, kept_degrees = self._usable_samples(nodes, degrees)
+            for node, degree in zip(kept_nodes, kept_degrees):
+                matches = self._safe_matches(node)
+                f_value = self.context.f_value(node) if matches else 0.0
+                samples.append((node, degree, matches, f_value))
+        return samples
 
     def _safe_matches(self, node: int) -> Optional[bool]:
         """Condition check that tolerates a just-exhausted budget.

@@ -1,5 +1,13 @@
 """MA-TARW: the topology-aware random walk of §5 (Algorithms 2 and 3).
 
+Paper map: walk instances and the aggregate assembly are Algorithm 3
+(MA-TARW); per-node selection-probability estimation is Algorithm 2
+(ESTIMATE-p); the probability recursions implemented here are Eq. 6 (its
+``p_up`` form, generalised below) and the Hansen–Hurwitz aggregation that
+turns ``f(u)/p(u)`` sums into unbiased SUM/COUNT estimates is Eq. 7 /
+§5.1 (via :func:`repro.sampling.estimators.hansen_hurwitz` in spirit —
+the accumulators below keep the sums incremental).
+
 One walk *instance* is a bottom-top-bottom traversal of the level-by-level
 subgraph: start at a seed returned by the search API, repeatedly move to a
 uniformly random *up*-neighbor until reaching a node with none (a local
@@ -38,9 +46,12 @@ memoises p-estimates of local roots across instances; disable it with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro._rng import RandomLike, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.parallel.engine import ParallelConfig
 from repro.core.graph_builder import LevelByLevelOracle, QueryContext
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
@@ -172,11 +183,18 @@ class MATARWEstimator:
         oracle: LevelByLevelOracle,
         config: Optional[TARWConfig] = None,
         seed: RandomLike = None,
+        parallel: Optional["ParallelConfig"] = None,
     ) -> None:
         self.context = context
         self.oracle = oracle
         self.config = config or TARWConfig()
         self.rng = ensure_rng(seed)
+        self.parallel = parallel
+        """When set, :meth:`estimate` partitions the budget into logical
+        walk shards executed by :mod:`repro.parallel` (each shard a full
+        serial MA-TARW run on its own client and RNG stream) and merges
+        the partial Hansen–Hurwitz sums.  None keeps the classic
+        single-walker run."""
         self._seeds: List[int] = []
         self._seed_set: frozenset = frozenset()
         self._root_cache: Dict[int, float] = {}
@@ -198,6 +216,13 @@ class MATARWEstimator:
     # public entry point
     # ------------------------------------------------------------------
     def estimate(self) -> EstimateResult:
+        if self.parallel is not None:
+            from repro.parallel.walkers import run_parallel_estimate
+
+            return run_parallel_estimate(self)
+        return self._estimate_serial()
+
+    def _estimate_serial(self) -> EstimateResult:
         config = self.config
         query = self.context.query
         trace: List[TracePoint] = []
@@ -528,6 +553,79 @@ class MATARWEstimator:
 
     def _instances_run(self) -> int:
         return self._instance_counter
+
+    # ------------------------------------------------------------------
+    # partial sums for cross-walker merging (repro.parallel)
+    # ------------------------------------------------------------------
+    def hh_partial(self) -> Dict[str, float]:
+        """Unnormalised Hansen–Hurwitz accumulators of this walker's run.
+
+        Called after :meth:`estimate` by the parallel engine.  The sums
+        are *instance-unnormalised* (``Σ_u visits(u)·f(u)/p̂(u)`` rather
+        than the per-instance mean), so independent walkers merge by
+        plain addition; the merged estimate divides once by the pooled
+        instance count (and the phase factor 2 for ``combine="phase_sum"``).
+        Winsorisation stays within-walker: the cap applies to each
+        walker's own ``visits/(R_i·p̂)`` ratio, which is the quantity that
+        concentrates near 1 (see ``TARWConfig.weight_cap``).
+        """
+        if self.config.combine == "paper":
+            sum_total = 0.0
+            count_total = 0.0
+            for up_path, down_path in self._paper_paths:
+                path_sum = 0.0
+                path_count = 0.0
+                for path, pool in ((up_path, self._p_up_pool), (down_path, self._p_down_pool)):
+                    for node in path:
+                        if not self.context.condition_matches(node):
+                            continue
+                        probability = self._pooled_p(node, pool)
+                        if probability <= 0.0:
+                            continue
+                        path_sum += self.context.f_value(node) / probability
+                        path_count += 1.0 / probability
+                size = len(up_path) + len(down_path)
+                sum_total += path_sum / size
+                count_total += path_count / size
+            return {
+                "sum": sum_total,
+                "count": count_total,
+                "raw_sum": sum_total,
+                "raw_count": count_total,
+                "instances": float(len(self._paper_paths)),
+                "divisor": 1.0,
+            }
+        instances = self._instances_run()
+        capped_sum = 0.0
+        capped_count = 0.0
+        raw_sum = 0.0
+        raw_count = 0.0
+        cap = self.config.weight_cap
+        if instances:
+            for visits, pool in (
+                (self._visits_up, self._p_up_pool),
+                (self._visits_down, self._p_down_pool),
+            ):
+                for node, visit_count in visits.items():
+                    probability = self._pooled_p(node, pool)
+                    if probability <= 0.0:
+                        continue
+                    unnormalised = visit_count / probability
+                    f_value = self.context.f_value(node)
+                    raw_sum += unnormalised * f_value
+                    raw_count += unnormalised
+                    if cap is not None and unnormalised > cap * instances:
+                        unnormalised = cap * instances
+                    capped_sum += unnormalised * f_value
+                    capped_count += unnormalised
+        return {
+            "sum": capped_sum,
+            "count": capped_count,
+            "raw_sum": raw_sum,
+            "raw_count": raw_count,
+            "instances": float(instances),
+            "divisor": 2.0,
+        }
 
     # ------------------------------------------------------------------
     # ESTIMATE-p (Algorithm 2) and its top-down mirror

@@ -1,0 +1,52 @@
+"""Parallel multi-walker execution engine.
+
+Fans independent walks, replicates and pilot probes out over a worker
+pool with deterministic per-walker RNG streams, so parallel results are
+bit-reproducible and mergeable.  See ``docs/ARCHITECTURE.md`` for where
+this layer sits in the system.
+"""
+
+from repro._rng import spawn_worker_seeds
+from repro.parallel.engine import (
+    DEFAULT_SHARDS,
+    EXECUTORS,
+    MIN_SHARD_BUDGET,
+    ExecutionEngine,
+    ParallelConfig,
+)
+from repro.parallel.platform_ref import PlatformRef
+from repro.parallel.stats import WalkStats
+
+# The walker-merge layer imports the estimators (repro.core.tarw/srw),
+# which import repro.core.results, which imports repro.parallel.stats —
+# resolving those names lazily keeps this package importable from inside
+# repro.core without a cycle.
+_WALKER_EXPORTS = (
+    "merge_srw_samples",
+    "merge_tarw_partials",
+    "run_parallel_estimate",
+    "split_budget",
+)
+
+
+def __getattr__(name: str):
+    if name in _WALKER_EXPORTS:
+        from repro.parallel import walkers
+
+        return getattr(walkers, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "EXECUTORS",
+    "MIN_SHARD_BUDGET",
+    "ExecutionEngine",
+    "ParallelConfig",
+    "PlatformRef",
+    "WalkStats",
+    "merge_srw_samples",
+    "merge_tarw_partials",
+    "run_parallel_estimate",
+    "split_budget",
+    "spawn_worker_seeds",
+]

@@ -1,0 +1,71 @@
+"""Process-shippable references to simulated platforms.
+
+A :class:`~repro.platform.simulator.SimulatedPlatform` is not picklable
+(keyword workloads carry intensity *functions*), so it cannot be sent to
+a :class:`~concurrent.futures.ProcessPoolExecutor` worker directly.  A
+:class:`PlatformRef` holds the live object in the parent and, the first
+time it is pickled, spills the platform to a temporary ``.npz`` archive
+via :mod:`repro.platform.serialization` — which persists exactly the
+simulation *state* a worker needs.  Workers resolve the reference by
+loading the archive once per process (a module-level cache keyed by
+path), so a pool amortises one load across any number of tasks.
+
+In-process (serial/thread) use never touches the disk: ``resolve()``
+returns the live object.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.platform.serialization import load_platform, save_platform
+from repro.platform.simulator import SimulatedPlatform
+
+_WORKER_CACHE: Dict[str, SimulatedPlatform] = {}
+
+
+def _forget(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+class PlatformRef:
+    """A platform handle that survives the trip to a worker process."""
+
+    def __init__(self, platform: SimulatedPlatform) -> None:
+        self._platform: Optional[SimulatedPlatform] = platform
+        self._path: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def path(self) -> str:
+        """Spill the platform to a temp ``.npz`` (once) and return the path."""
+        if self._path is None:
+            if self._platform is None:
+                raise RuntimeError("PlatformRef has neither a platform nor a path")
+            handle, path = tempfile.mkstemp(prefix="repro-platform-", suffix=".npz")
+            os.close(handle)
+            save_platform(self._platform, path)
+            atexit.register(_forget, path)
+            self._path = path
+        return self._path
+
+    def resolve(self) -> SimulatedPlatform:
+        """The platform: live object in-process, cached load in workers."""
+        if self._platform is not None:
+            return self._platform
+        assert self._path is not None
+        if self._path not in _WORKER_CACHE:
+            _WORKER_CACHE[self._path] = load_platform(self._path)
+        return _WORKER_CACHE[self._path]
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {"_platform": None, "_path": self.path()}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)

@@ -1,0 +1,57 @@
+"""Per-run instrumentation for parallel walk execution.
+
+:class:`WalkStats` is the lightweight record every engine-dispatched run
+attaches to its :class:`~repro.core.results.EstimateResult`: how the run
+was decomposed (shards, workers, resolved executor), how many walks were
+launched and completed, the query spend of each worker, and wall-clock
+per phase.  It deliberately imports nothing from the rest of the library
+so any layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class WalkStats:
+    """Execution record of one parallel (or shard-planned serial) run."""
+
+    executor: str
+    """Resolved executor: ``"process"``, ``"thread"`` or ``"serial"``."""
+    n_workers: int
+    """OS workers requested (actual concurrency, not shard count)."""
+    n_shards: int
+    """Logical walk shards the budget was partitioned into.  Fixed
+    independently of ``n_workers`` so estimates are identical across
+    worker counts."""
+    walks_launched: int = 0
+    walks_completed: int = 0
+    queries_per_worker: Tuple[int, ...] = ()
+    """API calls charged by each shard's private meter, in shard order.
+    Their sum is the run's merged total cost."""
+    wall_clock: Dict[str, float] = field(default_factory=dict)
+    """Seconds per phase, e.g. ``{"execute": ..., "merge": ..., "total": ...}``."""
+
+    def as_diagnostics(self) -> Dict[str, float]:
+        """Flatten the scalar fields for ``EstimateResult.diagnostics``."""
+        flat = {
+            "parallel_shards": float(self.n_shards),
+            "parallel_workers": float(self.n_workers),
+            "walks_launched": float(self.walks_launched),
+            "walks_completed": float(self.walks_completed),
+        }
+        for phase, seconds in self.wall_clock.items():
+            flat[f"wall_{phase}_seconds"] = seconds
+        return flat
+
+    def summary(self) -> str:
+        """One-line rendering for the CLI."""
+        total = self.wall_clock.get("total", 0.0)
+        spend = "+".join(str(q) for q in self.queries_per_worker) or "0"
+        return (
+            f"{self.n_shards} shards on {self.n_workers} {self.executor} worker(s), "
+            f"{self.walks_completed}/{self.walks_launched} walks, "
+            f"cost {spend}, {total:.2f}s"
+        )

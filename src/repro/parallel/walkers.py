@@ -1,0 +1,353 @@
+"""Shard-planned parallel execution of MA-TARW and MA-SRW runs.
+
+The paper's estimators aggregate *independent* walks (bottom-top-bottom
+instances for MA-TARW, SRW chains for MA-SRW) into one Hansen–Hurwitz /
+ratio estimate, which makes them embarrassingly parallel.  This module
+implements the decomposition:
+
+1. **Plan** — split the query budget into ``n_shards`` logical walk
+   shards (remainder spread over the first shards) and derive one
+   deterministic RNG stream per shard via
+   :func:`repro._rng.spawn_worker_seeds`.  The plan depends only on the
+   master seed, the budget and the shard count — never on ``n_workers``.
+2. **Execute** — each shard runs a *full serial* estimator over its own
+   caching client (own :class:`~repro.api.accounting.CostMeter`, own
+   response cache) against the shared read-only platform, through the
+   :class:`~repro.parallel.engine.ExecutionEngine`.  Simulator-backed
+   closures resolve to the threaded executor automatically.
+3. **Merge** — partial Hansen–Hurwitz sums (TARW) or pooled post-burn-in
+   samples (SRW) are combined **in shard order**, per-shard cost meters
+   are summed into the merged accounting, and a
+   :class:`~repro.parallel.stats.WalkStats` record is attached to the
+   resulting :class:`~repro.core.results.EstimateResult`.
+
+Because execution order cannot influence any shard's walk (streams are
+pre-spawned; clients are private) and the merge order is fixed, the
+merged estimate is identical for every worker count — the property the
+test suite pins down.
+
+Trade-off versus the classic single-walker run: shards do not share a
+response cache, so a sharded run re-pays for regions multiple shards
+visit.  What it buys is wall-clock overlap (real API latency, or real
+CPUs under process execution for replicate fan-out) and mergeable,
+per-worker cost accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._rng import spawn_worker_seeds
+from repro.api.accounting import merge_cost_by_kind
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.core.graph_builder import (
+    LevelByLevelOracle,
+    QueryContext,
+    SocialGraphOracle,
+    TermInducedOracle,
+)
+from repro.core.query import Aggregate
+from repro.core.results import EstimateResult, TracePoint
+from repro.errors import EstimationError
+from repro.parallel.engine import ExecutionEngine, ParallelConfig
+from repro.parallel.stats import WalkStats
+from repro.sampling.estimators import ratio_average
+from repro.sampling.mark_recapture import katzir_count
+
+
+# ----------------------------------------------------------------------
+# planning helpers
+# ----------------------------------------------------------------------
+def split_budget(total: Optional[int], n_shards: int) -> List[Optional[int]]:
+    """Partition *total* API calls over shards (None stays unbudgeted)."""
+    if total is None:
+        return [None] * n_shards
+    if total < n_shards:
+        raise EstimationError(
+            f"budget {total} cannot be split over {n_shards} walk shards; "
+            "lower n_shards or raise the budget"
+        )
+    base, remainder = divmod(total, n_shards)
+    return [base + (1 if index < remainder else 0) for index in range(n_shards)]
+
+
+def _simulator_backing(client) -> Tuple[object, str, float, Optional[int]]:
+    """Platform + client settings needed to build per-shard clients."""
+    inner = getattr(client, "inner", client)
+    platform = getattr(inner, "platform", None)
+    if platform is None:
+        raise EstimationError(
+            "parallel execution requires a simulator-backed caching client "
+            "(each walk shard needs its own client over the same platform)"
+        )
+    policy = getattr(getattr(inner, "limiter", None), "policy", "sleep")
+    latency = getattr(inner, "latency", 0.0)
+    # Split what is *left* to spend: auto interval selection (or any other
+    # pre-shard work) may already have charged this client's meter.
+    meter = getattr(inner, "meter", None)
+    budget = None
+    if meter is not None and meter.budget is not None:
+        budget = meter.remaining
+    return platform, policy, latency, budget
+
+
+def _rebuild_oracle(template, context: QueryContext):
+    """A fresh oracle of the template's kind over a shard's own context."""
+    if isinstance(template, LevelByLevelOracle):
+        return LevelByLevelOracle(
+            context,
+            template.index,
+            keep_intra_fraction=template.keep_intra_fraction,
+            edge_seed=template.edge_seed,
+        )
+    if isinstance(template, (SocialGraphOracle, TermInducedOracle)):
+        return type(template)(context)
+    raise EstimationError(
+        f"parallel execution cannot rebuild oracle {type(template).__name__}; "
+        "only the graph-builder oracles are supported"
+    )
+
+
+def _shard_stack(platform, query, budget, policy, latency, oracle_template):
+    client = CachingClient(
+        SimulatedMicroblogClient(
+            platform, budget=budget, rate_limit_policy=policy, latency=latency
+        )
+    )
+    context = QueryContext(client, query)
+    return client, context, _rebuild_oracle(oracle_template, context)
+
+
+# ----------------------------------------------------------------------
+# shard execution
+# ----------------------------------------------------------------------
+def run_parallel_estimate(estimator) -> EstimateResult:
+    """Entry point used by ``MATARWEstimator`` / ``MASRWEstimator``."""
+    from repro.core.srw import MASRWEstimator
+    from repro.core.tarw import MATARWEstimator
+
+    if isinstance(estimator, MATARWEstimator):
+        return _run_sharded(estimator, kind="tarw")
+    if isinstance(estimator, MASRWEstimator):
+        return _run_sharded(estimator, kind="srw")
+    raise EstimationError(f"no parallel driver for {type(estimator).__name__}")
+
+
+def _run_sharded(estimator, kind: str) -> EstimateResult:
+    config: ParallelConfig = estimator.parallel
+    platform, policy, latency, budget = _simulator_backing(estimator.context.client)
+    n_shards = config.resolved_shards(budget)
+    outer_meter = getattr(estimator.context.client, "meter", None)
+    outer_cost = outer_meter.total if outer_meter is not None else 0
+    outer_by_kind = outer_meter.by_kind() if outer_meter is not None else {}
+    budgets = split_budget(budget, n_shards)
+    shard_seeds = spawn_worker_seeds(estimator.rng, n_shards)
+    query = estimator.context.query
+    oracle_template = estimator.oracle
+    walker_config = estimator.config
+    start = time.perf_counter()
+
+    def shard(index: int) -> Dict[str, object]:
+        from repro.core.srw import MASRWEstimator
+        from repro.core.tarw import MATARWEstimator
+
+        client, context, oracle = _shard_stack(
+            platform, query, budgets[index], policy, latency, oracle_template
+        )
+        if kind == "tarw":
+            sub = MATARWEstimator(context, oracle, walker_config, seed=shard_seeds[index])
+            result = sub.estimate()
+            partial: object = sub.hh_partial()
+            launched = int(
+                result.diagnostics.get("instances", 0.0)
+                + result.diagnostics.get("budget_aborted_instances", 0.0)
+            )
+            completed = int(result.diagnostics.get("instances", 0.0))
+            samples = completed
+        else:
+            sub = MASRWEstimator(context, oracle, walker_config, seed=shard_seeds[index])
+            result = sub.estimate()
+            partial = sub.shard_samples()
+            launched = int(result.diagnostics.get("steps", 0.0))
+            completed = launched
+            samples = len(partial)  # type: ignore[arg-type]
+        return {
+            "partial": partial,
+            "cost_total": result.cost_total,
+            "cost_by_kind": result.cost_by_kind,
+            "num_samples": samples,
+            "walks_launched": launched,
+            "walks_completed": completed,
+            "diagnostics": result.diagnostics,
+            "simulated_wait": getattr(client.inner, "simulated_wait", 0.0),
+            "cache_hits": float(client.hits),
+        }
+
+    engine = ExecutionEngine(n_workers=config.n_workers, executor=config.executor)
+    outcomes = engine.run(shard, [(index,) for index in range(n_shards)])
+    execute_seconds = engine.wall_seconds
+
+    merge_start = time.perf_counter()
+    if kind == "tarw":
+        merged_value, trace, num_samples = _merge_tarw(query, outcomes, outer_cost)
+        algorithm = "ma-tarw"
+    else:
+        merged_value, trace, num_samples = _merge_srw(query, outcomes, outer_cost)
+        algorithm = f"ma-srw[{oracle_template.name}]"
+    merge_seconds = time.perf_counter() - merge_start
+
+    # Pre-shard spend on the outer client (e.g. auto interval selection)
+    # stays part of the run's accounting, as in the serial path.
+    cost_by_kind = merge_cost_by_kind(
+        [outer_by_kind] + [o["cost_by_kind"] for o in outcomes]
+    )
+    cost_total = outer_cost + sum(o["cost_total"] for o in outcomes)
+    stats = WalkStats(
+        executor=engine.resolved or "serial",
+        n_workers=config.n_workers,
+        n_shards=n_shards,
+        walks_launched=sum(o["walks_launched"] for o in outcomes),
+        walks_completed=sum(o["walks_completed"] for o in outcomes),
+        queries_per_worker=tuple(o["cost_total"] for o in outcomes),
+        wall_clock={
+            "execute": execute_seconds,
+            "merge": merge_seconds,
+            "total": time.perf_counter() - start,
+        },
+    )
+    diagnostics = _merge_diagnostics([o["diagnostics"] for o in outcomes])
+    diagnostics.update(stats.as_diagnostics())
+    diagnostics["simulated_wait_seconds"] = sum(o["simulated_wait"] for o in outcomes)
+    diagnostics["cache_hits"] = sum(o["cache_hits"] for o in outcomes)
+    return EstimateResult(
+        query=query,
+        algorithm=algorithm,
+        value=merged_value,
+        cost_total=cost_total,
+        cost_by_kind=cost_by_kind,
+        trace=trace,
+        num_samples=num_samples,
+        diagnostics=diagnostics,
+        walk_stats=stats,
+    )
+
+
+_ADDITIVE_DIAGNOSTICS = frozenset(
+    {
+        "instances",
+        "budget_aborted_instances",
+        "zero_probability_drops",
+        "p_pool_nodes",
+        "steps",
+        "dead_end_restarts",
+    }
+)
+
+
+def _merge_diagnostics(per_shard: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Sum additive counters, average everything else across shards."""
+    merged: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for diagnostics in per_shard:
+        for key, value in diagnostics.items():
+            merged[key] = merged.get(key, 0.0) + value
+            counts[key] = counts.get(key, 0) + 1
+    for key in list(merged):
+        if key not in _ADDITIVE_DIAGNOSTICS:
+            merged[key] /= counts[key]
+    return merged
+
+
+# ----------------------------------------------------------------------
+# merges
+# ----------------------------------------------------------------------
+def merge_tarw_partials(query, partials: Sequence[Dict[str, float]]) -> Optional[float]:
+    """Pooled Hansen–Hurwitz estimate from per-walker partial sums.
+
+    Each partial carries instance-unnormalised accumulators (see
+    ``MATARWEstimator.hh_partial``); pooling adds them and divides once
+    by the pooled instance count — equivalent to instance-weighting each
+    walker's own estimate, and exactly the serial formula when a single
+    partial is passed.
+    """
+    instances = sum(p["instances"] for p in partials)
+    if instances <= 0:
+        return None
+    divisor = partials[0]["divisor"]
+    total_sum = sum(p["sum"] for p in partials)
+    total_count = sum(p["count"] for p in partials)
+    raw_sum = sum(p["raw_sum"] for p in partials)
+    raw_count = sum(p["raw_count"] for p in partials)
+    if query.aggregate is Aggregate.SUM:
+        return total_sum / (divisor * instances)
+    if query.aggregate is Aggregate.COUNT:
+        return total_count / (divisor * instances)
+    if raw_count == 0:
+        return None
+    return raw_sum / raw_count
+
+
+def _merge_tarw(
+    query, outcomes, base_cost: int = 0
+) -> Tuple[Optional[float], List[TracePoint], int]:
+    partials = [o["partial"] for o in outcomes]
+    trace: List[TracePoint] = []
+    cumulative_cost = base_cost
+    for index in range(len(outcomes)):
+        cumulative_cost += outcomes[index]["cost_total"]
+        trace.append(
+            TracePoint(cumulative_cost, merge_tarw_partials(query, partials[: index + 1]))
+        )
+    value = merge_tarw_partials(query, partials)
+    num_samples = sum(int(p["instances"]) for p in partials)
+    return value, trace, num_samples
+
+
+def merge_srw_samples(
+    query, samples: Sequence[Tuple[int, int, Optional[bool], float]]
+) -> Optional[float]:
+    """Pooled SRW estimate from per-walker post-burn-in samples.
+
+    Mirrors the serial assembly: AVG is the degree-debiased ratio over
+    condition-matching samples, COUNT is the Katzir population of the
+    pooled chains times the debiased matching fraction, SUM the product.
+    Samples whose condition evaluation was unaffordable (``matches`` is
+    None) only contribute to the Katzir population, exactly as in the
+    serial estimator.
+    """
+    if len(samples) < 2:
+        return None
+    try:
+        if query.aggregate is Aggregate.AVG:
+            return _srw_avg(samples)
+        nodes = [node for node, _, _, _ in samples]
+        degrees = [degree for _, degree, _, _ in samples]
+        population = katzir_count(nodes, degrees).population
+        indicator = [1.0 if m else 0.0 for _, _, m, _ in samples if m is not None]
+        affordable = [d for _, d, m, _ in samples if m is not None]
+        count = population * ratio_average(indicator, affordable)
+        if query.aggregate is Aggregate.COUNT:
+            return count
+        return count * _srw_avg(samples)
+    except EstimationError:
+        return None
+
+
+def _srw_avg(samples) -> float:
+    values = [f for _, _, m, f in samples if m]
+    degrees = [d for _, d, m, _ in samples if m]
+    return ratio_average(values, degrees)
+
+
+def _merge_srw(
+    query, outcomes, base_cost: int = 0
+) -> Tuple[Optional[float], List[TracePoint], int]:
+    trace: List[TracePoint] = []
+    pooled: List[Tuple[int, int, Optional[bool], float]] = []
+    cumulative_cost = base_cost
+    for outcome in outcomes:
+        pooled.extend(outcome["partial"])
+        cumulative_cost += outcome["cost_total"]
+        trace.append(TracePoint(cumulative_cost, merge_srw_samples(query, pooled)))
+    return merge_srw_samples(query, pooled), trace, len(pooled)

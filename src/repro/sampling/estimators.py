@@ -3,10 +3,19 @@
 * :func:`hansen_hurwitz` — the unbiased with-replacement estimator of a
   population total from samples with known selection probabilities
   (Hansen & Hurwitz 1943, [14] in the paper).  MA-TARW's entire point is
-  that knowing ``p(u)`` makes this applicable to SUM/COUNT (§5.1).
+  that the topology-aware walk *computes* its selection probability
+  ``p(u)`` exactly — Eq. 6 gives the per-path product of transition
+  probabilities, and Eq. 7 sums it over the (boundable) set of paths that
+  can reach ``u`` — which makes this estimator applicable to SUM/COUNT
+  aggregates (§5.1) where self-normalising SRW estimators cannot be.
 * :func:`ratio_average` — the standard SRW mean estimator: samples arrive
   with probability proportional to degree, so AVG(f) is estimated by the
   self-normalising ratio  sum(f/d) / sum(1/d)  [20].
+
+Both are pure functions of their sample sequences, which is what lets
+the parallel walk engine merge per-shard accumulators: Hansen–Hurwitz
+partials add (they share no normalisation other than the sample count),
+and ratio_average pools raw ``(value, degree)`` samples across chains.
 """
 
 from __future__ import annotations

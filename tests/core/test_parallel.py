@@ -1,0 +1,211 @@
+"""The parallel execution engine: determinism, merging, accounting.
+
+The contract under test (see ``repro/parallel/walkers.py``): the shard
+plan is a function of the master seed, the budget and the shard count —
+never of the worker count — so serial and parallel runs of the same
+estimation are *identical*, and the merged cost accounting equals the sum
+of what each shard's private meter charged.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro._rng import spawn_worker_seeds
+from repro.api.accounting import CostMeter, merge_cost_by_kind
+from repro.bench.harness import replicate_runs
+from repro.core.analyzer import MicroblogAnalyzer
+from repro.core.query import FOLLOWERS, avg_of, count_users
+from repro.errors import EstimationError, ReproError
+from repro.parallel import (
+    DEFAULT_SHARDS,
+    ExecutionEngine,
+    ParallelConfig,
+    PlatformRef,
+    split_budget,
+)
+
+BUDGET = 9_000  # 3 adaptive shards at MIN_SHARD_BUDGET=2000 -> no starvation
+
+
+# ----------------------------------------------------------------------
+# planning primitives
+# ----------------------------------------------------------------------
+def test_spawn_worker_seeds_deterministic():
+    assert spawn_worker_seeds(123, 4) == spawn_worker_seeds(123, 4)
+    assert spawn_worker_seeds(123, 4) != spawn_worker_seeds(124, 4)
+    assert len(set(spawn_worker_seeds(0, 16))) == 16
+
+
+def test_split_budget():
+    assert split_budget(10, 3) == [4, 3, 3]
+    assert split_budget(9, 3) == [3, 3, 3]
+    assert split_budget(None, 3) == [None, None, None]
+    with pytest.raises(EstimationError):
+        split_budget(2, 3)
+
+
+def test_parallel_config_validation():
+    with pytest.raises(ReproError):
+        ParallelConfig(n_workers=0)
+    with pytest.raises(ReproError):
+        ParallelConfig(executor="gpu")
+    assert ParallelConfig(n_shards=5).resolved_shards() == 5
+    assert ParallelConfig().resolved_shards() == DEFAULT_SHARDS
+    # the default backs off with the budget, floors at one shard
+    assert ParallelConfig().resolved_shards(budget=100) == 1
+    assert ParallelConfig().resolved_shards(budget=6_000) == 3
+    assert ParallelConfig().resolved_shards(budget=10**9) == DEFAULT_SHARDS
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def test_engine_preserves_task_order():
+    engine = ExecutionEngine(n_workers=4, executor="thread")
+    assert engine.run(_square, [(i,) for i in range(20)]) == [i * i for i in range(20)]
+    assert engine.resolved == "thread"
+    assert len(engine.task_seconds) == 20
+
+
+def test_engine_serial_modes():
+    engine = ExecutionEngine(n_workers=1, executor="auto")
+    assert engine.run(_square, [(3,), (4,)]) == [9, 16]
+    assert engine.resolved == "serial"
+    assert ExecutionEngine(4, "auto").run(_square, [(5,)]) == [25]
+
+
+def test_engine_auto_falls_back_to_thread_for_closures():
+    captured = []  # closures are unpicklable -> auto must not pick process
+    engine = ExecutionEngine(n_workers=2, executor="auto")
+    assert engine.run(lambda x: captured.append(x) or x, [(1,), (2,)]) == [1, 2]
+    assert engine.resolved == "thread"
+
+
+def test_engine_process_mode_rejects_unpicklable():
+    with pytest.raises(ReproError):
+        ExecutionEngine(2, "process").run(lambda x: x, [(1,), (2,)])
+
+
+def test_engine_propagates_first_error_in_task_order():
+    def boom(x):
+        if x % 2:
+            raise ValueError(f"task {x}")
+        return x
+
+    with pytest.raises(ValueError, match="task 1"):
+        ExecutionEngine(4, "thread").run(boom, [(0,), (1,), (2,), (3,)])
+
+
+# ----------------------------------------------------------------------
+# thread-safe accounting
+# ----------------------------------------------------------------------
+def test_cost_meter_charge_is_race_safe():
+    meter = CostMeter(budget=None)
+    threads = [
+        threading.Thread(
+            target=lambda: [meter.charge("search", 1) for _ in range(500)]
+        )
+        for _ in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert meter.total == 4_000
+
+
+def test_merge_cost_by_kind():
+    merged = merge_cost_by_kind([{"search": 2, "timeline": 1}, {"search": 3}])
+    assert merged["search"] == 5
+    assert merged["timeline"] == 1
+
+
+# ----------------------------------------------------------------------
+# worker-count invariance of the estimators
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ["ma-tarw", "ma-srw"])
+def test_parallel_estimate_is_worker_count_invariant(tiny_platform, algorithm):
+    query = count_users("boston")
+
+    def run(n_workers):
+        analyzer = MicroblogAnalyzer(
+            tiny_platform, algorithm=algorithm, seed=5,
+            n_workers=n_workers, executor="thread",
+        )
+        return analyzer.estimate(query, budget=BUDGET)
+
+    serial, parallel = run(1), run(3)
+    assert serial.value == parallel.value
+    assert serial.cost_total == parallel.cost_total
+    assert serial.cost_by_kind == parallel.cost_by_kind
+    assert serial.num_samples == parallel.num_samples
+    assert [(p.cost, p.estimate) for p in serial.trace] == [
+        (p.cost, p.estimate) for p in parallel.trace
+    ]
+    assert serial.walk_stats.n_workers == 1
+    assert parallel.walk_stats.n_workers == 3
+    assert serial.walk_stats.n_shards == parallel.walk_stats.n_shards
+
+
+def test_merged_cost_accounting_matches_shard_meters(tiny_platform):
+    analyzer = MicroblogAnalyzer(
+        tiny_platform, seed=5, n_workers=2, executor="thread"
+    )
+    result = analyzer.estimate(count_users("boston"), budget=BUDGET)
+    stats = result.walk_stats
+    assert stats is not None
+    assert result.cost_total == sum(stats.queries_per_worker)
+    assert result.cost_total <= BUDGET
+    assert sum(result.cost_by_kind.values()) == result.cost_total
+    assert stats.walks_completed <= stats.walks_launched
+    assert "parallel_shards" in result.diagnostics
+
+
+def test_parallel_avg_query(tiny_platform):
+    query = avg_of("privacy", FOLLOWERS)
+    r1 = MicroblogAnalyzer(
+        tiny_platform, seed=9, n_workers=1
+    ).estimate(query, budget=BUDGET)
+    r2 = MicroblogAnalyzer(
+        tiny_platform, seed=9, n_workers=3, executor="thread"
+    ).estimate(query, budget=BUDGET)
+    assert r1.value == r2.value
+
+
+def test_parallel_auto_interval_still_invariant(tiny_platform):
+    def run(n_workers):
+        return MicroblogAnalyzer(
+            tiny_platform, interval="auto", seed=7,
+            n_workers=n_workers, executor="thread",
+        ).estimate(count_users("boston"), budget=12_000)
+
+    serial, parallel = run(1), run(3)
+    assert serial.value == parallel.value
+    assert serial.cost_total == parallel.cost_total
+
+
+# ----------------------------------------------------------------------
+# replicate fan-out + platform shipping
+# ----------------------------------------------------------------------
+def test_platform_ref_pickle_roundtrip(tiny_platform):
+    ref = pickle.loads(pickle.dumps(PlatformRef(tiny_platform)))
+    restored = ref.resolve()
+    assert restored.store.num_users == tiny_platform.store.num_users
+
+
+def test_replicate_runs_parallel_matches_serial(tiny_platform):
+    query = count_users("privacy")
+    serial = replicate_runs(tiny_platform, query, "ma-srw", 3, budget=2_000)
+    parallel = replicate_runs(
+        tiny_platform, query, "ma-srw", 3, n_workers=3, budget=2_000
+    )
+    assert [r.value for r in serial] == [r.value for r in parallel]
+    assert [r.cost_total for r in serial] == [r.cost_total for r in parallel]
