@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.api import accounting
 from repro.api.accounting import CostMeter
@@ -86,7 +86,7 @@ class SimulatedMicroblogClient(MicroblogAPI):
     # ------------------------------------------------------------------
     # MicroblogAPI
     # ------------------------------------------------------------------
-    def search(self, keyword: str, max_results: Optional[int] = None) -> List[SearchHit]:
+    def search(self, keyword: str, max_results: Optional[int] = None) -> Sequence[SearchHit]:
         """Posts mentioning *keyword* within the platform's search window.
 
         Results are newest-first, as real search APIs return them, and
@@ -113,11 +113,17 @@ class SimulatedMicroblogClient(MicroblogAPI):
         self._charge(accounting.SEARCH, calls)
         return hits
 
-    def user_connections(self, user_id: int) -> List[int]:
+    def user_connections(self, user_id: int) -> Sequence[int]:
         store = self.platform.store
         if not store.has_user(user_id):
             raise APIError(f"unknown user {user_id}")
-        neighbors = sorted(store.graph.neighbors_unsafe(user_id))
+        graph = store.graph
+        if hasattr(graph, "sorted_neighbors"):
+            # CSR graphs keep adjacency pre-sorted: serve the compiled
+            # tuple without re-sorting (or allocating) per request.
+            neighbors: Sequence[int] = graph.sorted_neighbors(user_id)
+        else:
+            neighbors = sorted(graph.neighbors_unsafe(user_id))
         profile = self.platform.profile
         calls = profile.calls_for_items(len(neighbors), profile.connections_page_size)
         self._charge(accounting.CONNECTIONS, calls)
@@ -162,6 +168,10 @@ class CachingClient(MicroblogAPI):
     misses.  Search results are cached per (keyword, max_results) because
     the simulated "now" is frozen during an estimation run.
 
+    Responses are cached — and served — as immutable tuples, so a cache hit
+    is allocation-free: random walks revisiting a node get the exact cached
+    object back instead of a defensive copy per request.
+
     A lock serialises fill-on-miss so a client shared by concurrently
     executing pilot walks (see ``select_time_interval(n_workers=...)``)
     never double-pays for the same response.  Per-shard clients in the
@@ -171,30 +181,30 @@ class CachingClient(MicroblogAPI):
     def __init__(self, inner: MicroblogAPI) -> None:
         self.inner = inner
         self._timelines: Dict[int, TimelineView] = {}
-        self._connections: Dict[int, List[int]] = {}
-        self._searches: Dict[Tuple[str, Optional[int]], List[SearchHit]] = {}
+        self._connections: Dict[int, Tuple[int, ...]] = {}
+        self._searches: Dict[Tuple[str, Optional[int]], Tuple[SearchHit, ...]] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
-    def search(self, keyword: str, max_results: Optional[int] = None) -> List[SearchHit]:
+    def search(self, keyword: str, max_results: Optional[int] = None) -> Tuple[SearchHit, ...]:
         key = (keyword.lower(), max_results)
         with self._lock:
             if key not in self._searches:
                 self.misses += 1
-                self._searches[key] = self.inner.search(keyword, max_results)
+                self._searches[key] = tuple(self.inner.search(keyword, max_results))
             else:
                 self.hits += 1
-            return list(self._searches[key])
+            return self._searches[key]
 
-    def user_connections(self, user_id: int) -> List[int]:
+    def user_connections(self, user_id: int) -> Tuple[int, ...]:
         with self._lock:
             if user_id not in self._connections:
                 self.misses += 1
-                self._connections[user_id] = self.inner.user_connections(user_id)
+                self._connections[user_id] = tuple(self.inner.user_connections(user_id))
             else:
                 self.hits += 1
-            return list(self._connections[user_id])
+            return self._connections[user_id]
 
     def user_timeline(self, user_id: int) -> TimelineView:
         with self._lock:

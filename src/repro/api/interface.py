@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.platform.posts import Post
 from repro.platform.users import Gender
@@ -84,12 +84,18 @@ class MicroblogAPI(abc.ABC):
     """The three-query data-access model of §2."""
 
     @abc.abstractmethod
-    def search(self, keyword: str, max_results: Optional[int] = None) -> List[SearchHit]:
-        """Recent posts mentioning *keyword* (recency-window limited)."""
+    def search(self, keyword: str, max_results: Optional[int] = None) -> Sequence[SearchHit]:
+        """Recent posts mentioning *keyword* (recency-window limited).
+
+        Implementations may return an immutable sequence; callers must not
+        mutate the result.
+        """
 
     @abc.abstractmethod
-    def user_connections(self, user_id: int) -> List[int]:
-        """All users connected with *user_id* (paginated internally)."""
+    def user_connections(self, user_id: int) -> Sequence[int]:
+        """All users connected with *user_id*, ascending (paginated
+        internally).  Implementations may return an immutable sequence;
+        callers must not mutate the result."""
 
     @abc.abstractmethod
     def user_timeline(self, user_id: int) -> TimelineView:

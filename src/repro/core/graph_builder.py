@@ -26,7 +26,7 @@ because so many neighbors must be inspected.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.api.interface import MicroblogAPI, TimelineView
 from repro.core.levels import LevelIndex
@@ -49,7 +49,8 @@ class QueryContext:
     def timeline(self, user_id: int) -> TimelineView:
         return self.client.user_timeline(user_id)
 
-    def connections(self, user_id: int) -> List[int]:
+    def connections(self, user_id: int) -> Sequence[int]:
+        """Sorted neighbor ids; an immutable sequence — do not mutate."""
         return self.client.user_connections(user_id)
 
     # ------------------------------------------------------------------
@@ -134,9 +135,9 @@ class SocialGraphOracle:
 
     def __init__(self, context: QueryContext) -> None:
         self.context = context
-        self._cache: Dict[int, List[int]] = {}
+        self._cache: Dict[int, Sequence[int]] = {}
 
-    def neighbors(self, user_id: int) -> List[int]:
+    def neighbors(self, user_id: int) -> Sequence[int]:
         if user_id not in self._cache:
             self._cache[user_id] = self.context.connections(user_id)
         return self._cache[user_id]

@@ -14,6 +14,7 @@ layers) and provides:
 """
 
 from repro.graph.social_graph import SocialGraph
+from repro.graph.csr import CSRGraph
 from repro.graph.components import connected_components, largest_component, recall_of_largest_component
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -33,6 +34,7 @@ from repro.graph.conductance import (
 
 __all__ = [
     "SocialGraph",
+    "CSRGraph",
     "connected_components",
     "largest_component",
     "recall_of_largest_component",

@@ -169,6 +169,7 @@ def community_graph(
     hub_fraction: float = 0.015,
     hub_bias: float = 0.5,
     seed: RandomLike = None,
+    vectorized: bool = False,
 ) -> SocialGraph:
     """Community-structured social graph with heavy-tailed hubs.
 
@@ -189,6 +190,12 @@ def community_graph(
     subgraphs whose edge taxonomy matches Table 2: each keyword wave
     saturates the communities it reaches (intra/adjacent-level edges)
     while few edges connect different waves (rare cross-level edges).
+
+    ``vectorized=True`` draws every random column in numpy batches — same
+    model, same marginal distributions, an order of magnitude faster at
+    10^4+ nodes — but a *different realization* for a given seed than the
+    scalar path.  The default stays scalar so existing seeds reproduce
+    byte-identical graphs; the columnar platform data planes opt in.
     """
     if n < 2:
         raise GraphError("need at least two nodes")
@@ -201,6 +208,16 @@ def community_graph(
     import math
 
     rng = ensure_rng(seed)
+    if vectorized:
+        return _community_graph_vectorized(
+            n,
+            mean_community_size,
+            within_degree,
+            inter_edges_per_node,
+            hub_fraction,
+            hub_bias,
+            rng,
+        )
     graph = SocialGraph(nodes=range(n))
 
     # Partition into lognormal-sized communities.
@@ -250,6 +267,91 @@ def _rounded_count(mean: float, rng) -> int:
     """Integer draw with the given mean (floor + Bernoulli remainder)."""
     base = int(mean)
     return base + (1 if rng.random() < mean - base else 0)
+
+
+def _community_graph_vectorized(
+    n: int,
+    mean_community_size: float,
+    within_degree: float,
+    inter_edges_per_node: float,
+    hub_fraction: float,
+    hub_bias: float,
+    rng,
+) -> SocialGraph:
+    """Numpy batch-draw implementation of :func:`community_graph`.
+
+    Mirrors the scalar path draw-for-draw in *distribution* — lognormal
+    community sizes, per-pair Bernoulli intra-community edges, Zipf-hub or
+    uniform long-range targets with same-community rejection — but pulls
+    each random column as one vector, dedupes edges with ``np.unique`` and
+    bulk-inserts the result.
+    """
+    import math
+
+    import numpy as np
+
+    nrng = np.random.default_rng(rng.getrandbits(128))
+    mu = math.log(mean_community_size) - 0.18  # sigma=0.6 => mean ~ e^{mu+0.18}
+
+    # Community sizes: batch lognormal draws, cut off once they cover n.
+    # Sizes floor at 3, so ceil(n/3) draws always suffice.
+    raw = np.maximum(3, nrng.lognormal(mu, 0.6, size=n // 3 + 1).astype(np.int64))
+    ends = np.cumsum(raw)
+    last = int(np.searchsorted(ends, n))
+    sizes = raw[: last + 1]
+    sizes[-1] = n - (int(ends[last - 1]) if last else 0)  # truncate the tail
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+
+    edge_lo: list = []
+    edge_hi: list = []
+
+    # Dense intra-community wiring: one Bernoulli per unordered pair.
+    triu_cache: dict = {}
+    for start, size in zip(starts.tolist(), sizes.tolist()):
+        if size < 2:
+            continue
+        pair = triu_cache.get(size)
+        if pair is None:
+            pair = triu_cache[size] = np.triu_indices(size, k=1)
+        p_in = min(within_degree / (size - 1), 1.0)
+        mask = nrng.random(pair[0].size) < p_in
+        edge_lo.append(pair[0][mask] + start)
+        edge_hi.append(pair[1][mask] + start)
+
+    # Hubs: a small Zipf-weighted set that attracts long-range edges.
+    num_hubs = max(1, int(n * hub_fraction))
+    hubs = nrng.choice(n, size=num_hubs, replace=False)
+    hub_weights = 1.0 / (np.arange(num_hubs, dtype=np.float64) + 1.0)
+    hub_weights /= hub_weights.sum()
+
+    community_of = np.repeat(np.arange(sizes.size, dtype=np.int64), sizes)
+
+    # Long-range edges: floor + Bernoulli count per node, hub-or-uniform
+    # target per edge, self/same-community draws rejected (not redrawn).
+    base = int(inter_edges_per_node)
+    counts = np.full(n, base, dtype=np.int64)
+    remainder = inter_edges_per_node - base
+    if remainder > 0:
+        counts += nrng.random(n) < remainder
+    total = int(counts.sum())
+    if total:
+        sources = np.repeat(np.arange(n, dtype=np.int64), counts)
+        use_hub = nrng.random(total) < hub_bias
+        targets = np.empty(total, dtype=np.int64)
+        num_hub_draws = int(use_hub.sum())
+        targets[use_hub] = hubs[nrng.choice(num_hubs, size=num_hub_draws, p=hub_weights)]
+        targets[~use_hub] = nrng.integers(0, n, size=total - num_hub_draws)
+        keep = (sources != targets) & (community_of[sources] != community_of[targets])
+        edge_lo.append(np.minimum(sources[keep], targets[keep]))
+        edge_hi.append(np.maximum(sources[keep], targets[keep]))
+
+    graph = SocialGraph(nodes=range(n))
+    if edge_lo:
+        lo = np.concatenate(edge_lo)
+        hi = np.concatenate(edge_hi)
+        keys = np.unique(lo * np.int64(n) + hi)  # dedupe unordered pairs
+        graph.add_unique_edges(zip((keys // n).tolist(), (keys % n).tolist()))
+    return graph
 
 
 def level_of_planted_node(node: int, nodes_per_level: int) -> int:

@@ -60,6 +60,20 @@ class SocialGraph:
             self._adj[v].add(u)
             self._edge_count += 1
 
+    def add_unique_edges(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Bulk-insert edges known to be deduplicated, self-loop-free and
+        over existing nodes (e.g. the output of a vectorized generator's
+        ``np.unique`` pass).  Skips :meth:`add_edge`'s per-edge checks —
+        callers violating the precondition corrupt the edge count.
+        """
+        adj = self._adj
+        count = 0
+        for u, v in pairs:
+            adj[u].add(v)
+            adj[v].add(u)
+            count += 1
+        self._edge_count += count
+
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the edge ``{u, v}``; raises :class:`GraphError` if absent."""
         if not self.has_edge(u, v):
@@ -139,9 +153,32 @@ class SocialGraph:
             a, b = b, a
         return {w for w in a if w in b}
 
+    def common_neighbor_count(self, u: int, v: int) -> int:
+        """``len(common_neighbors(u, v))`` via C-speed set intersection.
+
+        The cascade's weak-tie test calls this once per exposure; skipping
+        the python-level comprehension measurably speeds platform builds.
+        """
+        a, b = self._adj.get(u, None), self._adj.get(v, None)
+        if a is None or b is None:
+            return 0
+        return len(a & b)
+
     # ------------------------------------------------------------------
     # derivation
     # ------------------------------------------------------------------
+    def freeze(self):
+        """Compile to an immutable :class:`~repro.graph.csr.CSRGraph`.
+
+        The CSR form is the data plane every read-only consumer (API
+        client, oracles, conductance/metrics) should hold once
+        construction is complete: sorted flat neighbor arrays, zero-copy
+        slicing, and no per-call set copies.
+        """
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_graph(self)
+
     def subgraph(self, keep: Iterable[int]) -> "SocialGraph":
         """Induced subgraph on the nodes in *keep* (unknown ids ignored)."""
         keep_set = {n for n in keep if n in self._adj}
@@ -193,6 +230,8 @@ def edge_boundary(graph: SocialGraph, inside: Set[int]) -> Iterator[Tuple[int, i
 
 def triangle_count_at(graph: SocialGraph, node: int) -> int:
     """Number of triangles through *node* (for clustering metrics)."""
+    if hasattr(graph, "triangles_at"):  # CSR fast path: sorted intersections
+        return graph.triangles_at(node)
     nbrs = list(graph.neighbors_unsafe(node))
     count = 0
     for i, u in enumerate(nbrs):

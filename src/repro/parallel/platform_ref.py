@@ -6,8 +6,12 @@ a :class:`~concurrent.futures.ProcessPoolExecutor` worker directly.  A
 :class:`PlatformRef` holds the live object in the parent and, the first
 time it is pickled, spills the platform to a temporary ``.npz`` archive
 via :mod:`repro.platform.serialization` — which persists exactly the
-simulation *state* a worker needs.  Workers resolve the reference by
-loading the archive once per process (a module-level cache keyed by
+simulation *state* a worker needs.  Since the columnar data plane, the
+spill dumps the frozen store's column arrays near-directly and workers
+reload straight into a served :class:`~repro.platform.frozen.FrozenStore`,
+so process fan-out pays no per-post rebuild.  Workers resolve the
+reference by loading the archive once per process (a module-level cache
+keyed by
 path), so a pool amortises one load across any number of tasks.
 
 In-process (serial/thread) use never touches the disk: ``resolve()``

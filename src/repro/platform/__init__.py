@@ -12,6 +12,7 @@ from repro.platform.clock import SimulatedClock, DAY, HOUR, MINUTE, WEEK
 from repro.platform.users import UserProfile, Gender
 from repro.platform.posts import Post
 from repro.platform.store import MicroblogStore
+from repro.platform.frozen import FrozenStore
 from repro.platform.cascade import CascadeParams, run_cascade
 from repro.platform.workload import KeywordSpec, standard_keywords
 from repro.platform.profiles import PlatformProfile, TWITTER, GOOGLE_PLUS, TUMBLR
@@ -27,6 +28,7 @@ __all__ = [
     "Gender",
     "Post",
     "MicroblogStore",
+    "FrozenStore",
     "CascadeParams",
     "run_cascade",
     "KeywordSpec",

@@ -31,6 +31,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro._rng import RandomLike, ensure_rng
 from repro.errors import PlatformError
 from repro.platform.clock import DAY, HOUR, MINUTE
@@ -176,6 +178,7 @@ def run_cascade(
     params: Optional[CascadeParams] = None,
     seed: RandomLike = None,
     intensity_scale: float = 1.0,
+    emission: str = "columnar",
 ) -> CascadeResult:
     """Simulate *spec*'s keyword over ``[0, horizon)`` and write posts.
 
@@ -184,9 +187,16 @@ def run_cascade(
     fixed *fraction* of the platform regardless of its size (intensities
     in :mod:`repro.platform.workload` are calibrated per 10k users).
 
+    ``emission`` selects how mention posts are written: ``"columnar"``
+    (default) batches per-adopter numpy draws into the store's bulk column
+    buffers; ``"scalar"`` is the original per-post python-rng path, kept
+    for baseline benchmarking and byte-compatible old-seed platforms.
+
     Returns the adoption-time map — the ground truth from which the
     level-by-level structure derives.  Deterministic given *seed*.
     """
+    if emission not in ("columnar", "scalar"):
+        raise PlatformError(f"unknown emission mode {emission!r}")
     params = params or CascadeParams()
     if intensity_scale <= 0:
         raise PlatformError("intensity_scale must be positive")
@@ -194,6 +204,11 @@ def run_cascade(
     users = store.user_ids()
     if not users:
         raise PlatformError("store has no users")
+    # Post *emission* draws (follow-up counts, gaps, lengths, likes) come in
+    # numpy batches from a stream forked off the cascade rng up front, so
+    # the event-loop rng drives propagation only.  ``emission="scalar"``
+    # reproduces the pre-columnar per-post python draws exactly.
+    post_rng = np.random.default_rng(rng.getrandbits(128)) if emission == "columnar" else None
 
     # Exogenous seed events, day by day.
     events: List[Tuple[float, int]] = []
@@ -215,27 +230,85 @@ def run_cascade(
         if params.max_adopters is not None and len(adoption_times) >= params.max_adopters:
             break
         adoption_times[user_id] = timestamp
-        total_posts += _emit_mentions(store, user_id, timestamp, spec.keyword, horizon, params, rng)
+        if post_rng is None:
+            total_posts += _emit_mentions(
+                store, user_id, timestamp, spec.keyword, horizon, params, rng
+            )
         neighbors = store.graph.neighbors_unsafe(user_id)
         if len(neighbors) > params.exposure_cap:
             exposed = rng.sample(list(neighbors), params.exposure_cap)
         else:
             exposed = list(neighbors)
+        probability = spec.adoption_probability
+        weak_probability = probability * params.weak_tie_multiplier
         for neighbor in exposed:
             if neighbor in adoption_times:
                 continue
-            probability = spec.adoption_probability
+            # One uniform decides adoption.  The common-neighbor lookup is
+            # the loop's hottest call, so consult it lazily: draws at or
+            # above ``probability`` reject and draws below the weak-tie
+            # probability accept regardless of tie strength — only the band
+            # in between needs the tie test.  Decisions and the rng stream
+            # are bit-identical to testing the tie up front.
+            draw = rng.random()
+            if draw >= probability:
+                continue
             if (
                 params.weak_tie_common_neighbors > 0
-                and len(store.graph.common_neighbors(user_id, neighbor))
+                and draw >= weak_probability
+                and store.graph.common_neighbor_count(user_id, neighbor)
                 < params.weak_tie_common_neighbors
             ):
-                probability *= params.weak_tie_multiplier
-            if rng.random() < probability:
-                delay = sample_response_delay(params, rng)
-                heapq.heappush(events, (timestamp + delay, neighbor))
+                continue
+            delay = sample_response_delay(params, rng)
+            heapq.heappush(events, (timestamp + delay, neighbor))
 
+    if post_rng is not None:
+        total_posts = _emit_mentions_columnar(
+            store, adoption_times, spec.keyword, horizon, params, post_rng
+        )
     return CascadeResult(spec.keyword, adoption_times, total_posts)
+
+
+def _emit_mentions_columnar(
+    store: MicroblogStore,
+    adoption_times: Dict[int, float],
+    keyword: str,
+    horizon: float,
+    params: CascadeParams,
+    post_rng: np.random.Generator,
+) -> int:
+    """All of a cascade's mention posts, written as one column batch.
+
+    The event loop only decides *who adopts when*; every mention post —
+    each adopter's first plus its follow-ups — is drawn here in whole-
+    cascade numpy batches and lands in the store's bulk buffers.  No
+    :class:`Post` objects, no bisect, no per-adopter array overhead.
+    """
+    count = len(adoption_times)
+    if count == 0:
+        return 0
+    users = np.fromiter(adoption_times.keys(), dtype=np.int64, count=count)
+    first_times = np.fromiter(adoption_times.values(), dtype=np.float64, count=count)
+    extras = post_rng.poisson(params.extra_mentions_mean, size=count)
+    total_extra = int(extras.sum())
+    gaps = post_rng.exponential(params.extra_mention_gap_mean, size=total_extra)
+    follow_times = np.repeat(first_times, extras) + gaps
+    keep = follow_times < horizon
+    all_users = np.concatenate([users, np.repeat(users, extras)[keep]])
+    all_times = np.concatenate([first_times, follow_times[keep]])
+    posted = all_users.size
+    low, high = params.post_length_range
+    lengths = post_rng.integers(low, high + 1, size=posted)
+    likes = (
+        np.minimum(
+            (post_rng.pareto(params.likes_pareto_alpha, size=posted) + 1.0).astype(np.int64),
+            10_000,
+        )
+        - 1
+    )
+    store.add_posts_columnar(all_users, all_times, lengths, likes, keyword=keyword)
+    return posted
 
 
 def _emit_mentions(

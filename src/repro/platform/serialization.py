@@ -5,6 +5,12 @@ sessions want to reuse one across processes.  The archive stores columnar
 numpy arrays (edges, profile fields, post fields, adoption times) plus a
 small JSON header — no pickle, so archives are portable and inspectable.
 
+Since the data plane went columnar, the spill is a near-direct dump: the
+store is frozen (a no-op for the default data plane) and its post columns
+and the CSR graph's edge array are written as-is — no per-post python loop
+in either direction.  Loading reconstructs a :class:`FrozenStore` straight
+from the archived columns.
+
 Only simulation *state* is persisted.  Function-valued configuration
 (keyword intensity shapes, cascade parameters) is not — it already did
 its job producing the posts; a loaded platform carries a default
@@ -15,18 +21,17 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
 from repro.errors import PlatformError
-from repro.graph.social_graph import SocialGraph
+from repro.graph.csr import CSRGraph
 from repro.platform.cascade import CascadeResult
 from repro.platform.clock import SimulatedClock
-from repro.platform.posts import Post
+from repro.platform.frozen import FrozenStore
 from repro.platform.profiles import ALL_PROFILES
 from repro.platform.simulator import PlatformConfig, SimulatedPlatform
-from repro.platform.store import MicroblogStore
 from repro.platform.users import Gender, UserProfile
 
 PathLike = Union[str, os.PathLike]
@@ -38,25 +43,34 @@ _GENDER_INDEX = {gender: i for i, gender in enumerate(_GENDERS)}
 def save_platform(platform: SimulatedPlatform, path: PathLike) -> None:
     """Write *platform* to a ``.npz`` archive at *path*."""
     store = platform.store
-    user_ids = sorted(store.user_ids())
-    profiles = [store.profile(uid) for uid in user_ids]
+    frozen = store if isinstance(store, FrozenStore) else store.freeze()
+    user_ids = np.array(sorted(frozen.user_ids()), dtype=np.int64)
+    profiles = [frozen.profile(int(uid)) for uid in user_ids.tolist()]
 
-    edges = np.array(sorted(platform.graph.edges()), dtype=np.int64).reshape(-1, 2)
+    edges = frozen.graph.edge_array()  # (u, v) rows, u < v, lexicographic
 
-    posts: List[Post] = sorted(store.all_posts(), key=lambda p: p.post_id)
-    keyword_list = sorted({kw for post in posts for kw in post.keywords})
+    # Post columns in post-id order, straight from the frozen store.
+    porder = np.argsort(frozen.post_id, kind="stable")
+    post_user = frozen.post_user[porder]
+    post_time = frozen.post_time[porder]
+    sorted_pid = frozen.post_id[porder]
+    post_length = frozen.post_length[porder].astype(np.int32)
+    post_likes = frozen.post_likes[porder].astype(np.int32)
+
+    # The archive indexes keywords by sorted name; remap the store's
+    # first-appearance codes (-1 = no keyword survives via the sentinel
+    # appended at remap[-1]).
+    names = frozen.keywords()
+    multi_words = frozen._multi  # intentional: spill-time access to internals
+    keyword_list = sorted(set(names) | {w for words in multi_words.values() for w in words})
     keyword_index = {kw: i for i, kw in enumerate(keyword_list)}
-    # posts carry 0 or 1 keywords in the simulator; store -1 for none and
-    # a joined index string only if ever needed (multi-keyword posts are
-    # encoded as a semicolon list in an auxiliary ragged column).
-    post_keyword = np.full(len(posts), -1, dtype=np.int64)
+    remap = np.array([keyword_index[n] for n in names] + [-1], dtype=np.int64)
+    post_keyword = remap[frozen.post_keyword[porder]]
     multi: Dict[int, List[int]] = {}
-    for row, post in enumerate(posts):
-        kws = sorted(post.keywords)
-        if len(kws) == 1:
-            post_keyword[row] = keyword_index[kws[0]]
-        elif len(kws) > 1:
-            multi[row] = [keyword_index[kw] for kw in kws]
+    for pid, words in multi_words.items():
+        row = int(np.searchsorted(sorted_pid, pid))
+        post_keyword[row] = -1
+        multi[row] = [keyword_index[w] for w in words]
 
     cascade_names = sorted(platform.cascades)
     cascade_blobs = {}
@@ -88,22 +102,26 @@ def save_platform(platform: SimulatedPlatform, path: PathLike) -> None:
     np.savez_compressed(
         path,
         header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
-        user_ids=np.array(user_ids, dtype=np.int64),
+        user_ids=user_ids,
         display_names=np.array([p.display_name for p in profiles], dtype=object),
         genders=np.array([_GENDER_INDEX[p.gender] for p in profiles], dtype=np.int8),
         ages=np.array([p.age for p in profiles], dtype=np.int16),
         edges=edges,
-        post_user=np.array([p.user_id for p in posts], dtype=np.int64),
-        post_time=np.array([p.timestamp for p in posts], dtype=np.float64),
-        post_length=np.array([p.length for p in posts], dtype=np.int32),
-        post_likes=np.array([p.likes for p in posts], dtype=np.int32),
+        post_user=post_user,
+        post_time=post_time,
+        post_length=post_length,
+        post_likes=post_likes,
         post_keyword=post_keyword,
         **cascade_blobs,
     )
 
 
 def load_platform(path: PathLike) -> SimulatedPlatform:
-    """Load a platform previously written by :func:`save_platform`."""
+    """Load a platform previously written by :func:`save_platform`.
+
+    The restored platform serves from a :class:`FrozenStore` over a CSR
+    graph, built directly from the archived columns — no post replay.
+    """
     with np.load(path, allow_pickle=True) as archive:
         header = json.loads(bytes(archive["header"]).decode("utf-8"))
         if header.get("format_version") != FORMAT_VERSION:
@@ -114,49 +132,50 @@ def load_platform(path: PathLike) -> SimulatedPlatform:
         if profile is None:
             raise PlatformError(f"unknown platform profile {header['profile']!r}")
 
-        graph = SocialGraph(nodes=(int(u) for u in archive["user_ids"]))
-        for u, v in archive["edges"]:
-            graph.add_edge(int(u), int(v))
+        user_ids = archive["user_ids"].astype(np.int64)
+        graph = CSRGraph.from_edges(user_ids, archive["edges"])
 
-        store = MicroblogStore(graph)
         genders = archive["genders"]
         ages = archive["ages"]
         names = archive["display_names"]
-        for index, user_id in enumerate(archive["user_ids"]):
-            store.add_user(
-                UserProfile(
-                    user_id=int(user_id),
-                    display_name=str(names[index]),
-                    gender=_GENDERS[int(genders[index])],
-                    age=int(ages[index]),
-                )
+        profiles: Dict[int, UserProfile] = {}
+        for index, user_id in enumerate(user_ids.tolist()):
+            profiles[user_id] = UserProfile(
+                user_id=user_id,
+                display_name=str(names[index]),
+                gender=_GENDERS[int(genders[index])],
+                age=int(ages[index]),
             )
-        store.refresh_follower_counts()
 
-        keywords = header["keywords"]
-        multi = {int(k): v for k, v in header["multi_keyword_posts"].items()}
-        post_user = archive["post_user"]
-        post_time = archive["post_time"]
-        post_length = archive["post_length"]
-        post_likes = archive["post_likes"]
-        post_keyword = archive["post_keyword"]
-        for row in range(len(post_user)):
-            if row in multi:
-                kws = frozenset(keywords[i] for i in multi[row])
-            elif post_keyword[row] >= 0:
-                kws = frozenset({keywords[int(post_keyword[row])]})
-            else:
-                kws = frozenset()
-            store.add_post(
-                Post(
-                    post_id=store.new_post_id(),
-                    user_id=int(post_user[row]),
-                    timestamp=float(post_time[row]),
-                    keywords=kws,
-                    length=int(post_length[row]),
-                    likes=int(post_likes[row]),
-                )
-            )
+        keywords: List[str] = header["keywords"]
+        post_keyword = archive["post_keyword"].astype(np.int64)
+        # Multi-keyword rows were archived with code -1 + an index list;
+        # the frozen store wants the first (alphabetical) keyword's code in
+        # the column and the full sorted word tuple on the side.  Post ids
+        # were assigned densely at build time, so id == row.
+        multi_map: Dict[int, Tuple[str, ...]] = {}
+        for key, kw_idxs in header["multi_keyword_posts"].items():
+            row = int(key)
+            codes = sorted(int(i) for i in kw_idxs)
+            multi_map[row] = tuple(keywords[i] for i in codes)
+            post_keyword[row] = codes[0]
+
+        num_posts = int(post_keyword.size)
+        store = FrozenStore(
+            graph=graph,
+            profiles=profiles,
+            user_order=user_ids.tolist(),
+            post_user=archive["post_user"].astype(np.int64),
+            post_time=archive["post_time"].astype(np.float64),
+            post_id=np.arange(num_posts, dtype=np.int64),
+            post_length=archive["post_length"].astype(np.int64),
+            post_likes=archive["post_likes"].astype(np.int64),
+            post_keyword=post_keyword,
+            keyword_names=list(keywords),
+            multi_keywords=multi_map,
+            next_post_id=num_posts,
+        )
+        store.refresh_follower_counts()
 
         cascades = {}
         for entry in header["cascades"]:

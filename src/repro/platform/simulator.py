@@ -14,7 +14,9 @@ this to share one cached platform across many estimator runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
 
 from repro._rng import ensure_rng, spawn
 from repro.errors import PlatformError
@@ -27,13 +29,27 @@ from repro.graph.generators import (
 from repro.graph.social_graph import SocialGraph
 from repro.platform.cascade import CascadeParams, CascadeResult, run_cascade
 from repro.platform.clock import DAY, SimulatedClock
+from repro.platform.frozen import FrozenStore
 from repro.platform.posts import Post
 from repro.platform.profiles import TWITTER, PlatformProfile
 from repro.platform.store import MicroblogStore
-from repro.platform.users import generate_profile
+from repro.platform.users import generate_profile, generate_profiles
 from repro.platform.workload import KeywordSpec, standard_keywords
 
 GRAPH_MODELS = ("community", "barabasi_albert", "watts_strogatz", "erdos_renyi")
+DATA_PLANES = ("frozen", "legacy", "baseline")
+"""Data-plane modes for :func:`build_platform`:
+
+* ``"frozen"`` (default) — vectorized columnar build, compiled at the end
+  to an immutable :class:`~repro.platform.frozen.FrozenStore` with a CSR
+  social graph; the fast serving path every estimator should use.
+* ``"legacy"`` — the *same* vectorized build (identical RNG draws, hence
+  identical platform data), served through the mutable dict/list store and
+  dict-of-sets graph.  Exists so tests can pin frozen/legacy equivalence.
+* ``"baseline"`` — the pre-columnar scalar build: one python-rng draw and
+  one ``bisect.insort`` per post.  Byte-identical to historical platforms
+  for a given seed; kept as the benchmark reference point.
+"""
 
 
 @dataclass(frozen=True)
@@ -57,6 +73,8 @@ class PlatformConfig:
     """Keyword intensities are per this many users; cascades scale by
     ``num_users / intensity_reference_population``."""
     seed: int = 0
+    data_plane: str = "frozen"
+    """See :data:`DATA_PLANES`."""
 
     def __post_init__(self) -> None:
         if self.num_users < 2:
@@ -67,6 +85,10 @@ class PlatformConfig:
             raise PlatformError("horizon must be positive")
         if self.background_posts_mean < 0:
             raise PlatformError("background_posts_mean must be >= 0")
+        if self.data_plane not in DATA_PLANES:
+            raise PlatformError(
+                f"unknown data plane {self.data_plane!r}; choose from {DATA_PLANES}"
+            )
 
     @property
     def horizon(self) -> float:
@@ -78,12 +100,13 @@ class SimulatedPlatform:
     """A fully built platform: data store + API profile + clock."""
 
     config: PlatformConfig
-    store: MicroblogStore
+    store: Union[MicroblogStore, FrozenStore]
     clock: SimulatedClock
     cascades: Dict[str, CascadeResult]
 
     @property
-    def graph(self) -> SocialGraph:
+    def graph(self):
+        """The social graph — mutable or CSR, matching the data plane."""
         return self.store.graph
 
     @property
@@ -109,7 +132,7 @@ class SimulatedPlatform:
         )
 
 
-def _build_graph(config: PlatformConfig, seed_rng) -> SocialGraph:
+def _build_graph(config: PlatformConfig, seed_rng, vectorized: bool = False) -> SocialGraph:
     params = dict(config.graph_params)
     if config.graph_model == "community":
         return community_graph(
@@ -120,6 +143,7 @@ def _build_graph(config: PlatformConfig, seed_rng) -> SocialGraph:
             hub_fraction=float(params.get("hub_fraction", 0.015)),
             hub_bias=float(params.get("hub_bias", 0.5)),
             seed=seed_rng,
+            vectorized=vectorized,
         )
     if config.graph_model == "barabasi_albert":
         return barabasi_albert_graph(config.num_users, int(params.get("m", 8)), seed=seed_rng)
@@ -133,18 +157,36 @@ def _build_graph(config: PlatformConfig, seed_rng) -> SocialGraph:
     return erdos_renyi_graph(config.num_users, float(params.get("p", 10.0 / config.num_users)), seed=seed_rng)
 
 
-def _add_background_posts(store: MicroblogStore, config: PlatformConfig, rng) -> None:
+def _add_background_posts(
+    store: MicroblogStore, config: PlatformConfig, rng, vectorized: bool = True
+) -> None:
     """Keyword-free posts spread uniformly over the horizon.
 
     They give timelines realistic bulk (pagination and the 3 200-post cap
-    are exercised) without affecting keyword aggregates.
+    are exercised) without affecting keyword aggregates.  The vectorized
+    path draws every column in one numpy batch and hands the store a single
+    bulk chunk; the scalar path is the original one-``bisect.insort``-per-
+    post loop, kept for the ``"baseline"`` data plane.
     """
     if config.background_posts_mean == 0:
         return
     horizon = config.horizon
-    for user_id in store.user_ids():
+    if vectorized:
+        nrng = np.random.default_rng(rng.getrandbits(128))
+        user_ids = np.asarray(store.user_ids(), dtype=np.int64)
         # Geometric-ish count via exponential rounding keeps a long tail of
         # prolific users, mirroring the <5% of users beyond Twitter's cap.
+        counts = nrng.exponential(config.background_posts_mean, size=user_ids.size).astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return
+        users = np.repeat(user_ids, counts)
+        times = nrng.random(total) * horizon
+        lengths = nrng.integers(10, 141, size=total)
+        likes = np.minimum((nrng.pareto(1.8, size=total) + 1.0).astype(np.int64), 10_000) - 1
+        store.add_posts_columnar(users, times, lengths, likes)
+        return
+    for user_id in store.user_ids():
         count = int(rng.expovariate(1.0 / config.background_posts_mean))
         for _ in range(count):
             store.add_post(
@@ -162,15 +204,20 @@ def build_platform(config: Optional[PlatformConfig] = None) -> SimulatedPlatform
     """Build a deterministic platform from *config* (defaults if None)."""
     config = config or PlatformConfig()
     root_rng = ensure_rng(config.seed)
+    columnar = config.data_plane != "baseline"
 
-    graph = _build_graph(config, spawn(root_rng, "graph"))
+    graph = _build_graph(config, spawn(root_rng, "graph"), vectorized=columnar)
     store = MicroblogStore(graph)
     profile_rng = spawn(root_rng, "profiles")
-    for user_id in range(config.num_users):
-        store.add_user(generate_profile(user_id, seed=profile_rng))
+    if columnar:
+        for user_profile in generate_profiles(config.num_users, seed=profile_rng):
+            store.add_user(user_profile)
+    else:
+        for user_id in range(config.num_users):
+            store.add_user(generate_profile(user_id, seed=profile_rng))
     store.refresh_follower_counts()
 
-    _add_background_posts(store, config, spawn(root_rng, "background"))
+    _add_background_posts(store, config, spawn(root_rng, "background"), vectorized=columnar)
 
     cascades: Dict[str, CascadeResult] = {}
     for spec in config.keywords:
@@ -181,8 +228,18 @@ def build_platform(config: Optional[PlatformConfig] = None) -> SimulatedPlatform
             params=config.cascade_params,
             seed=spawn(root_rng, f"cascade:{spec.keyword}"),
             intensity_scale=config.num_users / config.intensity_reference_population,
+            emission="columnar" if columnar else "scalar",
         )
         cascades[spec.keyword] = result
 
+    served: Union[MicroblogStore, FrozenStore]
+    if config.data_plane == "frozen":
+        served = store.freeze()
+    else:
+        # Drain any pending column chunks now so the store is safe to share
+        # across threads without a lazy first-read integration race.
+        store.flush()
+        served = store
+
     clock = SimulatedClock(start=config.horizon)
-    return SimulatedPlatform(config=config, store=store, clock=clock, cascades=cascades)
+    return SimulatedPlatform(config=config, store=served, clock=clock, cascades=cascades)

@@ -14,17 +14,57 @@ Indexes maintained:
   time — powers both the simulated search API and ground truth;
 * per-keyword first-mention time per user — the quantity that defines the
   paper's level-by-level structure (§4.2.1).
+
+Two write paths feed those indexes:
+
+* :meth:`MicroblogStore.add_post` — the classic one-post-at-a-time insert
+  (bisect into every index), kept for interleaved read/write workloads;
+* :meth:`MicroblogStore.add_posts_columnar` — the bulk data plane: numpy
+  column batches are buffered untouched and integrated *lazily*, with one
+  stable sort per index instead of one bisect per post.  The platform
+  builder emits every background and cascade post this way; nothing reads
+  the store until the build completes, so the quadratic insert cost of the
+  legacy path disappears entirely.
+
+After construction, :meth:`MicroblogStore.freeze` compiles the store to an
+immutable, columnar :class:`~repro.platform.frozen.FrozenStore` (numpy SoA
+post arrays, ``searchsorted`` slicing, CSR social graph) — the serving form
+every estimator run should use.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import PlatformError
 from repro.graph.social_graph import SocialGraph
-from repro.platform.posts import Post
+from repro.platform.posts import Post, make_keywords
 from repro.platform.users import UserProfile
+
+
+class _ColumnChunk:
+    """One buffered ``add_posts_columnar`` batch (SoA, insertion order)."""
+
+    __slots__ = ("user_ids", "post_ids", "timestamps", "lengths", "likes", "keyword")
+
+    def __init__(
+        self,
+        user_ids: np.ndarray,
+        post_ids: np.ndarray,
+        timestamps: np.ndarray,
+        lengths: np.ndarray,
+        likes: np.ndarray,
+        keyword: Optional[str],
+    ) -> None:
+        self.user_ids = user_ids
+        self.post_ids = post_ids
+        self.timestamps = timestamps
+        self.lengths = lengths
+        self.likes = likes
+        self.keyword = keyword
 
 
 class MicroblogStore:
@@ -37,6 +77,7 @@ class MicroblogStore:
         self._keyword_log: Dict[str, List[Tuple[float, int, int]]] = {}
         self._first_mention: Dict[str, Dict[int, float]] = {}
         self._next_post_id = 0
+        self._pending: List[_ColumnChunk] = []
 
     # ------------------------------------------------------------------
     # population
@@ -61,6 +102,8 @@ class MicroblogStore:
         """
         if post.user_id not in self._profiles:
             raise PlatformError(f"post by unknown user {post.user_id}")
+        if self._pending:
+            self._integrate_pending()
         timeline = self._timelines[post.user_id]
         bisect.insort(timeline, post, key=lambda p: p.timestamp)
         for keyword in post.keywords:
@@ -70,6 +113,154 @@ class MicroblogStore:
             previous = mentions.get(post.user_id)
             if previous is None or post.timestamp < previous:
                 mentions[post.user_id] = post.timestamp
+
+    def add_posts_columnar(
+        self,
+        user_ids: Union[int, np.ndarray, Sequence[int]],
+        timestamps: np.ndarray,
+        lengths: np.ndarray,
+        likes: np.ndarray,
+        keyword: Optional[str] = None,
+    ) -> np.ndarray:
+        """Bulk-append posts as columns; returns the assigned post ids.
+
+        ``user_ids`` may be a scalar (all rows by one author — the cascade
+        emission case) or a per-row array.  All posts in one batch carry the
+        same single *keyword* (or none).  Rows are recorded in insertion
+        order; the sorted indexes are built lazily, with one stable sort per
+        index, the first time the store is read — or never, if the store is
+        frozen first.
+        """
+        timestamps = np.ascontiguousarray(timestamps, dtype=np.float64)
+        count = timestamps.size
+        if np.isscalar(user_ids) or isinstance(user_ids, (int, np.integer)):
+            author = int(user_ids)
+            if author not in self._profiles:
+                raise PlatformError(f"post by unknown user {author}")
+            users = np.full(count, author, dtype=np.int64)
+        else:
+            users = np.ascontiguousarray(user_ids, dtype=np.int64)
+            if users.size != count:
+                raise PlatformError("user_ids and timestamps must have equal length")
+            if users.size and not self._all_known(users):
+                raise PlatformError("post batch references unknown user ids")
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        post_ids = np.arange(self._next_post_id, self._next_post_id + count, dtype=np.int64)
+        self._next_post_id += count
+        self._pending.append(
+            _ColumnChunk(
+                users,
+                post_ids,
+                timestamps,
+                np.ascontiguousarray(lengths, dtype=np.int64),
+                np.ascontiguousarray(likes, dtype=np.int64),
+                keyword.lower() if keyword is not None else None,
+            )
+        )
+        return post_ids
+
+    def _all_known(self, users: np.ndarray) -> bool:
+        if users.size <= 64:
+            return all(int(u) in self._profiles for u in users)
+        known = np.fromiter(self._profiles, dtype=np.int64, count=len(self._profiles))
+        return bool(np.isin(users, known).all())
+
+    # ------------------------------------------------------------------
+    # lazy integration of buffered column batches
+    # ------------------------------------------------------------------
+    def _integrate_pending(self) -> None:
+        """Merge buffered column batches into the sorted legacy indexes.
+
+        Equivalent to calling :meth:`add_post` per row in insertion order
+        (stable sorts reproduce bisect's ordering for timestamp ties), but
+        with one sort per index instead of one bisect per post.
+        """
+        chunks, self._pending = self._pending, []
+        users = np.concatenate([c.user_ids for c in chunks])
+        times = np.concatenate([c.timestamps for c in chunks])
+
+        keyword_sets = {
+            c.keyword: make_keywords(c.keyword) for c in chunks if c.keyword is not None
+        }
+        posts: List[Post] = []
+        for chunk in chunks:
+            kwset = keyword_sets[chunk.keyword] if chunk.keyword is not None else frozenset()
+            posts.extend(
+                Post(pid, uid, ts, kwset, ln, lk)
+                for pid, uid, ts, ln, lk in zip(
+                    chunk.post_ids.tolist(),
+                    chunk.user_ids.tolist(),
+                    chunk.timestamps.tolist(),
+                    chunk.lengths.tolist(),
+                    chunk.likes.tolist(),
+                )
+            )
+
+        # Timelines: stable sort by (user, time) keeps insertion order for
+        # timestamp ties, matching repeated bisect.insort.
+        order = np.lexsort((times, users))
+        boundaries = np.flatnonzero(np.diff(users[order])) + 1
+        for group in np.split(order, boundaries):
+            owner = int(users[group[0]])
+            timeline = self._timelines[owner]
+            fresh = [posts[i] for i in group.tolist()]
+            if timeline:
+                timeline.extend(fresh)
+                timeline.sort(key=lambda p: (p.timestamp, p.post_id))
+            else:
+                self._timelines[owner] = fresh
+
+        # Keyword logs and first mentions, one keyword at a time (each
+        # chunk carries at most one keyword, so grouping is chunk-level).
+        for chunk_keyword in dict.fromkeys(c.keyword for c in chunks if c.keyword is not None):
+            entries: List[Tuple[float, int, int]] = []
+            for chunk in chunks:
+                if chunk.keyword == chunk_keyword:
+                    entries.extend(
+                        zip(
+                            chunk.timestamps.tolist(),
+                            chunk.user_ids.tolist(),
+                            chunk.post_ids.tolist(),
+                        )
+                    )
+            entries.sort()
+            log = self._keyword_log.setdefault(chunk_keyword, [])
+            if log:
+                log.extend(entries)
+                log.sort()
+            else:
+                self._keyword_log[chunk_keyword] = entries
+            mentions = self._first_mention.setdefault(chunk_keyword, {})
+            for timestamp, user_id, _ in entries:
+                previous = mentions.get(user_id)
+                if previous is None or timestamp < previous:
+                    mentions[user_id] = timestamp
+
+    def flush(self) -> None:
+        """Integrate buffered column batches now (no-op if none).
+
+        The platform builder calls this before handing a mutable store to
+        callers so the lazy first-read integration cannot race across
+        threads.
+        """
+        if self._pending:
+            self._integrate_pending()
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def freeze(self):
+        """Compile to an immutable :class:`~repro.platform.frozen.FrozenStore`.
+
+        Buffered column batches are consumed directly (no Post objects, no
+        legacy index build); posts already integrated into the legacy
+        indexes are gathered back into columns first.  The social graph is
+        compiled to CSR.  The mutable store remains valid afterwards.
+        """
+        from repro.platform.frozen import FrozenStore
+
+        return FrozenStore.from_store(self)
 
     # ------------------------------------------------------------------
     # users
@@ -99,18 +290,24 @@ class MicroblogStore:
     # ------------------------------------------------------------------
     def timeline(self, user_id: int) -> List[Post]:
         """Full timeline of *user_id*, oldest first."""
+        if self._pending:
+            self._integrate_pending()
         try:
             return list(self._timelines[user_id])
         except KeyError:
             raise PlatformError(f"unknown user {user_id}") from None
 
     def timeline_length(self, user_id: int) -> int:
+        if self._pending:
+            self._integrate_pending()
         try:
             return len(self._timelines[user_id])
         except KeyError:
             raise PlatformError(f"unknown user {user_id}") from None
 
     def keywords(self) -> List[str]:
+        if self._pending:
+            self._integrate_pending()
         return list(self._keyword_log)
 
     def keyword_posts(
@@ -118,6 +315,8 @@ class MicroblogStore:
     ) -> Iterator[Tuple[float, int, int]]:
         """All ``(timestamp, user_id, post_id)`` mentions of *keyword* in
         ``[start, end)``, oldest first."""
+        if self._pending:
+            self._integrate_pending()
         log = self._keyword_log.get(keyword.lower(), [])
         lo = bisect.bisect_left(log, (start,))
         for entry in log[lo:]:
@@ -136,14 +335,20 @@ class MicroblogStore:
 
     def first_mention_time(self, keyword: str, user_id: int) -> Optional[float]:
         """When *user_id* first posted *keyword*, or None if never."""
+        if self._pending:
+            self._integrate_pending()
         return self._first_mention.get(keyword.lower(), {}).get(user_id)
 
     def first_mention_times(self, keyword: str) -> Dict[int, float]:
         """Copy of the full first-mention map for *keyword*."""
+        if self._pending:
+            self._integrate_pending()
         return dict(self._first_mention.get(keyword.lower(), {}))
 
     def all_posts(self) -> Iterator[Post]:
         """Every post on the platform (firehose order: per-user, by time)."""
+        if self._pending:
+            self._integrate_pending()
         for timeline in self._timelines.values():
             yield from timeline
 

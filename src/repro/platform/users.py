@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import List
+
+import numpy as np
 
 from repro._rng import RandomLike, ensure_rng
 
@@ -72,3 +75,46 @@ def generate_profile(user_id: int, seed: RandomLike = None) -> UserProfile:
     )[0]
     age = int(min(80, max(13, rng.gauss(29, 11))))
     return UserProfile(user_id=user_id, display_name=name, gender=gender, age=age)
+
+
+def generate_profiles(num_users: int, seed: RandomLike = None) -> List[UserProfile]:
+    """Profiles for users ``0..num_users-1`` with batched attribute draws.
+
+    Same marginal distributions as :func:`generate_profile` (name styles,
+    gender weights, truncated-gaussian age) but every random column comes
+    from one numpy batch, so building 10^5 profiles costs a handful of
+    vector draws instead of five python-rng calls per user.  The draw
+    sequence differs from the scalar path; the columnar data planes use
+    this, the ``"baseline"`` plane keeps the historical per-user draws.
+    """
+    rng = ensure_rng(seed)
+    nrng = np.random.default_rng(rng.getrandbits(128))
+    style = nrng.random(num_users)
+    first = nrng.integers(0, len(_FIRST), size=num_users)
+    last = nrng.integers(0, len(_LAST), size=num_users)
+    suffix = nrng.integers(0, 100, size=num_users)
+    gender_draw = nrng.random(num_users)
+    ages = np.clip(nrng.normal(29.0, 11.0, size=num_users), 13, 80).astype(np.int64)
+
+    profiles: List[UserProfile] = []
+    for user_id in range(num_users):
+        s = style[user_id]
+        if s < 0.4:
+            name = _FIRST[first[user_id]]
+        elif s < 0.8:
+            name = f"{_FIRST[first[user_id]]} {_LAST[last[user_id]]}"
+        else:
+            name = f"{_FIRST[first[user_id]]}_{_LAST[last[user_id]]}{suffix[user_id]}"
+        g = gender_draw[user_id]
+        if g < 0.46:
+            gender = Gender.MALE
+        elif g < 0.90:
+            gender = Gender.FEMALE
+        else:
+            gender = Gender.UNDISCLOSED
+        profiles.append(
+            UserProfile(
+                user_id=user_id, display_name=name, gender=gender, age=int(ages[user_id])
+            )
+        )
+    return profiles

@@ -132,12 +132,16 @@ class TestCachingClient:
         client.search("privacy", max_results=1)  # different key -> new call
         assert client.total_cost > cost
 
-    def test_cached_lists_are_copies(self, tiny_platform):
+    def test_cached_responses_are_immutable_and_shared(self, tiny_platform):
         client = CachingClient(SimulatedMicroblogClient(tiny_platform))
         user_id = tiny_platform.store.user_ids()[3]
         first = client.user_connections(user_id)
-        first.append(-1)
-        assert -1 not in client.user_connections(user_id)
+        assert isinstance(first, tuple)  # callers cannot corrupt the cache
+        # hits serve the exact cached object back — no per-request copy
+        assert client.user_connections(user_id) is first
+        hits = client.search("privacy")
+        assert isinstance(hits, tuple)
+        assert client.search("privacy") is hits
 
 
 class TestSearchResultsCap:

@@ -1,0 +1,136 @@
+"""Frozen/legacy data-plane equivalence.
+
+``data_plane="legacy"`` and ``data_plane="frozen"`` run the *same*
+vectorized build (identical RNG draws, hence identical platform data) and
+differ only in serving structures — mutable dict/list store and dict-of-set
+graph versus columnar ``FrozenStore`` + CSR graph.  These tests pin that
+the two serving forms are observationally identical: same API responses,
+same API-call charges, bit-identical estimates.
+"""
+
+import pytest
+
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.core.analyzer import MicroblogAnalyzer
+from repro.core.query import MATCHING_POST_COUNT, count_users, sum_of
+from repro.errors import GraphError, PlatformError
+from repro.graph.csr import CSRGraph
+from repro.platform.clock import DAY
+from repro.platform.frozen import FrozenStore
+from repro.platform.simulator import PlatformConfig, build_platform
+from repro.platform.store import MicroblogStore
+
+SEED = 77
+NUM_USERS = 2_000
+
+
+def _build(data_plane):
+    return build_platform(
+        PlatformConfig(num_users=NUM_USERS, seed=SEED, data_plane=data_plane)
+    )
+
+
+@pytest.fixture(scope="module")
+def legacy_platform():
+    return _build("legacy")
+
+
+@pytest.fixture(scope="module")
+def frozen_platform():
+    return _build("frozen")
+
+
+class TestStoreEquivalence:
+    def test_store_types(self, legacy_platform, frozen_platform):
+        assert isinstance(legacy_platform.store, MicroblogStore)
+        assert isinstance(frozen_platform.store, FrozenStore)
+        assert isinstance(frozen_platform.graph, CSRGraph)
+
+    def test_same_population(self, legacy_platform, frozen_platform):
+        assert legacy_platform.store.user_ids() == frozen_platform.store.user_ids()
+        assert legacy_platform.store.num_posts == frozen_platform.store.num_posts
+        assert legacy_platform.store.keywords() == frozen_platform.store.keywords()
+
+    def test_timelines_identical(self, legacy_platform, frozen_platform):
+        for user_id in legacy_platform.store.user_ids()[::37]:
+            legacy = legacy_platform.store.timeline(user_id)
+            frozen = frozen_platform.store.timeline(user_id)
+            assert list(legacy) == list(frozen)
+            assert legacy_platform.store.timeline_length(
+                user_id
+            ) == frozen_platform.store.timeline_length(user_id)
+
+    def test_keyword_indexes_identical(self, legacy_platform, frozen_platform):
+        for keyword in legacy_platform.store.keywords():
+            assert list(legacy_platform.store.keyword_posts(keyword)) == list(
+                frozen_platform.store.keyword_posts(keyword)
+            )
+            window = (100 * DAY, 200 * DAY)
+            assert legacy_platform.store.users_mentioning(
+                keyword, *window
+            ) == frozen_platform.store.users_mentioning(keyword, *window)
+            assert legacy_platform.store.first_mention_times(
+                keyword
+            ) == frozen_platform.store.first_mention_times(keyword)
+
+    def test_graphs_identical(self, legacy_platform, frozen_platform):
+        legacy, frozen = legacy_platform.graph, frozen_platform.graph
+        assert legacy.num_edges == frozen.num_edges
+        for node in range(0, NUM_USERS, 53):
+            assert legacy.neighbors(node) == frozen.neighbors(node)
+            assert legacy.degree(node) == frozen.degree(node)
+            assert tuple(sorted(legacy.neighbors(node))) == frozen.sorted_neighbors(node)
+
+    def test_immutability(self, frozen_platform):
+        with pytest.raises(PlatformError):
+            frozen_platform.store.new_post_id()
+        with pytest.raises(GraphError):
+            frozen_platform.graph.add_edge(0, 1)
+
+
+class TestAPIEquivalence:
+    def test_identical_responses_and_charges(self, legacy_platform, frozen_platform):
+        legacy = CachingClient(SimulatedMicroblogClient(legacy_platform))
+        frozen = CachingClient(SimulatedMicroblogClient(frozen_platform))
+
+        assert legacy.search("privacy") == frozen.search("privacy")
+        assert legacy.search("boston", max_results=40) == frozen.search(
+            "boston", max_results=40
+        )
+        for user_id in legacy_platform.store.user_ids()[::101]:
+            assert tuple(legacy.user_connections(user_id)) == tuple(
+                frozen.user_connections(user_id)
+            )
+            legacy_view = legacy.user_timeline(user_id)
+            frozen_view = frozen.user_timeline(user_id)
+            assert legacy_view.posts == frozen_view.posts
+            assert legacy_view.profile == frozen_view.profile
+            assert legacy_view.truncated == frozen_view.truncated
+
+        # identical work must cost identical API calls, kind by kind
+        assert legacy.meter.total == frozen.meter.total
+        assert legacy.meter.by_kind() == frozen.meter.by_kind()
+
+
+class TestEstimateEquivalence:
+    @pytest.mark.parametrize("algorithm", ["ma-tarw", "ma-srw"])
+    def test_bit_identical_estimates(self, legacy_platform, frozen_platform, algorithm):
+        query = (
+            count_users("privacy")
+            if algorithm == "ma-tarw"
+            else sum_of("boston", MATCHING_POST_COUNT)
+        )
+        results = []
+        for platform in (legacy_platform, frozen_platform):
+            analyzer = MicroblogAnalyzer(
+                platform, algorithm=algorithm, interval=DAY, seed=4242
+            )
+            results.append(analyzer.estimate(query, budget=4_000))
+        legacy, frozen = results
+        assert legacy.value == frozen.value  # bit-identical, not approx
+        assert legacy.cost_total == frozen.cost_total
+        assert legacy.cost_by_kind == frozen.cost_by_kind
+        assert legacy.num_samples == frozen.num_samples
+        assert [(p.cost, p.estimate) for p in legacy.trace] == [
+            (p.cost, p.estimate) for p in frozen.trace
+        ]
