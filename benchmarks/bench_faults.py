@@ -1,0 +1,127 @@
+"""Fault-injection benchmark: estimate quality and retry overhead vs fault rate.
+
+Runs MA-TARW and MA-SRW on the shared bench platform under each seeded
+fault profile (none / flaky / unstable / hostile — up to 20% transient
+errors plus timeouts, truncations and duplicate rows) and records, per
+profile:
+
+* the estimate RMSE against ground truth over (algorithm x seed) runs —
+  which must be *constant* across profiles, because healable faults leave
+  estimates bit-identical to the fault-free run;
+* the retry overhead: budget-exempt ``retries`` charges relative to the
+  budgeted query spend — the price of resilience, fully visible in the
+  cost meter instead of silently burning budget.
+
+Results go to ``benchmarks/results/faults.txt`` and the machine-readable
+``BENCH_faults.json`` at the repo root.
+"""
+
+import json
+import pathlib
+
+from repro.api.accounting import RETRIES
+from repro.api.faults import FAULT_PROFILES
+from repro.bench import BENCH_PLATFORM_SEED, bench_platform, emit, format_table
+from repro.bench.harness import run_estimator
+from repro.core.query import FOLLOWERS, avg_of
+from repro.groundtruth import exact_value
+
+ALGORITHMS = ("ma-tarw", "ma-srw")
+PROFILES = ("none", "flaky", "unstable", "hostile")
+SEEDS = (0, 1)
+BUDGET = 5_000
+JSON_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_faults.json"
+
+
+def compute():
+    platform = bench_platform()
+    query = avg_of("privacy", FOLLOWERS)
+    truth = exact_value(platform.store, query)
+
+    record = {
+        "seed": BENCH_PLATFORM_SEED,
+        "budget": BUDGET,
+        "query": query.describe(),
+        "truth": truth,
+        "profiles": {},
+    }
+    runs = {}
+    for profile in PROFILES:
+        plan = FAULT_PROFILES[profile]
+        for algorithm in ALGORITHMS:
+            for seed in SEEDS:
+                runs[(profile, algorithm, seed)] = run_estimator(
+                    platform,
+                    query,
+                    algorithm,
+                    budget=BUDGET,
+                    seed=seed,
+                    fault_plan=plan if plan.active else None,
+                )
+
+    rows = []
+    for profile in PROFILES:
+        plan = FAULT_PROFILES[profile]
+        errors, retries, queries = [], 0, 0
+        for algorithm in ALGORITHMS:
+            for seed in SEEDS:
+                result = runs[(profile, algorithm, seed)]
+                errors.append((result.value - truth) / truth)
+                retries += result.cost_by_kind.get(RETRIES, 0)
+                queries += result.cost_total
+        rmse = (sum(e * e for e in errors) / len(errors)) ** 0.5
+        overhead = retries / queries if queries else 0.0
+        record["profiles"][profile] = {
+            "fault_rate": plan.fault_rate,
+            "duplicate_rate": plan.duplicate_rate,
+            "estimates": {
+                f"{algorithm}:seed{seed}": runs[(profile, algorithm, seed)].value
+                for algorithm in ALGORITHMS
+                for seed in SEEDS
+            },
+            "rmse_relative": rmse,
+            "retry_calls": retries,
+            "query_calls": queries,
+            "retry_overhead": overhead,
+        }
+        rows.append(
+            [
+                profile,
+                f"{plan.fault_rate:.0%}",
+                f"{plan.duplicate_rate:.0%}",
+                round(rmse, 6),
+                retries,
+                f"{overhead:.1%}",
+            ]
+        )
+
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    return rows, record
+
+
+def test_fault_overhead_and_rmse(once):
+    rows, record = once(compute)
+    emit(
+        "faults",
+        format_table(
+            f"Injected-fault sweep: AVG(followers) WHERE 'privacy', "
+            f"budget {BUDGET}, {len(ALGORITHMS)} algorithms x {len(SEEDS)} seeds "
+            f"(seed {BENCH_PLATFORM_SEED})",
+            ["profile", "fault rate", "dup rate", "rel. RMSE", "retry calls", "overhead"],
+            rows,
+        ),
+    )
+    profiles = record["profiles"]
+    # The headline invariant: healable faults leave every estimate
+    # bit-identical to its fault-free twin, so RMSE cannot move at all.
+    for profile in PROFILES[1:]:
+        assert profiles[profile]["estimates"] == profiles["none"]["estimates"]
+        assert profiles[profile]["rmse_relative"] == profiles["none"]["rmse_relative"]
+    # Resilience is not free: retry volume grows with the fault rate and
+    # is fully accounted (zero in the fault-free run).
+    assert profiles["none"]["retry_calls"] == 0
+    assert (
+        profiles["flaky"]["retry_calls"]
+        < profiles["unstable"]["retry_calls"]
+        < profiles["hostile"]["retry_calls"]
+    )

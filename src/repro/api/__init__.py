@@ -18,6 +18,8 @@ from repro.api.interface import (
     TimelineView,
 )
 from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.api.faults import FAULT_PROFILES, FaultInjectingClient, FaultPlan
+from repro.api.resilient import ResilientClient, RetryPolicy
 from repro.api.streaming import StreamingAPI
 
 __all__ = [
@@ -31,5 +33,10 @@ __all__ = [
     "ConnectionsPage",
     "SimulatedMicroblogClient",
     "CachingClient",
+    "FaultInjectingClient",
+    "FaultPlan",
+    "FAULT_PROFILES",
+    "ResilientClient",
+    "RetryPolicy",
     "StreamingAPI",
 ]

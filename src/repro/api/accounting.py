@@ -24,7 +24,15 @@ from repro.errors import BudgetExhaustedError, ReproError
 SEARCH = "search"
 CONNECTIONS = "connections"
 TIMELINE = "timeline"
-CALL_KINDS = (SEARCH, CONNECTIONS, TIMELINE)
+RETRIES = "retries"
+QUERY_KINDS = (SEARCH, CONNECTIONS, TIMELINE)
+"""The paper's query-cost metric (§2): successful logical API spend.
+Only these kinds count against a client's hard budget."""
+CALL_KINDS = QUERY_KINDS + (RETRIES,)
+"""Everything chargeable.  ``retries`` records calls burned on failed
+attempts (transient errors, timeouts, truncated transfers) — real
+overhead a crawl pays, tracked separately so fault injection never
+distorts the budget trajectory of the run it wraps."""
 
 
 class CostMeter:
@@ -34,19 +42,31 @@ class CostMeter:
         if budget is not None and budget < 0:
             raise ReproError("budget must be non-negative")
         self.budget = budget
-        self._by_kind: Dict[str, int] = {kind: 0 for kind in CALL_KINDS}
+        # The retries column is created lazily on first charge so that
+        # fault-free accounting dictionaries stay byte-identical to the
+        # pre-fault-injection era (and to each other across data planes).
+        self._by_kind: Dict[str, int] = {kind: 0 for kind in QUERY_KINDS}
         self._lock = threading.Lock()
 
     @property
     def total(self) -> int:
+        """All API calls issued, including retry waste."""
         return sum(self._by_kind.values())
+
+    @property
+    def query_total(self) -> int:
+        """The paper's cost metric: successful logical spend only.
+
+        Excludes the ``retries`` column, so a run that heals transient
+        faults reports the same query cost as its fault-free twin."""
+        return sum(self._by_kind.get(kind, 0) for kind in QUERY_KINDS)
 
     @property
     def remaining(self) -> Optional[int]:
         """Calls left before the budget trips (None when unbudgeted)."""
         if self.budget is None:
             return None
-        return max(self.budget - self.total, 0)
+        return max(self.budget - self.query_total, 0)
 
     def by_kind(self) -> Dict[str, int]:
         return dict(self._by_kind)
@@ -56,16 +76,24 @@ class CostMeter:
 
         Raises :class:`BudgetExhaustedError` *before* recording when the
         charge would cross the budget — a budgeted client never issues the
-        request it cannot afford.
+        request it cannot afford.  Retry waste (``kind="retries"``) is
+        recorded but exempt from the budget: the budget models the
+        operator's cap on *productive* query spend, and charging failures
+        against it would let the fault injector starve the estimators it
+        is supposed to leave bit-identical.
         """
-        if kind not in self._by_kind:
+        if kind not in CALL_KINDS:
             raise ReproError(f"unknown call kind {kind!r}; expected one of {CALL_KINDS}")
         if calls < 0:
             raise ReproError("calls must be non-negative")
         with self._lock:
-            if self.budget is not None and self.total + calls > self.budget:
-                raise BudgetExhaustedError(spent=self.total, budget=self.budget)
-            self._by_kind[kind] += calls
+            if (
+                kind != RETRIES
+                and self.budget is not None
+                and self.query_total + calls > self.budget
+            ):
+                raise BudgetExhaustedError(spent=self.query_total, budget=self.budget)
+            self._by_kind[kind] = self._by_kind.get(kind, 0) + calls
 
     def reset(self) -> None:
         with self._lock:
@@ -107,7 +135,7 @@ def merge_cost_by_kind(tallies: Iterable[Dict[str, int]]) -> Dict[str, int]:
     deterministic in any merge order and safe to compute after the
     shards' meters stopped moving.
     """
-    merged: Dict[str, int] = {kind: 0 for kind in CALL_KINDS}
+    merged: Dict[str, int] = {kind: 0 for kind in QUERY_KINDS}
     for tally in tallies:
         for kind, count in tally.items():
             merged[kind] = merged.get(kind, 0) + count

@@ -152,7 +152,12 @@ class SimulatedMicroblogClient(MicroblogAPI):
     # ------------------------------------------------------------------
     @property
     def total_cost(self) -> int:
-        return self.meter.total
+        """Budgeted query spend (the paper's cost metric, retry-free).
+
+        Estimators read this for stall detection and cost traces;
+        keeping retry waste out of it is what lets a faulted run follow
+        the exact budget trajectory of its fault-free twin."""
+        return self.meter.query_total
 
     @property
     def simulated_wait(self) -> float:
@@ -186,13 +191,28 @@ class CachingClient(MicroblogAPI):
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.uncacheable = 0
+        """Responses served but deliberately *not* memoised because the
+        inner client flagged them as degraded (a circuit-breaker fallback
+        or a partial page recovered from a truncated transfer).  Caching
+        one would poison every later request for the same key with stale
+        or incomplete data even after the platform recovers."""
+
+    def _cacheable(self) -> bool:
+        # Read under the cache lock, immediately after the inner call
+        # returned, so the flag cannot belong to another request.
+        return not getattr(self.inner, "last_response_degraded", False)
 
     def search(self, keyword: str, max_results: Optional[int] = None) -> Tuple[SearchHit, ...]:
         key = (keyword.lower(), max_results)
         with self._lock:
             if key not in self._searches:
                 self.misses += 1
-                self._searches[key] = tuple(self.inner.search(keyword, max_results))
+                response = tuple(self.inner.search(keyword, max_results))
+                if not self._cacheable():
+                    self.uncacheable += 1
+                    return response
+                self._searches[key] = response
             else:
                 self.hits += 1
             return self._searches[key]
@@ -201,7 +221,11 @@ class CachingClient(MicroblogAPI):
         with self._lock:
             if user_id not in self._connections:
                 self.misses += 1
-                self._connections[user_id] = tuple(self.inner.user_connections(user_id))
+                response = tuple(self.inner.user_connections(user_id))
+                if not self._cacheable():
+                    self.uncacheable += 1
+                    return response
+                self._connections[user_id] = response
             else:
                 self.hits += 1
             return self._connections[user_id]
@@ -210,7 +234,11 @@ class CachingClient(MicroblogAPI):
         with self._lock:
             if user_id not in self._timelines:
                 self.misses += 1
-                self._timelines[user_id] = self.inner.user_timeline(user_id)
+                response = self.inner.user_timeline(user_id)
+                if not self._cacheable():
+                    self.uncacheable += 1
+                    return response
+                self._timelines[user_id] = response
             else:
                 self.hits += 1
             return self._timelines[user_id]
@@ -222,4 +250,4 @@ class CachingClient(MicroblogAPI):
 
     @property
     def total_cost(self) -> int:
-        return self.meter.total
+        return self.meter.query_total

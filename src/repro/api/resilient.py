@@ -1,0 +1,270 @@
+"""Retry, backoff and circuit-breaking for the microblog API.
+
+:class:`ResilientClient` wraps any :class:`MicroblogAPI` and absorbs the
+transient-fault family (:class:`TransientAPIError` and subclasses):
+
+* **Retries with capped exponential backoff.**  Failed attempts retry up
+  to :attr:`RetryPolicy.max_attempts` times.  Backoff delays grow
+  geometrically, are capped, carry *deterministic* jitter (a pure hash
+  of policy seed, request key and attempt number — no shared RNG
+  stream), and advance only the wrapped client's :class:`SimulatedClock`
+  so wall time and estimator randomness are untouched.
+* **Retry accounting.**  Every failed attempt charges one call to the
+  :class:`~repro.api.accounting.CostMeter` under the budget-exempt
+  ``retries`` kind, so the waste a crawl pays is fully visible without
+  distorting the paper's query-cost metric.
+* **Circuit breaker.**  After ``breaker_threshold`` *consecutive*
+  failures the circuit opens for ``breaker_cooldown`` simulated seconds:
+  requests stop hitting the platform and are served from the last good
+  response for the same request, flagged as degraded.  After the
+  cooldown a single probe request half-opens the circuit.
+* **Degraded fallbacks.**  When retries are exhausted the client falls
+  back — in order — to the last good response for the key, then to the
+  ``.partial`` payload of a truncated transfer.  Served fallbacks set
+  :attr:`last_response_degraded` so an outer
+  :class:`~repro.api.client.CachingClient` knows not to memoise them
+  (the poisoned-cache scenario).  Only when no fallback exists does the
+  error propagate to walk-level recovery in the estimators.
+* **Duplicate healing.**  Every response is deduplicated (connections:
+  sorted-unique; timelines and search pages: stable-unique by post id).
+  Healing is the identity on clean responses, so a healed faulty run
+  returns bit-identical data to a fault-free one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+import random
+
+from repro.api import accounting
+from repro.api.interface import MicroblogAPI, SearchHit, TimelineView
+from repro.errors import (
+    CircuitOpenError,
+    ReproError,
+    TransientAPIError,
+    TruncatedResponseError,
+)
+from repro.platform.clock import SimulatedClock
+
+RequestKey = Tuple[str, object, object]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff, retry-budget and breaker configuration.
+
+    The defaults out-retry the default :class:`~repro.api.faults.FaultPlan`
+    (``max_attempts`` exceeds ``max_consecutive_faults``) so every
+    injected fault heals, and keep the breaker threshold above the
+    longest healable failure streak so the circuit never opens during a
+    healable run — two invariants the chaos suite pins.
+    """
+
+    max_attempts: int = 8
+    base_delay: float = 2.0
+    max_delay: float = 120.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    breaker_threshold: int = 12
+    breaker_cooldown: float = 900.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError("max_attempts must be positive")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ReproError("delays must satisfy 0 <= base_delay <= max_delay")
+        if self.backoff_factor < 1.0:
+            raise ReproError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError("jitter must be in [0, 1)")
+        if self.breaker_threshold < 1:
+            raise ReproError("breaker_threshold must be positive")
+        if self.breaker_cooldown < 0:
+            raise ReproError("breaker_cooldown must be non-negative")
+
+    def delay_for(self, key: RequestKey, attempt: int) -> float:
+        """Backoff before retry *attempt* of *key* (simulated seconds).
+
+        Deterministic jitter: a pure function of (seed, key, attempt),
+        so retry timing cannot depend on request interleaving.
+        """
+        base = min(self.max_delay, self.base_delay * self.backoff_factor**attempt)
+        if self.jitter == 0.0:
+            return base
+        u = random.Random(f"{self.seed}:backoff:{key!r}:{attempt}").random()
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * u)
+
+
+def _dedupe_hits(hits: Sequence[SearchHit]) -> Tuple[SearchHit, ...]:
+    seen = set()
+    out = []
+    for hit in hits:
+        marker = (hit.user_id, hit.post_id)
+        if marker not in seen:
+            seen.add(marker)
+            out.append(hit)
+    return tuple(out)
+
+
+def _dedupe_posts(posts: Sequence) -> Tuple:
+    seen = set()
+    out = []
+    for post in posts:
+        if post.post_id not in seen:
+            seen.add(post.post_id)
+            out.append(post)
+    return tuple(out)
+
+
+class ResilientClient(MicroblogAPI):
+    """Fault-absorbing wrapper: retries, heals, degrades, then raises."""
+
+    def __init__(self, inner: MicroblogAPI, policy: Optional[RetryPolicy] = None) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        # Backoff advances the wrapped client's private simulated clock
+        # when it has one (keeping one notion of elapsed crawl time);
+        # otherwise a standalone clock tracks backoff on its own.
+        self._clock: SimulatedClock = getattr(inner, "clock", None) or SimulatedClock(0.0)
+        self._last_good: Dict[RequestKey, object] = {}
+        self._consecutive_failures = 0
+        self._open_until: Optional[float] = None
+        self.retries = 0
+        """Failed attempts absorbed (mirrors the meter's ``retries`` column)."""
+        self.degraded_serves = 0
+        """Responses served from a fallback instead of the platform."""
+        self.backoff_wait = 0.0
+        """Simulated seconds spent backing off between attempts."""
+        self.last_response_degraded = False
+        """True iff the most recent response was a fallback (stale or
+        partial).  An outer cache must not memoise such responses."""
+
+    # ------------------------------------------------------------------
+    # breaker
+    # ------------------------------------------------------------------
+    @property
+    def circuit_open(self) -> bool:
+        return self._open_until is not None and self._clock.now() < self._open_until
+
+    def _record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.policy.breaker_threshold:
+            self._open_until = self._clock.now() + self.policy.breaker_cooldown
+
+    def _record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._open_until = None
+
+    # ------------------------------------------------------------------
+    # retry loop
+    # ------------------------------------------------------------------
+    def _charge_retry(self) -> None:
+        self.retries += 1
+        meter = getattr(self.inner, "meter", None)
+        if meter is not None:
+            meter.charge(accounting.RETRIES, 1)
+
+    def _degrade(self, key: RequestKey, err: TransientAPIError):
+        """Last-resort fallback once retries are exhausted (or skipped)."""
+        if key in self._last_good:
+            self.degraded_serves += 1
+            self.last_response_degraded = True
+            return self._last_good[key]
+        if isinstance(err, TruncatedResponseError) and err.partial is not None:
+            self.degraded_serves += 1
+            self.last_response_degraded = True
+            return self._heal(key[0], err.partial)
+        raise err
+
+    def _call(self, key: RequestKey, fetch):
+        self.last_response_degraded = False
+        if self.circuit_open:
+            # While open, don't touch the platform at all: serve stale
+            # or fail fast so a melting-down API gets room to recover.
+            return self._degrade(key, CircuitOpenError(f"circuit open for {key}"))
+        last_err: Optional[TransientAPIError] = None
+        for attempt in range(self.policy.max_attempts):
+            if attempt > 0:
+                delay = self.policy.delay_for(key, attempt - 1)
+                self.backoff_wait += delay
+                self._clock.advance(delay)
+            try:
+                response = fetch()
+            except TransientAPIError as err:
+                last_err = err
+                self._charge_retry()
+                self._record_failure()
+                if self.circuit_open:
+                    break  # the breaker tripped mid-request: stop hammering
+            else:
+                self._record_success()
+                healed = self._heal(key[0], response)
+                self._last_good[key] = healed
+                return healed
+        return self._degrade(key, last_err)
+
+    # ------------------------------------------------------------------
+    # duplicate healing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _heal(kind: str, response):
+        """Deduplicate corrupted pages; identity on clean responses."""
+        if kind == "connections":
+            healed = tuple(sorted(set(response)))
+            return healed if len(healed) != len(response) else tuple(response)
+        if kind == "timeline":
+            posts = _dedupe_posts(response.posts)
+            if len(posts) != len(response.posts):
+                return replace(response, posts=posts)
+            return response
+        healed_hits = _dedupe_hits(response)
+        return healed_hits if len(healed_hits) != len(response) else tuple(response)
+
+    # ------------------------------------------------------------------
+    # MicroblogAPI
+    # ------------------------------------------------------------------
+    def search(self, keyword: str, max_results: Optional[int] = None) -> Sequence[SearchHit]:
+        key: RequestKey = ("search", keyword.lower(), max_results)
+        return self._call(key, lambda: tuple(self.inner.search(keyword, max_results)))
+
+    def user_connections(self, user_id: int) -> Sequence[int]:
+        key: RequestKey = ("connections", user_id, None)
+        return self._call(key, lambda: tuple(self.inner.user_connections(user_id)))
+
+    def user_timeline(self, user_id: int) -> TimelineView:
+        key: RequestKey = ("timeline", user_id, None)
+        return self._call(key, lambda: self.inner.user_timeline(user_id))
+
+    # ------------------------------------------------------------------
+    # passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def meter(self):
+        return self.inner.meter
+
+    @property
+    def platform(self):
+        return self.inner.platform
+
+    @property
+    def limiter(self):
+        return self.inner.limiter
+
+    @property
+    def latency(self):
+        return self.inner.latency
+
+    @property
+    def clock(self):
+        return self._clock
+
+    @property
+    def total_cost(self) -> int:
+        return self.inner.total_cost
+
+    @property
+    def simulated_wait(self) -> float:
+        return self.inner.simulated_wait

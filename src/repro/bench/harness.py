@@ -79,6 +79,8 @@ def run_estimator(
     tarw_config: Optional[TARWConfig] = None,
     srw_config: Optional[SRWConfig] = None,
     api_latency: float = 0.0,
+    fault_plan=None,
+    retry_policy=None,
 ) -> EstimateResult:
     """One budgeted estimation run with benchmark-friendly defaults."""
     analyzer = MicroblogAnalyzer(
@@ -91,6 +93,8 @@ def run_estimator(
         srw_config=srw_config,
         seed=seed,
         api_latency=api_latency,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
     )
     return analyzer.estimate(query, budget=budget)
 

@@ -21,9 +21,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional
 
+from repro.api.faults import FAULT_PROFILES
 from repro.core.analyzer import ALGORITHMS, GRAPH_DESIGNS, MicroblogAnalyzer
 from repro.core.query import (
     AggregateQuery,
@@ -87,6 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--executor", default="auto",
                           choices=["auto", "process", "thread", "serial"],
                           help="worker pool kind for --workers (default auto)")
+    estimate.add_argument("--fault-profile", default="none",
+                          choices=sorted(FAULT_PROFILES),
+                          help="inject seeded API faults (transient errors, "
+                               "timeouts, truncated pages, duplicates) healed "
+                               "by the resilient retry layer; estimates stay "
+                               "bit-identical to a fault-free run")
+    estimate.add_argument("--fault-seed", type=int, default=0,
+                          help="seed for the injected-fault draws")
 
     truth = sub.add_parser("truth", help="print the exact ground-truth answer")
     _platform_source_args(truth)
@@ -188,6 +198,10 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     platform = _resolve_platform(args)
     query = _resolve_query(args)
     interval = "auto" if args.interval_days == 0 else args.interval_days * DAY
+    fault_plan = None
+    profile_plan = FAULT_PROFILES[args.fault_profile]
+    if profile_plan.active:
+        fault_plan = dataclasses.replace(profile_plan, seed=args.fault_seed)
     analyzer = MicroblogAnalyzer(
         platform,
         algorithm=args.algorithm,
@@ -196,6 +210,7 @@ def cmd_estimate(args: argparse.Namespace) -> int:
         seed=args.walk_seed,
         n_workers=args.workers,
         executor=args.executor,
+        fault_plan=fault_plan,
     )
     truth = exact_value(platform.store, query)
     print(query.describe())
@@ -216,6 +231,10 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     print(f"truth    : {truth:,.4f}")
     print(f"rel. err : {relative_error(result.value, truth):.2%}")
     print(f"cost     : {result.cost_total:,} API calls {result.cost_by_kind}")
+    retry_calls = result.cost_by_kind.get("retries", 0)
+    if retry_calls:
+        print(f"faults   : {retry_calls:,} retried calls absorbed "
+              f"(profile {args.fault_profile!r}; budget spend unaffected)")
     if result.walk_stats is not None:
         print(f"parallel : {result.walk_stats.summary()}")
     return 0

@@ -17,6 +17,8 @@ from typing import Optional, Union
 
 from repro._rng import RandomLike, ensure_rng, spawn
 from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.api.faults import FaultInjectingClient, FaultPlan
+from repro.api.resilient import ResilientClient, RetryPolicy
 from repro.core.graph_builder import (
     LevelByLevelOracle,
     QueryContext,
@@ -64,6 +66,8 @@ class MicroblogAnalyzer:
         n_shards: Optional[int] = None,
         executor: str = "auto",
         api_latency: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise EstimationError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
@@ -89,6 +93,15 @@ class MicroblogAnalyzer:
         self.api_latency = api_latency
         """Real seconds of emulated network latency per API call (0 =
         pure CPU).  See ``SimulatedMicroblogClient.latency``."""
+        self.fault_plan = fault_plan
+        """Seeded fault injection (see :mod:`repro.api.faults`).  When set
+        (and active) the client stack becomes
+        ``CachingClient(ResilientClient(FaultInjectingClient(simulator)))``
+        — injected faults are retried, healed or degraded below the cache,
+        and per-shard parallel clients rebuild the same stack."""
+        self.retry_policy = retry_policy
+        """Backoff/breaker settings for the resilient layer; None uses
+        :class:`RetryPolicy` defaults whenever a fault plan is active."""
         self.parallel = None
         """Walk-shard execution plan for MA-TARW / MA-SRW, built from
         ``n_workers``/``n_shards``/``executor``.  ``n_workers=None``
@@ -110,9 +123,16 @@ class MicroblogAnalyzer:
         """Estimate *query* spending at most *budget* API calls."""
         if budget < 1:
             raise EstimationError("budget must be >= 1")
-        client = CachingClient(
-            SimulatedMicroblogClient(self.platform, budget=budget, latency=self.api_latency)
+        inner = SimulatedMicroblogClient(
+            self.platform, budget=budget, latency=self.api_latency
         )
+        if self.fault_plan is not None and self.fault_plan.active:
+            inner = FaultInjectingClient(inner, self.fault_plan)
+        if (self.fault_plan is not None and self.fault_plan.active) or (
+            self.retry_policy is not None
+        ):
+            inner = ResilientClient(inner, self.retry_policy)
+        client = CachingClient(inner)
         context = QueryContext(client, query)
         run_rng = spawn(self.rng, f"run:{query.keyword}:{query.aggregate.value}")
 
@@ -133,6 +153,9 @@ class MicroblogAnalyzer:
         if result.walk_stats is None:
             result.diagnostics["simulated_wait_seconds"] = client.inner.simulated_wait  # type: ignore[attr-defined]
             result.diagnostics["cache_hits"] = float(client.hits)
+            if isinstance(inner, ResilientClient):
+                result.diagnostics["degraded_serves"] = float(inner.degraded_serves)
+                result.diagnostics["backoff_wait_seconds"] = inner.backoff_wait
         else:
             # Sharded runs account their own waits/hits; fold any cost the
             # outer client paid before sharding (interval selection) in.

@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 from repro.core.graph_builder import QueryContext
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
-from repro.errors import BudgetExhaustedError, EstimationError
+from repro.errors import BudgetExhaustedError, EstimationError, TransientAPIError
 from repro.sampling.diagnostics import detect_burn_in
 from repro.sampling.estimators import ratio_average
 from repro.sampling.mark_recapture import katzir_count
@@ -77,6 +77,13 @@ class SRWConfig:
     stuck crawl does — lets the estimator cover every seeded component.
     """
     max_seeds: int = 50
+    step_retries: int = 2
+    """Walk-level fault recovery: a step whose oracle lookup raises a
+    :class:`TransientAPIError` (after the resilient client gave up) is
+    retried in place this many times; past that the chain checkpoints —
+    its committed samples are kept — and restarts from a random seed.
+    Retries re-issue the same lookup and consume no walker RNG, so runs
+    whose faults all heal stay bit-identical to fault-free runs."""
 
     def __post_init__(self) -> None:
         if self.thinning < 1 or self.trace_every < 1:
@@ -89,6 +96,8 @@ class SRWConfig:
             raise EstimationError("stall_steps must be >= 1")
         if self.teleport_after < 1:
             raise EstimationError("teleport_after must be >= 1")
+        if self.step_retries < 0:
+            raise EstimationError("step_retries must be >= 0")
 
 
 class MASRWEstimator:
@@ -113,6 +122,8 @@ class MASRWEstimator:
         post-burn-in samples.  None keeps the classic run."""
         self._chain_nodes: List[List[int]] = []
         self._chain_degrees: List[List[float]] = []
+        self.fault_step_retries = 0
+        self.fault_restarts = 0
 
     # ------------------------------------------------------------------
     def estimate(self) -> EstimateResult:
@@ -144,19 +155,33 @@ class MASRWEstimator:
         stalled_since = 0
         next_trace = config.trace_every
         try:
-            seeds = self.context.seeds(config.max_seeds)
+            seeds = self._oracle_step(self.context.seeds, config.max_seeds)
             currents = [self.rng.choice(seeds) for _ in range(config.chains)]
             for index, start in enumerate(currents):
-                self._observe(start, chain_nodes[index], chain_degrees[index])
+                try:
+                    self._observe(start, chain_nodes[index], chain_degrees[index])
+                except TransientAPIError:
+                    # The chain starts dark: no sample committed, but the
+                    # first step below reseeds it like any faulted step.
+                    self.fault_restarts += 1
             while config.max_steps is None or steps < config.max_steps:
                 index = steps % config.chains
-                neighbors = self.oracle.neighbors(currents[index])
-                if not neighbors:
+                try:
+                    neighbors = self._oracle_step(self.oracle.neighbors, currents[index])
+                    if not neighbors:
+                        currents[index] = self.rng.choice(seeds)
+                        restarts += 1
+                    else:
+                        currents[index] = self.rng.choice(neighbors)
+                    self._observe(currents[index], chain_nodes[index], chain_degrees[index])
+                except TransientAPIError:
+                    # Walk-level recovery, stage 2: in-place retries were
+                    # exhausted, so the chain checkpoints — every committed
+                    # (node, degree) pair stays — and restarts from a seed.
+                    # Steps still advance, so a permanently dark platform
+                    # cannot trap the loop.
                     currents[index] = self.rng.choice(seeds)
-                    restarts += 1
-                else:
-                    currents[index] = self.rng.choice(neighbors)
-                self._observe(currents[index], chain_nodes[index], chain_degrees[index])
+                    self.fault_restarts += 1
                 steps += 1
                 cost = self._cost()
                 if cost == last_cost:
@@ -178,6 +203,8 @@ class MASRWEstimator:
                     next_trace = steps + max(config.trace_every, steps // 20)
         except BudgetExhaustedError:
             pass
+        except TransientAPIError:
+            pass  # platform unrecoverable during seeding: report what we have
 
         value = self._current_estimate(chain_nodes, chain_degrees)
         trace.append(TracePoint(self._cost(), value))
@@ -193,15 +220,30 @@ class MASRWEstimator:
                 "steps": float(steps),
                 "dead_end_restarts": float(restarts),
                 "chains": float(config.chains),
+                "fault_restarts": float(self.fault_restarts),
+                "fault_step_retries": float(self.fault_step_retries),
             },
         )
 
     # ------------------------------------------------------------------
+    def _oracle_step(self, lookup, node: int):
+        """Walk-level recovery, stage 1: retry a failed step in place.
+
+        See :meth:`MATARWEstimator._oracle_step` — same contract: no
+        walker RNG is consumed, so recovery never perturbs the stream.
+        """
+        for _ in range(self.config.step_retries):
+            try:
+                return lookup(node)
+            except TransientAPIError:
+                self.fault_step_retries += 1
+        return lookup(node)
+
     def _observe(self, node: int, nodes: List[int], degrees: List[float]) -> None:
         # Fetch the degree before appending anything: the lookup can raise
         # BudgetExhaustedError, and a half-appended observation would
         # desynchronise the two series.
-        degree = float(self.oracle.degree(node))
+        degree = float(self._oracle_step(self.oracle.degree, node))
         nodes.append(node)
         degrees.append(degree)
 
@@ -295,7 +337,7 @@ class MASRWEstimator:
         """
         try:
             return self.context.condition_matches(node)
-        except BudgetExhaustedError:
+        except (BudgetExhaustedError, TransientAPIError):
             return None
 
     def _avg_estimate(self, nodes: List[int], degrees: List[int]) -> float:

@@ -55,7 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 from repro.core.graph_builder import LevelByLevelOracle, QueryContext
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
-from repro.errors import BudgetExhaustedError, EstimationError
+from repro.errors import BudgetExhaustedError, EstimationError, TransientAPIError
 
 COMBINE_MODES = ("phase_sum", "paper")
 
@@ -148,6 +148,12 @@ class TARWConfig:
     max_path_length: int = 10_000
     """Safety bound on one phase's length (cycles are impossible on a
     level-by-level graph, so this only guards corrupted oracles)."""
+    step_retries: int = 2
+    """Walk-level fault recovery: a step whose oracle lookup raises a
+    :class:`TransientAPIError` (the resilient client gave up) is retried
+    from the *current* node this many times before the instance aborts.
+    Retries re-issue the same lookup and consume no walker RNG, so a run
+    whose faults all heal stays bit-identical to a fault-free run."""
 
     def __post_init__(self) -> None:
         if self.p_method not in ("dp", "estimate"):
@@ -172,6 +178,8 @@ class TARWConfig:
             raise EstimationError("stall_instances must be >= 1")
         if self.combine not in COMBINE_MODES:
             raise EstimationError(f"combine must be one of {COMBINE_MODES}")
+        if self.step_retries < 0:
+            raise EstimationError("step_retries must be >= 0")
 
 
 class MATARWEstimator:
@@ -207,6 +215,8 @@ class MATARWEstimator:
         self._paper_paths: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
         self._instance_counter = 0
         self.zero_probability_drops = 0
+        self.fault_step_retries = 0
+        self.fault_aborted_instances = 0
         # Deterministic DP state (p_method="dp").
         self._dp_p_up: Dict[int, float] = {}
         self._dp_p_down: Dict[int, float] = {}
@@ -233,7 +243,7 @@ class MATARWEstimator:
         next_trace = 1
         budget_aborted_instances = 0
         try:
-            self._seeds = self.context.seeds(config.max_seeds)
+            self._seeds = self._oracle_step(self.context.seeds, config.max_seeds)
             self._discover_bottom_nodes()
             self._seed_set = frozenset(self._seeds)
             while config.max_instances is None or instances < config.max_instances:
@@ -247,6 +257,17 @@ class MATARWEstimator:
                     # instances confined to already-cached regions complete
                     # at zero API cost and keep sharpening the estimate.
                     budget_aborted_instances += 1
+                    stalled_since += 1
+                    if stalled_since >= config.stall_instances:
+                        break
+                    continue
+                except TransientAPIError:
+                    # Walk-level recovery, stage 2: step retries were already
+                    # exhausted (see _oracle_step), so checkpoint — visit
+                    # counters only ever contain *completed* instances — and
+                    # restart from a fresh seed.  The aborted instance's RNG
+                    # draws are simply part of this (degraded) run's stream.
+                    self.fault_aborted_instances += 1
                     stalled_since += 1
                     if stalled_since >= config.stall_instances:
                         break
@@ -266,6 +287,8 @@ class MATARWEstimator:
                     stalled_since = 0
         except BudgetExhaustedError:
             pass  # budget died during seeding/discovery: report what we have
+        except TransientAPIError:
+            pass  # platform unrecoverable during seeding: report what we have
 
         recounted = self._final_recount()
         if recounted:
@@ -286,6 +309,8 @@ class MATARWEstimator:
                 "mean_path_length": mean_path,
                 "zero_probability_drops": float(self.zero_probability_drops),
                 "budget_aborted_instances": float(budget_aborted_instances),
+                "fault_aborted_instances": float(self.fault_aborted_instances),
+                "fault_step_retries": float(self.fault_step_retries),
                 "p_pool_nodes": float(len(self._p_up_pool) + len(self._p_down_pool)),
                 "seed_set_size": float(len(self._seeds)),
             },
@@ -319,7 +344,7 @@ class MATARWEstimator:
             try:
                 self._run_instance()
                 completed += 1
-            except BudgetExhaustedError:
+            except (BudgetExhaustedError, TransientAPIError):
                 aborted += 1
                 if aborted > config.stall_instances and completed == 0:
                     break
@@ -344,8 +369,14 @@ class MATARWEstimator:
                 if spend_cap is not None and self._cost() >= spend_cap:
                     break
                 start = self.rng.choice(self._seeds)
-                up_path = self._walk_up(start)
-                down_path = self._walk_down(up_path[-1])
+                try:
+                    up_path = self._walk_up(start)
+                    down_path = self._walk_down(up_path[-1])
+                except TransientAPIError:
+                    # Abandon this warm-up walk (its sinks are lost) but
+                    # keep discovering: each walk restarts from a seed.
+                    self.fault_aborted_instances += 1
+                    continue
                 for node in up_path + down_path:
                     if not self.oracle.down_neighbors(node):
                         discovered.add(node)
@@ -389,11 +420,28 @@ class MATARWEstimator:
                 self._refresh_p(node, direction)
         self._dp_dirty = True
 
+    def _oracle_step(self, lookup, node: int):
+        """Walk-level recovery, stage 1: retry a failed step in place.
+
+        *lookup* is an oracle neighbor accessor.  A transient failure
+        (everything below — resilient retries, degraded fallbacks —
+        already gave up) re-issues the same lookup from the *current*
+        node up to ``step_retries`` times.  No walker RNG is consumed,
+        so recovery never perturbs the walk's random stream; past the
+        budget the error propagates and the instance checkpoints.
+        """
+        for _ in range(self.config.step_retries):
+            try:
+                return lookup(node)
+            except TransientAPIError:
+                self.fault_step_retries += 1
+        return lookup(node)
+
     def _walk_up(self, start: int) -> List[int]:
         path = [start]
         current = start
         while len(path) <= self.config.max_path_length:
-            ups = self.oracle.up_neighbors(current)
+            ups = self._oracle_step(self.oracle.up_neighbors, current)
             if not ups:
                 return path
             current = self.rng.choice(ups)
@@ -404,7 +452,7 @@ class MATARWEstimator:
         path = [root]
         current = root
         while len(path) <= self.config.max_path_length:
-            downs = self.oracle.down_neighbors(current)
+            downs = self._oracle_step(self.oracle.down_neighbors, current)
             if not downs:
                 return path
             current = self.rng.choice(downs)

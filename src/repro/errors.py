@@ -51,6 +51,44 @@ class RateLimitError(APIError):
         self.retry_at = retry_at
 
 
+class TransientAPIError(APIError):
+    """A request failed for a reason that retrying may fix.
+
+    Models the 5xx responses, connection resets and rate-limit churn a
+    real crawl sees.  :class:`~repro.api.resilient.ResilientClient`
+    retries these with capped exponential backoff; anything else in the
+    :class:`APIError` family is treated as permanent.
+    """
+
+
+class APITimeoutError(TransientAPIError):
+    """A request (or one page of a paginated request) timed out.
+
+    The name avoids shadowing the builtin :class:`TimeoutError`; it is
+    the library's timeout member of the transient-fault family.
+    """
+
+
+class TruncatedResponseError(TransientAPIError):
+    """A response arrived incomplete (detected transfer truncation).
+
+    Real clients notice truncation out-of-band (content-length mismatch,
+    missing continuation cursor), so it surfaces as an error rather than
+    as silently short data.  ``partial`` carries the bytes that did
+    arrive — a resilient caller may fall back on them as degraded data,
+    but must never cache them as authoritative.
+    """
+
+    def __init__(self, message: str, partial=None) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
+class CircuitOpenError(TransientAPIError):
+    """The resilient client's circuit breaker is open and no cached
+    fallback response exists for the request."""
+
+
 class QueryError(ReproError):
     """Raised for malformed aggregate queries."""
 

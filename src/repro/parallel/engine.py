@@ -41,7 +41,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TransientAPIError
 
 EXECUTORS = ("auto", "process", "thread", "serial")
 
@@ -77,6 +77,15 @@ class ParallelConfig:
     the decomposition (and hence the estimate); changing ``n_workers``
     never does."""
     executor: str = "auto"
+    transient_retries: int = 0
+    """Shard-level fault recovery: re-run a whole shard whose task raised
+    a :class:`TransientAPIError` this many times before propagating.
+
+    Off by default because the estimators already recover internally
+    (step retries + instance checkpointing) and a shard re-run repeats
+    its deterministic fault draws verbatim — it only helps against
+    *nondeterministic* backends (a future live-API client), which is the
+    scenario this knob exists for."""
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -85,6 +94,8 @@ class ParallelConfig:
             raise ReproError("n_shards must be >= 1")
         if self.executor not in EXECUTORS:
             raise ReproError(f"executor must be one of {EXECUTORS}")
+        if self.transient_retries < 0:
+            raise ReproError("transient_retries must be >= 0")
 
     def resolved_shards(self, budget: Optional[int] = None) -> int:
         """Shard count for a run with *budget* remaining API calls.
@@ -106,6 +117,28 @@ def _timed_call(fn: Callable, args: Tuple) -> Tuple[Any, float]:
     return result, time.perf_counter() - start
 
 
+class _TransientRetry:
+    """Picklable task wrapper that re-runs transiently failed tasks.
+
+    A module-level class (not a closure) so a wrapped task stays
+    process-executable whenever the underlying task is.  Retries only
+    the :class:`TransientAPIError` family; all other exceptions, and a
+    failure that persists past the retry budget, propagate unchanged.
+    """
+
+    def __init__(self, fn: Callable, retries: int) -> None:
+        self.fn = fn
+        self.retries = retries
+
+    def __call__(self, *args):
+        for _ in range(self.retries):
+            try:
+                return self.fn(*args)
+            except TransientAPIError:
+                continue
+        return self.fn(*args)
+
+
 class ExecutionEngine:
     """Ordered fan-out of tasks over serial/thread/process execution.
 
@@ -114,13 +147,20 @@ class ExecutionEngine:
     ``wall_seconds`` the end-to-end fan-out time.
     """
 
-    def __init__(self, n_workers: int = 1, executor: str = "auto") -> None:
+    def __init__(
+        self, n_workers: int = 1, executor: str = "auto", transient_retries: int = 0
+    ) -> None:
         if n_workers < 1:
             raise ReproError("n_workers must be >= 1")
         if executor not in EXECUTORS:
             raise ReproError(f"executor must be one of {EXECUTORS}")
+        if transient_retries < 0:
+            raise ReproError("transient_retries must be >= 0")
         self.n_workers = n_workers
         self.executor = executor
+        self.transient_retries = transient_retries
+        """See :attr:`ParallelConfig.transient_retries` — whole-task
+        re-runs on :class:`TransientAPIError`, via :class:`_TransientRetry`."""
         self.resolved: Optional[str] = None
         self.task_seconds: List[float] = []
         self.wall_seconds: float = 0.0
@@ -134,6 +174,8 @@ class ExecutionEngine:
         cleanly).
         """
         tasks = [tuple(task) for task in tasks]
+        if self.transient_retries > 0:
+            fn = _TransientRetry(fn, self.transient_retries)
         start = time.perf_counter()
         try:
             if not tasks:

@@ -41,6 +41,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro._rng import spawn_worker_seeds
 from repro.api.accounting import merge_cost_by_kind
 from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.api.faults import FaultInjectingClient, FaultPlan
+from repro.api.resilient import ResilientClient, RetryPolicy
 from repro.core.graph_builder import (
     LevelByLevelOracle,
     QueryContext,
@@ -73,7 +75,12 @@ def split_budget(total: Optional[int], n_shards: int) -> List[Optional[int]]:
 
 
 def _simulator_backing(client) -> Tuple[object, str, float, Optional[int]]:
-    """Platform + client settings needed to build per-shard clients."""
+    """Platform + client settings needed to build per-shard clients.
+
+    The wrapper layers (caching, resilient, fault-injecting) all pass
+    ``platform``/``limiter``/``latency``/``meter`` through, so one hop
+    below the cache reaches everything regardless of stack depth.
+    """
     inner = getattr(client, "inner", client)
     platform = getattr(inner, "platform", None)
     if platform is None:
@@ -90,6 +97,26 @@ def _simulator_backing(client) -> Tuple[object, str, float, Optional[int]]:
     if meter is not None and meter.budget is not None:
         budget = meter.remaining
     return platform, policy, latency, budget
+
+
+def _fault_spec(client) -> Tuple[Optional[FaultPlan], Optional[RetryPolicy]]:
+    """Fault plan + retry policy found anywhere in the client stack.
+
+    Per-shard clients rebuild the *same* robustness stack as the outer
+    client.  Fault draws are keyed per request and per client, so every
+    shard injects — and heals — identical faults for identical requests
+    no matter how shards interleave across workers.
+    """
+    plan = None
+    policy = None
+    node = client
+    while node is not None:
+        if isinstance(node, FaultInjectingClient):
+            plan = node.plan
+        if isinstance(node, ResilientClient):
+            policy = node.policy
+        node = getattr(node, "inner", None)
+    return plan, policy
 
 
 def _rebuild_oracle(template, context: QueryContext):
@@ -109,12 +136,24 @@ def _rebuild_oracle(template, context: QueryContext):
     )
 
 
-def _shard_stack(platform, query, budget, policy, latency, oracle_template):
-    client = CachingClient(
-        SimulatedMicroblogClient(
-            platform, budget=budget, rate_limit_policy=policy, latency=latency
-        )
+def _shard_stack(
+    platform,
+    query,
+    budget,
+    policy,
+    latency,
+    oracle_template,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+):
+    inner = SimulatedMicroblogClient(
+        platform, budget=budget, rate_limit_policy=policy, latency=latency
     )
+    if fault_plan is not None and fault_plan.active:
+        inner = FaultInjectingClient(inner, fault_plan)
+    if fault_plan is not None or retry_policy is not None:
+        inner = ResilientClient(inner, retry_policy)
+    client = CachingClient(inner)
     context = QueryContext(client, query)
     return client, context, _rebuild_oracle(oracle_template, context)
 
@@ -137,9 +176,10 @@ def run_parallel_estimate(estimator) -> EstimateResult:
 def _run_sharded(estimator, kind: str) -> EstimateResult:
     config: ParallelConfig = estimator.parallel
     platform, policy, latency, budget = _simulator_backing(estimator.context.client)
+    fault_plan, retry_policy = _fault_spec(estimator.context.client)
     n_shards = config.resolved_shards(budget)
     outer_meter = getattr(estimator.context.client, "meter", None)
-    outer_cost = outer_meter.total if outer_meter is not None else 0
+    outer_cost = outer_meter.query_total if outer_meter is not None else 0
     outer_by_kind = outer_meter.by_kind() if outer_meter is not None else {}
     budgets = split_budget(budget, n_shards)
     shard_seeds = spawn_worker_seeds(estimator.rng, n_shards)
@@ -153,7 +193,14 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
         from repro.core.tarw import MATARWEstimator
 
         client, context, oracle = _shard_stack(
-            platform, query, budgets[index], policy, latency, oracle_template
+            platform,
+            query,
+            budgets[index],
+            policy,
+            latency,
+            oracle_template,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
         if kind == "tarw":
             sub = MATARWEstimator(context, oracle, walker_config, seed=shard_seeds[index])
@@ -184,7 +231,11 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
             "cache_hits": float(client.hits),
         }
 
-    engine = ExecutionEngine(n_workers=config.n_workers, executor=config.executor)
+    engine = ExecutionEngine(
+        n_workers=config.n_workers,
+        executor=config.executor,
+        transient_retries=config.transient_retries,
+    )
     outcomes = engine.run(shard, [(index,) for index in range(n_shards)])
     execute_seconds = engine.wall_seconds
 
@@ -237,6 +288,9 @@ _ADDITIVE_DIAGNOSTICS = frozenset(
     {
         "instances",
         "budget_aborted_instances",
+        "fault_aborted_instances",
+        "fault_step_retries",
+        "fault_restarts",
         "zero_probability_drops",
         "p_pool_nodes",
         "steps",

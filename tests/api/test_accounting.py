@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.api.accounting import CALL_KINDS, CONNECTIONS, SEARCH, TIMELINE, CostMeter
+from repro.api.accounting import (
+    CALL_KINDS,
+    CONNECTIONS,
+    QUERY_KINDS,
+    RETRIES,
+    SEARCH,
+    TIMELINE,
+    CostMeter,
+)
 from repro.errors import BudgetExhaustedError, ReproError
 
 
@@ -61,4 +69,28 @@ def test_reset():
 
 
 def test_call_kinds_exported():
-    assert set(CALL_KINDS) == {SEARCH, CONNECTIONS, TIMELINE}
+    assert set(QUERY_KINDS) == {SEARCH, CONNECTIONS, TIMELINE}
+    assert set(CALL_KINDS) == {SEARCH, CONNECTIONS, TIMELINE, RETRIES}
+
+
+def test_retries_exempt_from_budget():
+    """Retry waste is recorded but never charged against the budget."""
+    meter = CostMeter(budget=5)
+    meter.charge(SEARCH, 5)
+    meter.charge(RETRIES, 40)  # a budget-charged kind would raise here
+    assert meter.total == 45
+    assert meter.query_total == 5
+    assert meter.remaining == 0
+    assert meter.by_kind()[RETRIES] == 40
+    with pytest.raises(BudgetExhaustedError) as excinfo:
+        meter.charge(TIMELINE, 1)
+    assert excinfo.value.spent == 5  # retry waste absent from the report
+
+
+def test_retries_column_is_lazy():
+    """A fault-free meter reports exactly the pre-fault-era dictionary."""
+    meter = CostMeter()
+    meter.charge(SEARCH, 1)
+    assert RETRIES not in meter.by_kind()
+    meter.charge(RETRIES, 2)
+    assert meter.by_kind() == {SEARCH: 1, CONNECTIONS: 0, TIMELINE: 0, RETRIES: 2}

@@ -1,0 +1,297 @@
+"""Chaos suite for the fault-injection + resilient client layers.
+
+Pins the contracts that make injected faults *healable*: deterministic
+seeded draws, exactly-once query charging, budget-exempt retry
+accounting, deterministic backoff, circuit-breaker degradation, and the
+poisoned-cache regression (degraded responses must never be memoised).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.accounting import RETRIES
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.api.faults import FAULT_PROFILES, FaultInjectingClient, FaultPlan
+from repro.api.interface import MicroblogAPI, TimelineView
+from repro.api.resilient import ResilientClient, RetryPolicy
+from repro.errors import (
+    APITimeoutError,
+    CircuitOpenError,
+    ReproError,
+    TransientAPIError,
+    TruncatedResponseError,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+def _posty_user(platform, min_posts=2):
+    """First user whose timeline holds at least *min_posts* posts."""
+    probe = SimulatedMicroblogClient(platform)
+    for user_id in range(500):
+        if len(probe.user_timeline(user_id).posts) >= min_posts:
+            return user_id
+    raise AssertionError("no sufficiently active user in the fixture platform")
+
+
+def _stack(platform, plan=None, policy=None, budget=None):
+    client = SimulatedMicroblogClient(platform, budget=budget)
+    if plan is not None:
+        client = FaultInjectingClient(client, plan)
+    if plan is not None or policy is not None:
+        client = ResilientClient(client, policy)
+    return CachingClient(client)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: validation and determinism
+# ----------------------------------------------------------------------
+def test_fault_plan_validation():
+    with pytest.raises(ReproError):
+        FaultPlan(transient_rate=1.2)
+    with pytest.raises(ReproError):
+        FaultPlan(transient_rate=0.6, timeout_rate=0.3, truncate_rate=0.2)
+    with pytest.raises(ReproError):
+        FaultPlan(max_consecutive_faults=0)
+    assert not FaultPlan().active
+    assert FAULT_PROFILES["hostile"].transient_rate == 0.20
+    for plan in FAULT_PROFILES.values():
+        assert plan.fault_rate + plan.duplicate_rate <= 1.0
+
+
+def test_fault_draws_are_order_independent(tiny_platform):
+    """The same request sees the same faults regardless of what other
+    requests ran before it — the property that makes shard interleaving
+    and worker count irrelevant."""
+    plan = FaultPlan(seed=3, transient_rate=0.4, timeout_rate=0.2)
+
+    def fault_log(user_ids):
+        client = FaultInjectingClient(SimulatedMicroblogClient(tiny_platform), plan)
+        log = {}
+        for user_id in user_ids:
+            outcomes = []
+            for _ in range(plan.max_consecutive_faults + 1):
+                try:
+                    client.user_connections(user_id)
+                    outcomes.append("ok")
+                    break
+                except TransientAPIError as err:
+                    outcomes.append(type(err).__name__)
+            log[user_id] = tuple(outcomes)
+        return log
+
+    forward = fault_log([0, 1, 2, 3, 4])
+    backward = fault_log([4, 3, 2, 1, 0])
+    assert forward == backward
+    assert any(o != ("ok",) for o in forward.values())  # faults actually fired
+
+
+def test_max_consecutive_faults_guarantees_success(tiny_platform):
+    plan = FaultPlan(seed=0, transient_rate=0.95, max_consecutive_faults=4)
+    client = FaultInjectingClient(SimulatedMicroblogClient(tiny_platform), plan)
+    failures = 0
+    for _ in range(plan.max_consecutive_faults + 1):
+        try:
+            response = client.user_connections(0)
+            break
+        except TransientAPIError:
+            failures += 1
+    else:  # pragma: no cover - the cap guarantees we never get here
+        pytest.fail("request never succeeded despite the consecutive-fault cap")
+    assert failures <= plan.max_consecutive_faults
+    assert response == tuple(SimulatedMicroblogClient(tiny_platform).user_connections(0))
+
+
+def test_clean_response_charged_exactly_once(tiny_platform):
+    """Failed attempts charge only the retries column; the query kinds
+    see exactly one logical charge, as in a fault-free run."""
+    plan = FaultPlan(seed=1, transient_rate=0.5, truncate_rate=0.3)
+    client = _stack(tiny_platform, plan)
+    baseline = _stack(tiny_platform)
+    for user_id in range(20):
+        assert client.user_connections(user_id) == baseline.user_connections(user_id)
+    faulted = client.meter.by_kind()
+    assert faulted.pop(RETRIES) > 0
+    assert faulted == baseline.meter.by_kind()
+    assert client.total_cost == baseline.total_cost  # retry-exempt cost metric
+
+
+def test_timeout_and_truncation_raise_typed_errors(tiny_platform):
+    timeout_plan = FaultPlan(seed=2, timeout_rate=1.0, max_consecutive_faults=1)
+    client = FaultInjectingClient(SimulatedMicroblogClient(tiny_platform), timeout_plan)
+    with pytest.raises(APITimeoutError):
+        client.user_connections(0)
+
+    truncate_plan = FaultPlan(seed=2, truncate_rate=1.0, max_consecutive_faults=1)
+    client = FaultInjectingClient(SimulatedMicroblogClient(tiny_platform), truncate_plan)
+    full = tuple(SimulatedMicroblogClient(tiny_platform).user_connections(0))
+    with pytest.raises(TruncatedResponseError) as excinfo:
+        client.user_connections(0)
+    # The partial payload is a strict prefix of the clean response.
+    assert excinfo.value.partial == full[: len(full) // 2]
+
+
+def test_duplicates_leak_without_healing_and_heal_with_it(tiny_platform):
+    plan = FaultPlan(seed=4, duplicate_rate=1.0)
+    clean = tuple(SimulatedMicroblogClient(tiny_platform).user_connections(1))
+    raw = FaultInjectingClient(SimulatedMicroblogClient(tiny_platform), plan)
+    corrupted = raw.user_connections(1)
+    assert len(corrupted) == len(clean) + 1  # one retransmitted row
+    assert sorted(set(corrupted)) == sorted(clean)
+    healed = _stack(tiny_platform, plan)
+    assert healed.user_connections(1) == clean
+    timeline = healed.user_timeline(1)
+    baseline = _stack(tiny_platform).user_timeline(1)
+    assert timeline == baseline
+
+
+def test_backoff_is_deterministic_and_simulated_only(tiny_platform):
+    plan = FaultPlan(seed=5, transient_rate=0.6)
+    policy = RetryPolicy(seed=9)
+    waits = []
+    for _ in range(2):
+        client = _stack(tiny_platform, plan, policy)
+        for user_id in range(10):
+            client.user_timeline(user_id)
+        waits.append(client.inner.backoff_wait)
+    assert waits[0] == waits[1]
+    assert waits[0] > 0.0
+    # Backoff advanced the client's private simulated clock, not wall time.
+    caching = _stack(tiny_platform, plan, policy)
+    resilient = caching.inner
+    before = resilient.clock.now()
+    for user_id in range(10):
+        caching.user_timeline(user_id)
+    assert resilient.backoff_wait > 0.0
+    assert resilient.clock.now() >= before + resilient.backoff_wait
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ReproError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ReproError):
+        RetryPolicy(base_delay=10.0, max_delay=1.0)
+    with pytest.raises(ReproError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ReproError):
+        RetryPolicy(backoff_factor=0.5)
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+class _ScriptedClient(MicroblogAPI):
+    """Fails until ``fail_for`` calls have been made, then succeeds."""
+
+    def __init__(self, inner: MicroblogAPI, fail_for: int) -> None:
+        self.inner = inner
+        self.fail_for = fail_for
+        self.calls = 0
+
+    def _maybe_fail(self):
+        self.calls += 1
+        if self.calls <= self.fail_for:
+            raise TransientAPIError(f"scripted failure {self.calls}")
+
+    def search(self, keyword, max_results=None):
+        self._maybe_fail()
+        return self.inner.search(keyword, max_results)
+
+    def user_connections(self, user_id):
+        self._maybe_fail()
+        return self.inner.user_connections(user_id)
+
+    def user_timeline(self, user_id) -> TimelineView:
+        self._maybe_fail()
+        return self.inner.user_timeline(user_id)
+
+    @property
+    def meter(self):
+        return self.inner.meter
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+
+def test_breaker_opens_and_serves_last_good(tiny_platform):
+    policy = RetryPolicy(max_attempts=2, breaker_threshold=4, breaker_cooldown=600.0)
+    scripted = _ScriptedClient(SimulatedMicroblogClient(tiny_platform), fail_for=0)
+    client = ResilientClient(scripted, policy)
+    good = client.user_connections(0)
+    assert not client.last_response_degraded
+    # Now the platform melts down: enough consecutive failures trip the
+    # breaker, and the known response degrades to the cached copy.
+    scripted.fail_for = 10**9
+    for _ in range(2):  # 2 attempts per call x 2 calls = the threshold
+        degraded = client.user_connections(0)
+        assert degraded == good
+        assert client.last_response_degraded
+    assert client.circuit_open
+    calls_when_open = scripted.calls
+    # While open, unknown requests fail fast without touching the API.
+    with pytest.raises(CircuitOpenError):
+        client.user_connections(1)
+    assert scripted.calls == calls_when_open
+
+
+def test_breaker_half_opens_after_cooldown(tiny_platform):
+    policy = RetryPolicy(max_attempts=1, breaker_threshold=2, breaker_cooldown=60.0)
+    scripted = _ScriptedClient(SimulatedMicroblogClient(tiny_platform), fail_for=2)
+    client = ResilientClient(scripted, policy)
+    for _ in range(2):
+        with pytest.raises(TransientAPIError):
+            client.user_connections(0)
+    assert client.circuit_open
+    client.clock.advance(policy.breaker_cooldown + 1.0)
+    assert not client.circuit_open
+    # The half-open probe goes through to the (recovered) platform.
+    assert client.user_connections(0) == tuple(
+        SimulatedMicroblogClient(tiny_platform).user_connections(0)
+    )
+    assert not client.circuit_open
+
+
+def test_truncated_partial_serves_as_degraded_fallback(tiny_platform):
+    plan = FaultPlan(seed=6, truncate_rate=1.0, max_consecutive_faults=10)
+    policy = RetryPolicy(max_attempts=2, breaker_threshold=50)
+    client = _stack(tiny_platform, plan, policy)
+    resilient = client.inner
+    user_id = _posty_user(tiny_platform)
+    full = SimulatedMicroblogClient(tiny_platform).user_timeline(user_id)
+    view = client.user_timeline(user_id)
+    assert len(view.posts) == len(full.posts) // 2  # the delivered prefix
+    assert resilient.degraded_serves == 1
+
+
+# ----------------------------------------------------------------------
+# poisoned-cache regression (satellite bugfix)
+# ----------------------------------------------------------------------
+def test_cache_never_memoises_degraded_responses(tiny_platform):
+    """A response recovered from a truncated transfer must not poison the
+    cache: once the platform heals, callers must see the full data."""
+    plan = FaultPlan(seed=6, truncate_rate=1.0, max_consecutive_faults=4)
+    policy = RetryPolicy(max_attempts=2, breaker_threshold=50)
+    client = _stack(tiny_platform, plan, policy)
+    user_id = _posty_user(tiny_platform)
+    full = SimulatedMicroblogClient(tiny_platform).user_timeline(user_id)
+
+    degraded = client.user_timeline(user_id)  # attempts 0+1 truncate -> partial
+    assert len(degraded.posts) < len(full.posts)
+    assert client.uncacheable == 1
+    assert client.hits == 0
+
+    # Keep asking until the consecutive-fault cap forces a clean transfer;
+    # a poisoned cache would pin the partial response forever instead.
+    for _ in range(4):
+        healed = client.user_timeline(user_id)
+        if healed == full:
+            break
+    assert healed == full  # NOT the poisoned partial
+    assert client.user_timeline(user_id) == full  # now served from the cache
+    assert client.hits == 1
+
+    # Control: the memoised clean response keeps serving from the cache.
+    assert client.user_timeline(user_id) == full
+    assert client.hits == 2

@@ -1,0 +1,167 @@
+"""Property-based invariants of the columnar data plane (hypothesis).
+
+The frozen serving structures promise *bit-for-bit* parity with the
+mutable build structures they compile from.  Example-based tests pin a
+few platforms; here hypothesis drives arbitrary small post logs and edge
+lists through both paths and checks the contracts the fast paths rely on:
+
+* ``FrozenStore.keyword_posts`` searchsorted window slicing equals the
+  naive filter over the full log, for any window;
+* timelines come out time-sorted and complete;
+* CSR neighbor rows are sorted and duplicate-free, and both construction
+  paths (``from_graph``, ``from_edges``) agree;
+* ``freeze()`` is idempotent and returns the same object.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.social_graph import SocialGraph
+from repro.platform.frozen import FrozenStore
+from repro.platform.posts import Post, make_keywords
+from repro.platform.store import MicroblogStore
+from repro.platform.users import generate_profile
+
+pytestmark = pytest.mark.property
+
+N_USERS = 6
+
+post_logs = st.lists(
+    st.tuples(
+        st.integers(0, N_USERS - 1),                 # user
+        st.floats(0, 1000, allow_nan=False),         # timestamp
+        st.booleans(),                               # mentions the keyword?
+    ),
+    max_size=30,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 19), st.integers(0, 19)).filter(lambda e: e[0] != e[1]),
+    max_size=60,
+)
+
+
+def build_store(posts):
+    store = MicroblogStore()
+    rng = random.Random(0)
+    for user_id in range(N_USERS):
+        store.add_user(generate_profile(user_id, seed=rng))
+    for user_id, timestamp, mentions in posts:
+        store.add_post(
+            Post(
+                post_id=store.new_post_id(),
+                user_id=user_id,
+                timestamp=timestamp,
+                keywords=make_keywords("kw") if mentions else frozenset(),
+            )
+        )
+    return store
+
+
+# ----------------------------------------------------------------------
+# FrozenStore: searchsorted slicing == naive filtering
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(post_logs, st.floats(-10, 1010, allow_nan=False), st.floats(-10, 1010, allow_nan=False))
+def test_keyword_posts_window_matches_naive_filter(posts, a, b):
+    frozen = build_store(posts).freeze()
+    start, end = min(a, b), max(a, b)
+    full = list(frozen.keyword_posts("kw"))
+    naive = [entry for entry in full if start <= entry[0] < end]
+    assert list(frozen.keyword_posts("kw", start, end)) == naive
+    # The full log is sorted by the legacy (t, u, pid) tuple order.
+    assert full == sorted(full)
+
+
+@settings(max_examples=40, deadline=None)
+@given(post_logs, st.floats(-10, 1010, allow_nan=False), st.floats(-10, 1010, allow_nan=False))
+def test_users_mentioning_window_matches_naive_dedup(posts, a, b):
+    frozen = build_store(posts).freeze()
+    start, end = min(a, b), max(a, b)
+    seen, naive = set(), []
+    for t, user_id, _pid in frozen.keyword_posts("kw", start, end):
+        if user_id not in seen:  # first-appearance (time) order
+            seen.add(user_id)
+            naive.append(user_id)
+    assert frozen.users_mentioning("kw", start, end) == naive
+
+
+@settings(max_examples=40, deadline=None)
+@given(post_logs)
+def test_timelines_sorted_complete_and_store_equivalent(posts):
+    store = build_store(posts)
+    frozen = store.freeze()
+    for user_id in range(N_USERS):
+        timeline = frozen.timeline(user_id)
+        times = [p.timestamp for p in timeline]
+        assert times == sorted(times)
+        assert list(timeline) == list(store.timeline(user_id))  # bit-for-bit parity
+        assert frozen.timeline_length(user_id) == len(timeline)
+        assert frozen.first_mention_time("kw", user_id) == store.first_mention_time(
+            "kw", user_id
+        )
+    assert sorted(p.post_id for u in range(N_USERS) for p in frozen.timeline(u)) == list(
+        range(len(posts))
+    )
+
+
+# ----------------------------------------------------------------------
+# CSRGraph: sorted duplicate-free rows; construction paths agree
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(edge_lists)
+def test_csr_rows_sorted_and_match_adjacency(edges):
+    graph = SocialGraph(nodes=range(20))
+    for u, v in edges:
+        graph.add_edge(u, v)
+    csr = CSRGraph.from_graph(graph)
+    edge_set = {(min(u, v), max(u, v)) for u, v in edges}
+    assert csr.num_nodes == 20
+    assert csr.num_edges == len(edge_set)
+    for node in range(20):
+        row = csr.neighbors_unsafe(node).tolist()
+        assert row == sorted(set(row))  # sorted, duplicate-free
+        assert row == sorted(graph.neighbors(node))
+        assert csr.degree(node) == len(row)
+        assert list(csr.sorted_neighbors(node)) == row
+    for u in range(20):
+        for v in range(20):
+            assert csr.has_edge(u, v) == ((min(u, v), max(u, v)) in edge_set)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists)
+def test_csr_construction_paths_and_thaw_roundtrip(edges):
+    graph = SocialGraph(nodes=range(20))
+    for u, v in edges:
+        graph.add_edge(u, v)
+    from_graph = CSRGraph.from_graph(graph)
+    from_edges = CSRGraph.from_edges(range(20), from_graph.edge_array())
+    assert from_graph.indptr.tolist() == from_edges.indptr.tolist()
+    assert from_graph.indices.tolist() == from_edges.indices.tolist()
+    thawed = from_graph.thaw()
+    assert {n: thawed.neighbors(n) for n in range(20)} == {
+        n: graph.neighbors(n) for n in range(20)
+    }
+
+
+# ----------------------------------------------------------------------
+# freeze() is idempotent: the frozen object is its own fixed point
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(post_logs)
+def test_freeze_is_idempotent(posts):
+    frozen = build_store(posts).freeze()
+    assert isinstance(frozen, FrozenStore)
+    assert frozen.freeze() is frozen
+    assert frozen.graph.freeze() is frozen.graph
+    assert frozen.graph.copy() is frozen.graph

@@ -9,7 +9,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api.accounting import CALL_KINDS, CostMeter
+from repro.api.accounting import CALL_KINDS, RETRIES, CostMeter
 from repro.core.levels import LevelIndex, edge_taxonomy, level_by_level_subgraph
 from repro.errors import BudgetExhaustedError
 from repro.graph.generators import community_graph
@@ -34,14 +34,20 @@ from repro.platform.workload import KeywordSpec, constant_intensity
 def test_cost_meter_never_exceeds_budget(charges, budget):
     meter = CostMeter(budget=budget)
     accepted = 0
+    accepted_queries = 0
     for kind, calls in charges:
         try:
             meter.charge(kind, calls)
             accepted += calls
+            if kind != RETRIES:
+                accepted_queries += calls
         except BudgetExhaustedError:
             pass
     assert meter.total == accepted
-    assert meter.total <= budget
+    assert meter.query_total == accepted_queries
+    # The budget bounds *query* spend; retry waste is exempt (and the
+    # only kind allowed to push the all-in total past the budget).
+    assert meter.query_total <= budget
     assert sum(meter.by_kind().values()) == meter.total
 
 
