@@ -32,6 +32,7 @@ from repro.api.interface import (
 )
 from repro.api.ratelimit import RateLimiter
 from repro.errors import APIError
+from repro.obs import NULL_OBS, Observability
 from repro.platform.clock import SimulatedClock
 from repro.platform.simulator import SimulatedPlatform
 
@@ -45,6 +46,7 @@ class SimulatedMicroblogClient(MicroblogAPI):
         budget: Optional[int] = None,
         rate_limit_policy: str = "sleep",
         latency: float = 0.0,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.platform = platform
         self.latency = latency
@@ -54,6 +56,7 @@ class SimulatedMicroblogClient(MicroblogAPI):
         overlaps per-call latency across concurrent walkers ("Walk, Not
         Wait").  Distinct from the rate limiter, whose waits advance only
         the *simulated* clock."""
+        self.obs = obs if obs is not None else NULL_OBS
         self.meter = CostMeter(budget=budget)
         # Each client gets a private clock forked from the platform's:
         # rate-limit sleeps advance only this client's view of time, so one
@@ -69,6 +72,14 @@ class SimulatedMicroblogClient(MicroblogAPI):
         # request must not consume rate-limit quota for it.
         self.meter.charge(kind, calls)
         self.limiter.acquire(calls)
+        obs = self.obs
+        if obs.enabled:
+            # Telemetry mirrors the meter exactly: emitted only after the
+            # charge succeeded, so budget-rejected requests never count.
+            if obs.metrics is not None:
+                obs.metrics.counter("api.calls", kind=kind).inc(calls)
+            if obs.trace is not None:
+                obs.trace.event("api.call", api=kind, calls=calls)
         if self.latency > 0.0 and calls > 0:
             time.sleep(self.latency * calls)
 
@@ -183,8 +194,9 @@ class CachingClient(MicroblogAPI):
     parallel walk engine are single-threaded and pay no contention.
     """
 
-    def __init__(self, inner: MicroblogAPI) -> None:
+    def __init__(self, inner: MicroblogAPI, obs: Optional[Observability] = None) -> None:
         self.inner = inner
+        self.obs = obs if obs is not None else NULL_OBS
         self._timelines: Dict[int, TimelineView] = {}
         self._connections: Dict[int, Tuple[int, ...]] = {}
         self._searches: Dict[Tuple[str, Optional[int]], Tuple[SearchHit, ...]] = {}
@@ -203,44 +215,57 @@ class CachingClient(MicroblogAPI):
         # returned, so the flag cannot belong to another request.
         return not getattr(self.inner, "last_response_degraded", False)
 
+    def _count(self, outcome: str) -> None:
+        if self.obs.metrics is not None:
+            self.obs.metrics.counter("cache." + outcome).inc()
+
     def search(self, keyword: str, max_results: Optional[int] = None) -> Tuple[SearchHit, ...]:
         key = (keyword.lower(), max_results)
         with self._lock:
             if key not in self._searches:
                 self.misses += 1
+                self._count("misses")
                 response = tuple(self.inner.search(keyword, max_results))
                 if not self._cacheable():
                     self.uncacheable += 1
+                    self._count("uncacheable")
                     return response
                 self._searches[key] = response
             else:
                 self.hits += 1
+                self._count("hits")
             return self._searches[key]
 
     def user_connections(self, user_id: int) -> Tuple[int, ...]:
         with self._lock:
             if user_id not in self._connections:
                 self.misses += 1
+                self._count("misses")
                 response = tuple(self.inner.user_connections(user_id))
                 if not self._cacheable():
                     self.uncacheable += 1
+                    self._count("uncacheable")
                     return response
                 self._connections[user_id] = response
             else:
                 self.hits += 1
+                self._count("hits")
             return self._connections[user_id]
 
     def user_timeline(self, user_id: int) -> TimelineView:
         with self._lock:
             if user_id not in self._timelines:
                 self.misses += 1
+                self._count("misses")
                 response = self.inner.user_timeline(user_id)
                 if not self._cacheable():
                     self.uncacheable += 1
+                    self._count("uncacheable")
                     return response
                 self._timelines[user_id] = response
             else:
                 self.hits += 1
+                self._count("hits")
             return self._timelines[user_id]
 
     @property

@@ -53,6 +53,7 @@ from repro.errors import (
     TransientAPIError,
     TruncatedResponseError,
 )
+from repro.obs import NULL_OBS, Observability
 
 TRANSIENT = "transient"
 TIMEOUT = "timeout"
@@ -138,13 +139,20 @@ class FaultInjectingClient(MicroblogAPI):
     :class:`~repro.api.client.CachingClient` lock.
     """
 
-    def __init__(self, inner: MicroblogAPI, plan: FaultPlan) -> None:
+    def __init__(
+        self, inner: MicroblogAPI, plan: FaultPlan, obs: Optional["Observability"] = None
+    ) -> None:
         self.inner = inner
         self.plan = plan
+        self.obs = obs if obs is not None else NULL_OBS
         self._attempts: Dict[RequestKey, int] = {}
         self._consecutive: Dict[RequestKey, int] = {}
         self._clean: Dict[RequestKey, object] = {}
         self.injected: Dict[str, int] = {TRANSIENT: 0, TIMEOUT: 0, TRUNCATE: 0, DUPLICATE: 0}
+
+    def _note_injected(self, fault: str) -> None:
+        if self.obs.metrics is not None:
+            self.obs.metrics.counter("faults.injected", fault=fault).inc()
 
     # ------------------------------------------------------------------
     # fault machinery
@@ -193,6 +201,7 @@ class FaultInjectingClient(MicroblogAPI):
         if fault in (TRANSIENT, TIMEOUT):
             self._consecutive[key] = self._consecutive.get(key, 0) + 1
             self.injected[fault] += 1
+            self._note_injected(fault)
             if fault == TRANSIENT:
                 raise TransientAPIError(f"injected transient failure for {key}")
             raise APITimeoutError(f"injected timeout for {key}")
@@ -202,6 +211,7 @@ class FaultInjectingClient(MicroblogAPI):
         if fault == TRUNCATE:
             self._consecutive[key] = self._consecutive.get(key, 0) + 1
             self.injected[TRUNCATE] += 1
+            self._note_injected(TRUNCATE)
             raise TruncatedResponseError(
                 f"injected truncated transfer for {key}",
                 partial=self._truncate(response),
@@ -209,6 +219,7 @@ class FaultInjectingClient(MicroblogAPI):
         self._consecutive[key] = 0
         if fault == DUPLICATE:
             self.injected[DUPLICATE] += 1
+            self._note_injected(DUPLICATE)
             return self._corrupt(response)
         return response
 

@@ -46,6 +46,7 @@ from repro.errors import (
     TransientAPIError,
     TruncatedResponseError,
 )
+from repro.obs import NULL_OBS, Observability
 from repro.platform.clock import SimulatedClock
 
 RequestKey = Tuple[str, object, object]
@@ -122,9 +123,15 @@ def _dedupe_posts(posts: Sequence) -> Tuple:
 class ResilientClient(MicroblogAPI):
     """Fault-absorbing wrapper: retries, heals, degrades, then raises."""
 
-    def __init__(self, inner: MicroblogAPI, policy: Optional[RetryPolicy] = None) -> None:
+    def __init__(
+        self,
+        inner: MicroblogAPI,
+        policy: Optional[RetryPolicy] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
+        self.obs = obs if obs is not None else NULL_OBS
         # Backoff advances the wrapped client's private simulated clock
         # when it has one (keeping one notion of elapsed crawl time);
         # otherwise a standalone clock tracks backoff on its own.
@@ -152,32 +159,63 @@ class ResilientClient(MicroblogAPI):
     def _record_failure(self) -> None:
         self._consecutive_failures += 1
         if self._consecutive_failures >= self.policy.breaker_threshold:
+            was_open = self._open_until is not None
             self._open_until = self._clock.now() + self.policy.breaker_cooldown
+            if not was_open and self.obs.trace is not None:
+                self.obs.trace.event(
+                    "api.circuit_open",
+                    failures=self._consecutive_failures,
+                    until=round(self._open_until, 6),
+                )
 
     def _record_success(self) -> None:
         self._consecutive_failures = 0
-        self._open_until = None
+        if self._open_until is not None:
+            self._open_until = None
+            if self.obs.trace is not None:
+                self.obs.trace.event("api.circuit_close")
 
     # ------------------------------------------------------------------
     # retry loop
     # ------------------------------------------------------------------
-    def _charge_retry(self) -> None:
+    def _charge_retry(self, key: RequestKey, attempt: int, err: TransientAPIError) -> None:
         self.retries += 1
         meter = getattr(self.inner, "meter", None)
         if meter is not None:
             meter.charge(accounting.RETRIES, 1)
+        obs = self.obs
+        if obs.enabled:
+            # One telemetry unit per failed attempt, the same grain as the
+            # meter's budget-exempt ``retries`` column — the obs test tier
+            # reconciles the two exactly.
+            if obs.metrics is not None:
+                obs.metrics.counter("api.calls", kind=accounting.RETRIES).inc()
+            if obs.trace is not None:
+                obs.trace.event(
+                    "api.retry", api=key[0], attempt=attempt, error=type(err).__name__
+                )
 
     def _degrade(self, key: RequestKey, err: TransientAPIError):
         """Last-resort fallback once retries are exhausted (or skipped)."""
         if key in self._last_good:
             self.degraded_serves += 1
             self.last_response_degraded = True
+            self._note_degraded(key, "last_good")
             return self._last_good[key]
         if isinstance(err, TruncatedResponseError) and err.partial is not None:
             self.degraded_serves += 1
             self.last_response_degraded = True
+            self._note_degraded(key, "partial")
             return self._heal(key[0], err.partial)
         raise err
+
+    def _note_degraded(self, key: RequestKey, source: str) -> None:
+        obs = self.obs
+        if obs.enabled:
+            if obs.metrics is not None:
+                obs.metrics.counter("api.degraded", source=source).inc()
+            if obs.trace is not None:
+                obs.trace.event("api.degraded", api=key[0], source=source)
 
     def _call(self, key: RequestKey, fetch):
         self.last_response_degraded = False
@@ -195,7 +233,7 @@ class ResilientClient(MicroblogAPI):
                 response = fetch()
             except TransientAPIError as err:
                 last_err = err
-                self._charge_retry()
+                self._charge_retry(key, attempt, err)
                 self._record_failure()
                 if self.circuit_open:
                     break  # the breaker tripped mid-request: stop hammering

@@ -81,8 +81,13 @@ def run_estimator(
     api_latency: float = 0.0,
     fault_plan=None,
     retry_policy=None,
+    obs=None,
 ) -> EstimateResult:
-    """One budgeted estimation run with benchmark-friendly defaults."""
+    """One budgeted estimation run with benchmark-friendly defaults.
+
+    *obs* is an optional :class:`repro.obs.Observability`; passing one
+    makes the bench run emit the same traces/metrics as the CLI flags.
+    """
     analyzer = MicroblogAnalyzer(
         platform,
         algorithm=algorithm,
@@ -95,6 +100,7 @@ def run_estimator(
         api_latency=api_latency,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
+        obs=obs,
     )
     return analyzer.estimate(query, budget=budget)
 

@@ -72,16 +72,21 @@ def build_parser() -> argparse.ArgumentParser:
     estimate = sub.add_parser("estimate", help="estimate an aggregate query")
     _platform_source_args(estimate)
     _query_args(estimate)
-    estimate.add_argument("--algorithm", default="ma-tarw", choices=ALGORITHMS)
+    estimate.add_argument("--algorithm", default="ma-tarw", choices=ALGORITHMS,
+                          help="estimation algorithm (default ma-tarw)")
     estimate.add_argument("--graph-design", default="level-by-level",
-                          choices=GRAPH_DESIGNS)
+                          choices=GRAPH_DESIGNS,
+                          help="walkable graph design over the topic subgraph "
+                               "(default level-by-level; ma-tarw requires it)")
     estimate.add_argument("--budget", type=int, default=15_000,
                           help="maximum API calls (default 15000)")
     estimate.add_argument("--interval-days", type=float, default=1.0,
                           help="level bucket width in days; 0 = auto-select")
     estimate.add_argument("--replicates", type=int, default=1,
                           help=">1 splits the budget and reports a 95%% CI")
-    estimate.add_argument("--walk-seed", type=int, default=0)
+    estimate.add_argument("--walk-seed", type=int, default=0,
+                          help="random-walk seed (default 0); a fixed seed "
+                               "makes estimates and traces deterministic")
     estimate.add_argument("--workers", type=int, default=None,
                           help="run the walk budget as parallel shards on this "
                                "many workers (ma-tarw / ma-srw only; the point "
@@ -97,6 +102,17 @@ def build_parser() -> argparse.ArgumentParser:
                                "bit-identical to a fault-free run")
     estimate.add_argument("--fault-seed", type=int, default=0,
                           help="seed for the injected-fault draws")
+    estimate.add_argument("--trace-out", metavar="PATH",
+                          help="write the structured walk trace as canonical "
+                               "JSONL (byte-stable under a fixed seed; see "
+                               "docs/OBSERVABILITY.md)")
+    estimate.add_argument("--metrics", action="store_true",
+                          help="print the run's metrics registry (query mix, "
+                               "cache hits, walk-length histograms) as JSON")
+    estimate.add_argument("--report", action="store_true",
+                          help="print a human convergence report (estimate "
+                               "stream mixing, burn-in adequacy, ESTIMATE-p "
+                               "agreement, query mix)")
 
     truth = sub.add_parser("truth", help="print the exact ground-truth answer")
     _platform_source_args(truth)
@@ -105,9 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _platform_build_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--users", type=int, default=10_000)
-    parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument("--api-profile", default="twitter", choices=sorted(ALL_PROFILES))
+    parser.add_argument("--users", type=int, default=10_000,
+                        help="platform size when building (default 10000)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="platform generation seed (default 42)")
+    parser.add_argument("--api-profile", default="twitter", choices=sorted(ALL_PROFILES),
+                        help="API restriction profile (default twitter)")
 
 
 def _platform_source_args(parser: argparse.ArgumentParser) -> None:
@@ -120,12 +139,14 @@ def _query_args(parser: argparse.ArgumentParser) -> None:
                         help="full SQL-ish query, e.g. \"SELECT AVG(followers) FROM "
                              "users WHERE timeline CONTAINS 'privacy'\"; overrides "
                              "the flags below")
-    parser.add_argument("--keyword")
+    parser.add_argument("--keyword",
+                        help="topic keyword defining the user population")
     parser.add_argument("--aggregate", default="count",
-                        choices=["count", "sum", "avg"])
+                        choices=["count", "sum", "avg"],
+                        help="aggregate function over matching users (default count)")
     parser.add_argument("--measure", default=None, choices=sorted(MEASURES),
-                        help="f(u); defaults to 'one' for count, required sensibly "
-                             "for sum/avg (default 'followers')")
+                        help="f(u); defaults to 'one' for count and to "
+                             "'followers' for sum/avg")
     parser.add_argument("--window-days", nargs=2, type=float, metavar=("START", "END"),
                         help="restrict matches to [START, END) in days since epoch")
 
@@ -194,6 +215,38 @@ def cmd_truth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_obs(args: argparse.Namespace):
+    """Telemetry handles for the estimate run, or None when dark."""
+    if not (args.trace_out or args.metrics or args.report):
+        return None
+    from repro.obs import MetricsRegistry, Observability
+    from repro.obs.trace import RecordingSink
+
+    return Observability(
+        trace_sink=RecordingSink() if args.trace_out else None,
+        metrics=MetricsRegistry() if (args.metrics or args.report) else None,
+    )
+
+
+def _emit_obs(args: argparse.Namespace, obs, result=None, truth=None) -> None:
+    """Render the report / metrics / trace outputs after an estimate run."""
+    from repro.obs.export import metrics_json, render_report, write_trace
+
+    if args.report:
+        if result is not None:
+            print()
+            print(render_report(result, metrics=obs.metrics, truth=truth))
+        else:
+            print("report   : unavailable with --replicates "
+                  "(per-replicate results are pooled into the interval)")
+    if args.metrics:
+        print()
+        print(metrics_json(obs.metrics))
+    if args.trace_out:
+        count = write_trace(obs.trace_records(), args.trace_out)
+        print(f"trace    : {count:,} records -> {args.trace_out}")
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     platform = _resolve_platform(args)
     query = _resolve_query(args)
@@ -202,6 +255,7 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     profile_plan = FAULT_PROFILES[args.fault_profile]
     if profile_plan.active:
         fault_plan = dataclasses.replace(profile_plan, seed=args.fault_seed)
+    obs = _build_obs(args)
     analyzer = MicroblogAnalyzer(
         platform,
         algorithm=args.algorithm,
@@ -211,6 +265,7 @@ def cmd_estimate(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         executor=args.executor,
         fault_plan=fault_plan,
+        obs=obs,
     )
     truth = exact_value(platform.store, query)
     print(query.describe())
@@ -222,10 +277,14 @@ def cmd_estimate(args: argparse.Namespace) -> int:
         print(f"truth    : {truth:,.4f}  "
               f"({'inside' if ci.contains(truth) else 'outside'} the interval)")
         print(f"rel. err : {relative_error(ci.mean, truth):.2%}")
+        if obs is not None:
+            _emit_obs(args, obs, result=None, truth=truth)
         return 0
     result = analyzer.estimate(query, budget=args.budget)
     if result.value is None:
         print("no estimate produced (budget too small for this algorithm)")
+        if obs is not None:
+            _emit_obs(args, obs, result=result, truth=truth)
         return 1
     print(f"estimate : {result.value:,.4f}")
     print(f"truth    : {truth:,.4f}")
@@ -237,6 +296,8 @@ def cmd_estimate(args: argparse.Namespace) -> int:
               f"(profile {args.fault_profile!r}; budget spend unaffected)")
     if result.walk_stats is not None:
         print(f"parallel : {result.walk_stats.summary()}")
+    if obs is not None:
+        _emit_obs(args, obs, result=result, truth=truth)
     return 0
 
 

@@ -34,6 +34,8 @@ from repro.core.results import EstimateResult
 from repro.core.srw import MASRWEstimator, SRWConfig
 from repro.core.tarw import MATARWEstimator, TARWConfig
 from repro.errors import BudgetExhaustedError, EstimationError
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import TRACE_SCHEMA_VERSION
 from repro.platform.clock import DAY
 from repro.platform.simulator import SimulatedPlatform
 
@@ -68,6 +70,7 @@ class MicroblogAnalyzer:
         api_latency: float = 0.0,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise EstimationError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
@@ -102,6 +105,11 @@ class MicroblogAnalyzer:
         self.retry_policy = retry_policy
         """Backoff/breaker settings for the resilient layer; None uses
         :class:`RetryPolicy` defaults whenever a fault plan is active."""
+        self.obs = obs if obs is not None else NULL_OBS
+        """The run's telemetry plane (see :mod:`repro.obs`): every layer of
+        the client stack and the chosen estimator emit into it.  Defaults
+        to the shared disabled instance — a dark run pays one attribute
+        read per instrumented site and is bit-identical to a traced one."""
         self.parallel = None
         """Walk-shard execution plan for MA-TARW / MA-SRW, built from
         ``n_workers``/``n_shards``/``executor``.  ``n_workers=None``
@@ -123,17 +131,29 @@ class MicroblogAnalyzer:
         """Estimate *query* spending at most *budget* API calls."""
         if budget < 1:
             raise EstimationError("budget must be >= 1")
+        obs = self.obs
         inner = SimulatedMicroblogClient(
-            self.platform, budget=budget, latency=self.api_latency
+            self.platform, budget=budget, latency=self.api_latency, obs=obs
         )
+        obs.bind_clock(inner.clock)
+        if obs.trace is not None:
+            obs.trace.event(
+                "run.begin",
+                schema=TRACE_SCHEMA_VERSION,
+                algorithm=self.algorithm,
+                design=self.graph_design,
+                keyword=query.keyword,
+                aggregate=query.aggregate.value,
+                budget=budget,
+            )
         if self.fault_plan is not None and self.fault_plan.active:
-            inner = FaultInjectingClient(inner, self.fault_plan)
+            inner = FaultInjectingClient(inner, self.fault_plan, obs=obs)
         if (self.fault_plan is not None and self.fault_plan.active) or (
             self.retry_policy is not None
         ):
-            inner = ResilientClient(inner, self.retry_policy)
-        client = CachingClient(inner)
-        context = QueryContext(client, query)
+            inner = ResilientClient(inner, self.retry_policy, obs=obs)
+        client = CachingClient(inner, obs=obs)
+        context = QueryContext(client, query, obs=obs)
         run_rng = spawn(self.rng, f"run:{query.keyword}:{query.aggregate.value}")
 
         oracle = self._build_oracle(context, run_rng)
@@ -160,6 +180,8 @@ class MicroblogAnalyzer:
             # Sharded runs account their own waits/hits; fold any cost the
             # outer client paid before sharding (interval selection) in.
             result.diagnostics["cache_hits"] += float(client.hits)
+        if obs.trace is not None:
+            obs.trace.event("run.end", value=result.value, cost=result.cost_total)
         return result
 
     def estimate_with_confidence(

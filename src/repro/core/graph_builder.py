@@ -32,14 +32,24 @@ from repro.api.interface import MicroblogAPI, TimelineView
 from repro.core.levels import LevelIndex
 from repro.core.query import AggregateQuery, UserView
 from repro.errors import EstimationError
+from repro.obs import NULL_OBS, Observability
 
 
 class QueryContext:
     """Memoised API knowledge scoped to one aggregate query."""
 
-    def __init__(self, client: MicroblogAPI, query: AggregateQuery) -> None:
+    def __init__(
+        self,
+        client: MicroblogAPI,
+        query: AggregateQuery,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.client = client
         self.query = query
+        self.obs = obs if obs is not None else NULL_OBS
+        """The run's telemetry handles; estimators and oracles built on
+        this context inherit them (the shared :data:`~repro.obs.NULL_OBS`
+        when dark)."""
         self._first_mentions: Dict[int, Optional[float]] = {}
         self._views: Dict[int, UserView] = {}
 
@@ -221,6 +231,7 @@ class LevelByLevelOracle:
             self._cache[user_id] = []
             self._up[user_id] = []
             self._down[user_id] = []
+            self._note_classified(user_id, None, 0, 0)
             return
         all_neighbors: List[int] = []
         up: List[int] = []
@@ -241,6 +252,22 @@ class LevelByLevelOracle:
         self._cache[user_id] = all_neighbors
         self._up[user_id] = up
         self._down[user_id] = down
+        self._note_classified(user_id, own_level, len(up), len(down))
+
+    def _note_classified(
+        self, user_id: int, level: Optional[int], up: int, down: int
+    ) -> None:
+        """Level-occupancy telemetry: one unit per first classification."""
+        obs = self.context.obs
+        if obs.enabled:
+            if obs.metrics is not None:
+                obs.metrics.counter("graph.classified").inc()
+                if level is not None:
+                    obs.metrics.counter("graph.level_nodes", level=level).inc()
+            if obs.trace is not None:
+                obs.trace.event(
+                    "graph.classify", node=user_id, level=level, up=up, down=down
+                )
 
     # ------------------------------------------------------------------
     def neighbors(self, user_id: int) -> List[int]:

@@ -33,6 +33,8 @@ from repro.core.graph_builder import QueryContext
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
 from repro.errors import BudgetExhaustedError, EstimationError, TransientAPIError
+from repro.obs import NULL_OBS, Observability
+from repro.obs.diagnostics import srw_burn_in_report
 from repro.sampling.diagnostics import detect_burn_in
 from repro.sampling.estimators import ratio_average
 from repro.sampling.mark_recapture import katzir_count
@@ -110,18 +112,23 @@ class MASRWEstimator:
         config: Optional[SRWConfig] = None,
         seed: RandomLike = None,
         parallel: Optional["ParallelConfig"] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.context = context
         self.oracle = oracle
         self.config = config or SRWConfig()
         self.rng = ensure_rng(seed)
         self.parallel = parallel
+        if obs is None:
+            obs = getattr(context, "obs", None)
+        self.obs = obs if obs is not None else NULL_OBS
         """When set, :meth:`estimate` partitions the budget into logical
         walk shards executed by :mod:`repro.parallel` (each shard a full
         serial MA-SRW run on its own client and RNG stream) and pools the
         post-burn-in samples.  None keeps the classic run."""
         self._chain_nodes: List[List[int]] = []
         self._chain_degrees: List[List[float]] = []
+        self._obs_excursions: List[int] = []
         self.fault_step_retries = 0
         self.fault_restarts = 0
 
@@ -154,16 +161,20 @@ class MASRWEstimator:
         last_cost = -1
         stalled_since = 0
         next_trace = config.trace_every
+        self._obs_excursions = [0] * config.chains
         try:
             seeds = self._oracle_step(self.context.seeds, config.max_seeds)
+            if self.obs.trace is not None:
+                self.obs.trace.event("srw.seeds", n=len(seeds), chains=config.chains)
             currents = [self.rng.choice(seeds) for _ in range(config.chains)]
             for index, start in enumerate(currents):
                 try:
-                    self._observe(start, chain_nodes[index], chain_degrees[index])
+                    self._observe(start, chain_nodes[index], chain_degrees[index], chain=index)
                 except TransientAPIError:
                     # The chain starts dark: no sample committed, but the
                     # first step below reseeds it like any faulted step.
                     self.fault_restarts += 1
+                    self._note_restart(index, "fault")
             while config.max_steps is None or steps < config.max_steps:
                 index = steps % config.chains
                 try:
@@ -171,9 +182,10 @@ class MASRWEstimator:
                     if not neighbors:
                         currents[index] = self.rng.choice(seeds)
                         restarts += 1
+                        self._note_restart(index, "dead_end")
                     else:
                         currents[index] = self.rng.choice(neighbors)
-                    self._observe(currents[index], chain_nodes[index], chain_degrees[index])
+                    self._observe(currents[index], chain_nodes[index], chain_degrees[index], chain=index)
                 except TransientAPIError:
                     # Walk-level recovery, stage 2: in-place retries were
                     # exhausted, so the chain checkpoints — every committed
@@ -182,6 +194,7 @@ class MASRWEstimator:
                     # cannot trap the loop.
                     currents[index] = self.rng.choice(seeds)
                     self.fault_restarts += 1
+                    self._note_restart(index, "fault")
                 steps += 1
                 cost = self._cost()
                 if cost == last_cost:
@@ -191,6 +204,7 @@ class MASRWEstimator:
                     if stalled_since % config.teleport_after == 0:
                         currents[index] = self.rng.choice(seeds)
                         restarts += 1
+                        self._note_restart(index, "teleport")
                 else:
                     last_cost = cost
                     stalled_since = 0
@@ -208,6 +222,15 @@ class MASRWEstimator:
 
         value = self._current_estimate(chain_nodes, chain_degrees)
         trace.append(TracePoint(self._cost(), value))
+        diagnostics = {
+            "steps": float(steps),
+            "dead_end_restarts": float(restarts),
+            "chains": float(config.chains),
+            "fault_restarts": float(self.fault_restarts),
+            "fault_step_retries": float(self.fault_step_retries),
+        }
+        if self.obs.enabled:
+            self._obs_chain_summary(chain_degrees, diagnostics)
         return EstimateResult(
             query=query,
             algorithm=f"ma-srw[{self.oracle.name}]",
@@ -216,14 +239,35 @@ class MASRWEstimator:
             cost_by_kind=self._cost_by_kind(),
             trace=trace,
             num_samples=sum(len(nodes) for nodes in chain_nodes),
-            diagnostics={
-                "steps": float(steps),
-                "dead_end_restarts": float(restarts),
-                "chains": float(config.chains),
-                "fault_restarts": float(self.fault_restarts),
-                "fault_step_retries": float(self.fault_step_retries),
-            },
+            diagnostics=diagnostics,
         )
+
+    def _obs_chain_summary(self, chain_degrees: List[List[float]], diagnostics) -> None:
+        """Burn-in adequacy telemetry: per-chain trace events plus pooled
+        ``obs_burn_in_*`` diagnostics.  Pure post-processing of committed
+        degree series — no API calls, no RNG draws."""
+        config = self.config
+        if self.obs.trace is not None:
+            for index, degrees in enumerate(chain_degrees):
+                burn_in = None
+                if len(degrees) >= 4:
+                    scan_step = max(10, len(degrees) // 20)
+                    burn_in = detect_burn_in(
+                        degrees, threshold=config.geweke_threshold, step=scan_step
+                    )
+                    if burn_in is None:
+                        burn_in = len(degrees) // 4
+                    burn_in = max(burn_in, config.min_burn_in)
+                self.obs.trace.event(
+                    "srw.chain", chain=index, len=len(degrees), burn_in=burn_in
+                )
+        report = srw_burn_in_report(
+            chain_degrees,
+            threshold=config.geweke_threshold,
+            min_burn_in=config.min_burn_in,
+        )
+        for key, value in report.items():
+            diagnostics[f"obs_burn_in_{key}"] = value
 
     # ------------------------------------------------------------------
     def _oracle_step(self, lookup, node: int):
@@ -239,13 +283,33 @@ class MASRWEstimator:
                 self.fault_step_retries += 1
         return lookup(node)
 
-    def _observe(self, node: int, nodes: List[int], degrees: List[float]) -> None:
+    def _observe(
+        self, node: int, nodes: List[int], degrees: List[float], chain: int = 0
+    ) -> None:
         # Fetch the degree before appending anything: the lookup can raise
         # BudgetExhaustedError, and a half-appended observation would
         # desynchronise the two series.
         degree = float(self._oracle_step(self.oracle.degree, node))
         nodes.append(node)
         degrees.append(degree)
+        obs = self.obs
+        if obs.enabled:
+            self._obs_excursions[chain] += 1
+            if obs.metrics is not None:
+                obs.metrics.counter("srw.steps").inc()
+                obs.metrics.histogram("srw.degree").observe(degree)
+            if obs.trace is not None:
+                obs.trace.event("srw.step", chain=chain, node=node, degree=int(degree))
+
+    def _note_restart(self, chain: int, reason: str) -> None:
+        obs = self.obs
+        if obs.enabled:
+            if obs.metrics is not None:
+                obs.metrics.counter("srw.restarts", reason=reason).inc()
+                obs.metrics.histogram("srw.excursion").observe(self._obs_excursions[chain])
+            if obs.trace is not None:
+                obs.trace.event("srw.restart", chain=chain, reason=reason)
+            self._obs_excursions[chain] = 0
 
     def _cost(self) -> int:
         return self.context.client.total_cost  # type: ignore[attr-defined]

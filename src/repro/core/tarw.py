@@ -56,6 +56,8 @@ from repro.core.graph_builder import LevelByLevelOracle, QueryContext
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
 from repro.errors import BudgetExhaustedError, EstimationError, TransientAPIError
+from repro.obs import NULL_OBS, Observability
+from repro.obs.diagnostics import visit_probability_agreement
 
 COMBINE_MODES = ("phase_sum", "paper")
 
@@ -192,12 +194,17 @@ class MATARWEstimator:
         config: Optional[TARWConfig] = None,
         seed: RandomLike = None,
         parallel: Optional["ParallelConfig"] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.context = context
         self.oracle = oracle
         self.config = config or TARWConfig()
         self.rng = ensure_rng(seed)
         self.parallel = parallel
+        if obs is None:
+            obs = getattr(context, "obs", None)
+        self.obs = obs if obs is not None else NULL_OBS
+        self._obs_phase = "walk"  # flips to "recount" for the final pass
         """When set, :meth:`estimate` partitions the budget into logical
         walk shards executed by :mod:`repro.parallel` (each shard a full
         serial MA-TARW run on its own client and RNG stream) and merges
@@ -246,6 +253,10 @@ class MATARWEstimator:
             self._seeds = self._oracle_step(self.context.seeds, config.max_seeds)
             self._discover_bottom_nodes()
             self._seed_set = frozenset(self._seeds)
+            if self.obs.trace is not None:
+                self.obs.trace.event("tarw.seeds", n=len(self._seeds))
+            if self.obs.metrics is not None:
+                self.obs.metrics.gauge("tarw.seed_set_size").set(len(self._seeds))
             while config.max_instances is None or instances < config.max_instances:
                 try:
                     path_length_total += self._run_instance()
@@ -296,6 +307,20 @@ class MATARWEstimator:
         value = self._recompute_value()
         trace.append(TracePoint(self._cost(), value))
         mean_path = path_length_total / instances if instances else 0.0
+        diagnostics = {
+            "instances": float(instances),
+            "mean_path_length": mean_path,
+            "zero_probability_drops": float(self.zero_probability_drops),
+            "budget_aborted_instances": float(budget_aborted_instances),
+            "fault_aborted_instances": float(self.fault_aborted_instances),
+            "fault_step_retries": float(self.fault_step_retries),
+            "p_pool_nodes": float(len(self._p_up_pool) + len(self._p_down_pool)),
+            "seed_set_size": float(len(self._seeds)),
+        }
+        if self.obs.enabled:
+            self._agreement_diagnostics(diagnostics)
+            if self.obs.trace is not None:
+                self.obs.trace.event("tarw.done", instances=instances, cost=self._cost())
         return EstimateResult(
             query=query,
             algorithm="ma-tarw",
@@ -304,17 +329,27 @@ class MATARWEstimator:
             cost_by_kind=self._cost_by_kind(),
             trace=trace,
             num_samples=instances,
-            diagnostics={
-                "instances": float(instances),
-                "mean_path_length": mean_path,
-                "zero_probability_drops": float(self.zero_probability_drops),
-                "budget_aborted_instances": float(budget_aborted_instances),
-                "fault_aborted_instances": float(self.fault_aborted_instances),
-                "fault_step_retries": float(self.fault_step_retries),
-                "p_pool_nodes": float(len(self._p_up_pool) + len(self._p_down_pool)),
-                "seed_set_size": float(len(self._seeds)),
-            },
+            diagnostics=diagnostics,
         )
+
+    def _agreement_diagnostics(self, diagnostics: Dict[str, float]) -> None:
+        """ESTIMATE-p / Eq. 6 agreement: did walks visit each node with the
+        frequency the probability machinery claims?  Reads only memoised
+        oracle state and the p-pools — no API calls, no RNG draws."""
+        instances = self._instances_run()
+        if instances <= 0:
+            return
+        for direction, visits, pool in (
+            ("up", self._visits_up, self._p_up_pool),
+            ("down", self._visits_down, self._p_down_pool),
+        ):
+            probabilities = {node: self._pooled_p(node, pool) for node in visits}
+            report = visit_probability_agreement(
+                visits, probabilities, instances, self.oracle.level_of
+            )
+            for key in ("max_abs_z", "mean_abs_deviation", "tv_distance", "tv_distance_by_level"):
+                if key in report:
+                    diagnostics[f"obs_p_agree_{direction}_{key}"] = report[key]
 
     # ------------------------------------------------------------------
     # final zero-cost recount (see TARWConfig.final_recount_instances)
@@ -336,6 +371,12 @@ class MATARWEstimator:
         self._paper_paths.clear()
         self._instance_counter = 0
         self._dp_dirty = True
+        self._obs_phase = "recount"
+        span = (
+            self.obs.trace.span("tarw.recount", seeds=len(self._seeds))
+            if self.obs.trace is not None
+            else None
+        )
         completed = 0
         aborted = 0
         attempts_left = config.final_recount_instances * 3
@@ -349,6 +390,8 @@ class MATARWEstimator:
                 if aborted > config.stall_instances and completed == 0:
                     break
         self._instance_counter = completed
+        if span is not None:
+            span.add(completed=completed, aborted=aborted).close()
         return completed > 0
 
     # ------------------------------------------------------------------
@@ -362,6 +405,12 @@ class MATARWEstimator:
         across all estimation instances.
         """
         discovered = set(self._seeds)
+        initial = len(discovered)
+        span = (
+            self.obs.trace.span("tarw.discovery", seeds=initial)
+            if self.obs.trace is not None
+            else None
+        )
         budget = getattr(self.context.client.meter, "budget", None)  # type: ignore[attr-defined]
         spend_cap = None if budget is None else budget * self.config.discovery_budget_fraction
         try:
@@ -383,6 +432,8 @@ class MATARWEstimator:
         except BudgetExhaustedError:
             pass  # keep whatever was discovered; estimation may still run
         self._seeds = sorted(discovered)
+        if span is not None:
+            span.add(promoted=len(discovered) - initial).close()
 
     # ------------------------------------------------------------------
     # one bottom-top-bottom instance
@@ -396,23 +447,60 @@ class MATARWEstimator:
         (:meth:`_recompute_value`), so early instances are not frozen with
         the noisy p-estimates that were available when they ran.
         """
-        start = self.rng.choice(self._seeds)
-        # Walk both phases completely before recording anything: a walk can
-        # abort on budget exhaustion, and recording a partial instance
-        # would skew the visit counters.
-        up_path = self._walk_up(start)
-        root = up_path[-1]
-        down_path = self._walk_down(root)  # includes the root
+        obs = self.obs
+        span = (
+            obs.trace.span("tarw.instance", phase=self._obs_phase)
+            if obs.trace is not None
+            else None
+        )
+        try:
+            start = self.rng.choice(self._seeds)
+            # Walk both phases completely before recording anything: a walk
+            # can abort on budget exhaustion, and recording a partial
+            # instance would skew the visit counters.
+            up_path = self._walk_up(start)
+            root = up_path[-1]
+            down_path = self._walk_down(root)  # includes the root
+        except Exception as err:
+            if span is not None:
+                # Aborted instance: emit the span with the failure class so
+                # traces show *where* walks die, then let walk-level
+                # recovery in the caller decide what happens next.
+                span.add(error=type(err).__name__).close()
+            raise
 
         self._record_phase(up_path, "up")
         self._record_phase(down_path, "down")
         if self.config.combine == "paper":
             self._paper_paths.append((tuple(up_path), tuple(down_path)))
-        return len(up_path) + len(down_path) - 1
+        length = len(up_path) + len(down_path) - 1
+        if span is not None:
+            # Every node on both paths was classified during the walk, so
+            # the level lookups below are cache hits — zero API cost.
+            span.add(
+                start=start,
+                root=root,
+                sink=down_path[-1],
+                up=len(up_path),
+                down=len(down_path),
+                l_root=self.oracle.level_of(root),
+                l_sink=self.oracle.level_of(down_path[-1]),
+            ).close()
+        if obs.metrics is not None:
+            obs.metrics.counter("tarw.instances", phase=self._obs_phase).inc()
+            obs.metrics.histogram("tarw.walk_length").observe(length)
+        return length
 
     def _record_phase(self, path: List[int], direction: str) -> None:
         visits = self._visits_up if direction == "up" else self._visits_down
+        metrics = self.obs.metrics
         for node in path:
+            if metrics is not None:
+                # level_of is memoised for every walked node (the walk
+                # classified it), so occupancy telemetry is free.
+                level = self.oracle.level_of(node)
+                if level is not None:
+                    metrics.counter("tarw.level_visits", level=level, phase=direction).inc()
             if not self.context.condition_matches(node):
                 continue  # contributes 0 regardless of p(u): skip its cost
             visits[node] = visits.get(node, 0) + 1
@@ -681,6 +769,11 @@ class MATARWEstimator:
     def _start_probability(self, node: int) -> float:
         return 1.0 / len(self._seeds) if node in self._seed_set else 0.0
 
+    def _observe_p_depth(self, depth: int) -> None:
+        """ESTIMATE-p recursion depth (unrolled path steps) histogram."""
+        if self.obs.metrics is not None:
+            self.obs.metrics.histogram("tarw.estimate_p_depth").observe(depth)
+
     def _estimate_p_up(self, node: int) -> float:
         """Estimate of p_up(node) by one random downward path.
 
@@ -699,14 +792,16 @@ class MATARWEstimator:
         factor = 1.0
         current = node
         first = True
-        for _ in range(self.config.max_path_length):
+        for depth in range(self.config.max_path_length):
             if not first:
                 total, count = self._p_up_pool.get(current, (0.0, 0))
                 if count >= self.config.pool_min_samples and total > 0.0:
+                    self._observe_p_depth(depth)
                     return estimate + factor * (total / count)
             estimate += factor * self._start_probability(current)
             downs = self.oracle.down_neighbors(current)
             if not downs:
+                self._observe_p_depth(depth)
                 return estimate
             chosen = self.rng.choice(downs)
             up_count = len(self.oracle.up_neighbors(chosen))
@@ -726,13 +821,15 @@ class MATARWEstimator:
         factor = 1.0
         current = node
         first = True
-        for _ in range(self.config.max_path_length):
+        for depth in range(self.config.max_path_length):
             if not first:
                 total, count = self._p_down_pool.get(current, (0.0, 0))
                 if count >= self.config.pool_min_samples and total > 0.0:
+                    self._observe_p_depth(depth)
                     return factor * (total / count)
             ups = self.oracle.up_neighbors(current)
             if not ups:
+                self._observe_p_depth(depth)
                 return factor * self._root_p_up(current)
             chosen = self.rng.choice(ups)
             down_count = len(self.oracle.down_neighbors(chosen))

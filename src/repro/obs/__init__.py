@@ -1,0 +1,85 @@
+"""Walk-level observability: tracing, metrics and convergence diagnostics.
+
+The package is the telemetry plane of the reproduction — everything a
+serving stack would expose about a walk-based sampler, with the hard
+constraint that observing a run **never changes it**:
+
+* :mod:`repro.obs.trace` — the structured trace bus (span/event records
+  with simulated-clock timestamps);
+* :mod:`repro.obs.metrics` — labelled counters/gauges/histograms,
+  mergeable across parallel shards like ``CostMeter``;
+* :mod:`repro.obs.diagnostics` — Geweke / ESS / burn-in adequacy /
+  ESTIMATE-p visit agreement, computed from telemetry;
+* :mod:`repro.obs.export` — canonical JSONL traces, metrics JSON, and
+  the human ``--report`` rendering.
+
+:class:`Observability` bundles one run's tracer and registry;
+:data:`NULL_OBS` is the shared disabled instance every estimator and
+client defaults to — hot paths guard on ``obs.enabled`` /
+``obs.trace is None`` and pay one attribute read when telemetry is off.
+The ``obs`` test tier pins the contract: with telemetry enabled,
+estimates, convergence traces and clean cost columns are bit-identical
+to a dark run, serially and across worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_SINK,
+    RecordingSink,
+    TraceSink,
+    Tracer,
+)
+from repro.platform.clock import SimulatedClock
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_SINK",
+    "Observability",
+    "RecordingSink",
+    "TraceSink",
+    "Tracer",
+]
+
+
+class Observability:
+    """One run's telemetry handles: an optional tracer and registry.
+
+    ``trace`` is a :class:`~repro.obs.trace.Tracer` or None; ``metrics``
+    a :class:`~repro.obs.metrics.MetricsRegistry` or None.  ``enabled``
+    is precomputed so hot-path guards cost a single attribute read.
+    """
+
+    __slots__ = ("trace", "metrics", "enabled")
+
+    def __init__(
+        self,
+        trace_sink: Optional[TraceSink] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        use_sink = trace_sink is not None and trace_sink.enabled
+        self.trace: Optional[Tracer] = Tracer(trace_sink, clock) if use_sink else None
+        self.metrics: Optional[MetricsRegistry] = metrics
+        self.enabled: bool = self.trace is not None or self.metrics is not None
+
+    def bind_clock(self, clock: SimulatedClock) -> None:
+        """Point the tracer at a run's simulated clock (no-op when dark)."""
+        if self.trace is not None:
+            self.trace.bind_clock(clock)
+
+    def trace_records(self):
+        """The recorded trace buffer, when the sink keeps one (else [])."""
+        if self.trace is not None and isinstance(self.trace.sink, RecordingSink):
+            return self.trace.sink.records
+        return []
+
+
+NULL_OBS = Observability()
+"""The shared disabled instance.  Instrumented code defaults to this
+exact object — the overhead-guard test asserts identity, so never build
+per-run 'null' Observability objects inside the library."""

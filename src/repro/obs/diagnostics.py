@@ -1,0 +1,214 @@
+"""Convergence diagnostics computed from walk telemetry.
+
+Three families, matching how the paper's two estimators can fail:
+
+* **Mixing of the estimate stream** — Geweke z-score (reusing the §4.1
+  implementation in :mod:`repro.sampling.diagnostics`) and effective
+  sample size (ESS) on any scalar series: the running-estimate stream of
+  a convergence trace, or an SRW chain's degree series.  A run whose
+  trace stream has tiny ESS spent its budget on correlated noise.
+* **Burn-in adequacy for MA-SRW** — per-chain Geweke burn-in detection
+  plus the fraction of samples it discards; a chain that never crosses
+  the threshold (or discards almost everything) did not mix within the
+  budget.
+* **Visit-frequency agreement for MA-TARW** — the Hansen–Hurwitz
+  reweighting is only unbiased if walks actually visit node ``u`` with
+  the frequency ESTIMATE-p / Eq. 6 assigns to it; this module compares
+  observed per-node (and per-level) visit frequencies against the
+  estimator's selection probabilities with binomial z-scores.
+
+Everything here is read-only over series and dicts: computing a
+diagnostic never touches an RNG, a meter or the platform, so enabling
+diagnostics cannot perturb an estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.sampling.diagnostics import detect_burn_in, geweke_z
+
+__all__ = [
+    "effective_sample_size",
+    "estimate_stream_diagnostics",
+    "srw_burn_in_report",
+    "visit_probability_agreement",
+]
+
+
+def effective_sample_size(series: Sequence[float], max_lag: Optional[int] = None) -> float:
+    """ESS of a stationary series: ``n / (1 + 2 Σ ρ_k)``.
+
+    The autocorrelation sum is truncated by Geyer's initial positive
+    sequence rule — accumulate consecutive lag pairs ``ρ_{2k} + ρ_{2k+1}``
+    while they stay positive — the standard MCMC estimator that avoids
+    summing pure noise at long lags.  Clamped to ``[1, n]``.  An i.i.d.
+    stream scores ≈ n; an AR(1) stream with coefficient φ scores
+    ≈ n·(1-φ)/(1+φ).
+    """
+    n = len(series)
+    if n < 4:
+        return float(n)
+    mean = sum(series) / n
+    centered = [value - mean for value in series]
+    c0 = sum(v * v for v in centered) / n
+    if c0 == 0.0:
+        return float(n)  # constant series: every sample equally informative
+
+    limit = n - 1 if max_lag is None else min(max_lag, n - 1)
+
+    def rho(lag: int) -> float:
+        return sum(centered[i] * centered[i + lag] for i in range(n - lag)) / (n * c0)
+
+    tail = 0.0
+    lag = 1
+    while lag + 1 <= limit:
+        pair = rho(lag) + rho(lag + 1)
+        if pair <= 0.0:
+            break
+        tail += pair
+        lag += 2
+    ess = n / (1.0 + 2.0 * tail)
+    return max(1.0, min(float(n), ess))
+
+
+def estimate_stream_diagnostics(estimates: Sequence[Optional[float]]) -> Dict[str, float]:
+    """Mixing summary of a running-estimate stream (trace checkpoints).
+
+    ``None`` checkpoints (no estimate yet) are dropped.  Returns an empty
+    dict when fewer than four numeric points exist — too short for any
+    mixing statement.
+    """
+    stream = [value for value in estimates if value is not None]
+    if len(stream) < 4:
+        return {}
+    out: Dict[str, float] = {
+        "n": float(len(stream)),
+        "ess": effective_sample_size(stream),
+    }
+    try:
+        out["geweke_z"] = geweke_z(stream)
+    except Exception:  # series too short for the segment split
+        pass
+    return out
+
+
+def srw_burn_in_report(
+    degree_chains: Sequence[Sequence[float]],
+    threshold: float = 0.1,
+    min_burn_in: int = 0,
+) -> Dict[str, float]:
+    """Burn-in adequacy over MA-SRW degree chains.
+
+    Mirrors the estimator's own burn-in logic (Geweke scan with a
+    quarter-chain fallback) and reports, pooled over chains: mean
+    detected burn-in, the fraction of raw samples it discards, the count
+    of chains where Geweke actually converged (vs. fell back), and the
+    pooled post-burn-in ESS.  ``adequate`` is 1.0 when every chain
+    converged and burn-in discards under half of it — the "did the walk
+    mix inside the budget" verdict surfaced by ``--report``.
+    """
+    burn_ins = []
+    converged = 0
+    discarded = 0
+    total = 0
+    ess_total = 0.0
+    for degrees in degree_chains:
+        n = len(degrees)
+        if n < 4:
+            continue
+        total += n
+        scan_step = max(10, n // 20)
+        burn_in = detect_burn_in(degrees, threshold=threshold, step=scan_step)
+        if burn_in is None:
+            burn_in = n // 4
+        else:
+            converged += 1
+        burn_in = max(burn_in, min_burn_in)
+        burn_ins.append(burn_in)
+        discarded += min(burn_in, n)
+        tail = list(degrees[burn_in:])
+        if len(tail) >= 4:
+            ess_total += effective_sample_size(tail)
+    if not burn_ins:
+        return {}
+    chains = len(burn_ins)
+    discard_fraction = discarded / total if total else 0.0
+    return {
+        "chains": float(chains),
+        "geweke_converged_chains": float(converged),
+        "mean_burn_in": sum(burn_ins) / chains,
+        "discard_fraction": discard_fraction,
+        "post_burn_in_ess": ess_total,
+        "adequate": 1.0 if (converged == chains and discard_fraction < 0.5) else 0.0,
+    }
+
+
+def visit_probability_agreement(
+    visits: Mapping[int, int],
+    probabilities: Mapping[int, float],
+    instances: int,
+    level_of=None,
+) -> Dict[str, float]:
+    """Observed visit frequencies vs. ESTIMATE-p selection probabilities.
+
+    For each node with ``p(u) > 0``, one walk instance visits ``u`` in a
+    given phase at most once (paths are strictly level-monotonic), so the
+    visit count over ``R`` instances is Binomial(R, p) and
+
+        z(u) = (visits(u) - R·p(u)) / sqrt(R·p(u)·(1-p(u)))
+
+    is ≈ N(0,1) under agreement.  Reported: the max |z| over nodes, the
+    mean absolute frequency deviation, and the total-variation distance
+    between the observed and expected visit distributions (both
+    normalised over the probability-covered nodes).  With *level_of*,
+    ``tv_distance_by_level`` aggregates the same comparison per level
+    first — the coarse view that survives small per-node counts.
+    """
+    if instances <= 0:
+        return {}
+    covered = [node for node, p in probabilities.items() if p > 0.0]
+    if not covered:
+        return {}
+    max_z = 0.0
+    abs_dev = 0.0
+    observed_mass: Dict[int, float] = {}
+    expected_mass: Dict[int, float] = {}
+    total_observed = 0.0
+    total_expected = 0.0
+    for node in covered:
+        p = min(probabilities[node], 1.0)
+        observed = visits.get(node, 0)
+        frequency = observed / instances
+        abs_dev += abs(frequency - p)
+        spread = instances * p * (1.0 - p)
+        if spread > 0.0:
+            z = (observed - instances * p) / math.sqrt(spread)
+            max_z = max(max_z, abs(z))
+        total_observed += frequency
+        total_expected += p
+        if level_of is not None:
+            level = level_of(node)
+            if level is not None:
+                observed_mass[level] = observed_mass.get(level, 0.0) + frequency
+                expected_mass[level] = expected_mass.get(level, 0.0) + p
+    out: Dict[str, float] = {
+        "nodes": float(len(covered)),
+        "instances": float(instances),
+        "max_abs_z": max_z,
+        "mean_abs_deviation": abs_dev / len(covered),
+    }
+    if total_observed > 0.0 and total_expected > 0.0:
+        out["tv_distance"] = 0.5 * sum(
+            abs(visits.get(node, 0) / instances / total_observed
+                - min(probabilities[node], 1.0) / total_expected)
+            for node in covered
+        )
+    if level_of is not None and observed_mass and total_observed > 0.0:
+        out["tv_distance_by_level"] = 0.5 * sum(
+            abs(observed_mass.get(level, 0.0) / total_observed
+                - expected_mass.get(level, 0.0) / total_expected)
+            for level in sorted(set(observed_mass) | set(expected_mass))
+        )
+    return out

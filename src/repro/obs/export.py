@@ -1,0 +1,197 @@
+"""Exporters: canonical JSONL traces, metrics JSON, the human report.
+
+The JSONL rendering is *canonical* — keys sorted, minimal separators,
+ASCII only — so a deterministic run produces byte-identical files, which
+is what lets the golden-trace test tier pin estimator behaviour
+structurally (an extra API call, a reordered walk phase or a lost retry
+changes the bytes even when the final estimate happens to survive).
+
+This module deliberately avoids importing the estimator layers; the
+report renders any object shaped like
+:class:`~repro.core.results.EstimateResult` (duck-typed), so ``obs``
+stays importable from every layer without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.obs.diagnostics import estimate_stream_diagnostics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import KINDS, REQUIRED_KEYS
+
+Snapshot = Dict[str, Dict[str, object]]
+
+
+# ----------------------------------------------------------------------
+# traces
+# ----------------------------------------------------------------------
+def format_record(record: Mapping[str, object]) -> str:
+    """One record as a canonical JSON line (stable bytes)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def trace_lines(records: Iterable[Mapping[str, object]]) -> List[str]:
+    return [format_record(record) for record in records]
+
+
+def write_trace(records: Sequence[Mapping[str, object]], path) -> int:
+    """Write records as canonical JSONL; returns the record count."""
+    lines = trace_lines(records)
+    with open(path, "w", encoding="ascii", newline="\n") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+    return len(lines)
+
+
+def parse_trace(text: str) -> List[Dict[str, object]]:
+    """Records from JSONL text (inverse of :func:`write_trace`)."""
+    records = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"trace line {number} is not valid JSON: {exc}") from None
+    return records
+
+
+def validate_trace(records: Sequence[Mapping[str, object]]) -> None:
+    """Schema check: required keys, known kinds, monotonic ``seq``.
+
+    Raises :class:`ReproError` on the first violation.  ``ts`` values are
+    shard-local simulated times, so only ``seq`` (assigned by the final
+    merging tracer) is required to be strictly increasing.
+    """
+    last_seq = -1
+    for index, record in enumerate(records):
+        for key in REQUIRED_KEYS:
+            if key not in record:
+                raise ReproError(f"trace record {index} is missing required key {key!r}")
+        if record["kind"] not in KINDS:
+            raise ReproError(f"trace record {index} has unknown kind {record['kind']!r}")
+        seq = record["seq"]
+        if not isinstance(seq, int) or seq <= last_seq:
+            raise ReproError(f"trace record {index} breaks seq monotonicity ({seq!r})")
+        last_seq = seq
+        if record["kind"] == "span" and "t0" not in record:
+            raise ReproError(f"span record {index} ({record['name']!r}) lacks t0")
+
+
+def span_counts(records: Sequence[Mapping[str, object]]) -> Dict[str, int]:
+    """Record count per name — the reconciliation view used by tests
+    (e.g. ``api.call`` charges vs. the cost meter)."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        name = str(record["name"])
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def metrics_snapshot(metrics: Union[MetricsRegistry, Snapshot, None]) -> Optional[Snapshot]:
+    if metrics is None:
+        return None
+    if isinstance(metrics, MetricsRegistry):
+        return metrics.snapshot()
+    return metrics
+
+
+def metrics_json(metrics: Union[MetricsRegistry, Snapshot]) -> str:
+    """Deterministic JSON rendering of a registry (or snapshot)."""
+    return json.dumps(metrics_snapshot(metrics), sort_keys=True, indent=2)
+
+
+# ----------------------------------------------------------------------
+# the human report
+# ----------------------------------------------------------------------
+def _fmt(value: object) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.4f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _section(title: str, rows: Sequence[Sequence[object]]) -> List[str]:
+    lines = [title]
+    width = max((len(str(label)) for label, _ in rows), default=0)
+    for label, value in rows:
+        lines.append(f"  {str(label).ljust(width)}  {_fmt(value)}")
+    return lines
+
+
+def render_report(result, metrics=None, truth: Optional[float] = None) -> str:
+    """Human-readable convergence report for one estimation run.
+
+    *result* is an :class:`~repro.core.results.EstimateResult` (or
+    anything with its fields); *metrics* a registry or snapshot; *truth*
+    the exact answer when known.  See docs/OBSERVABILITY.md for how to
+    read each block.
+    """
+    header = f"convergence report — {result.algorithm} {result.query.describe()}"
+    lines = [header, "=" * min(len(header), 78)]
+
+    run_rows: List[Sequence[object]] = [("estimate", result.value)]
+    if truth is not None:
+        run_rows.append(("truth", truth))
+        if result.value is not None and truth != 0:
+            run_rows.append(("rel. error", f"{abs(result.value - truth) / abs(truth):.2%}"))
+    mix = ", ".join(f"{kind}={count:,}" for kind, count in sorted(result.cost_by_kind.items()))
+    run_rows.append(("query cost", f"{result.cost_total:,} ({mix})"))
+    retries = result.cost_by_kind.get("retries", 0)
+    if retries and result.cost_total:
+        run_rows.append(("retry overhead", f"{retries:,} calls ({retries / result.cost_total:.1%} of spend)"))
+    run_rows.append(("samples", result.num_samples))
+    lines += _section("run", run_rows)
+
+    stream = estimate_stream_diagnostics([point.estimate for point in result.trace])
+    if stream:
+        rows = [("checkpoints", int(stream["n"])), ("ess", stream["ess"])]
+        if "geweke_z" in stream:
+            z = stream["geweke_z"]
+            verdict = "mixed" if abs(z) <= 0.1 else "NOT mixed"
+            rows.append(("geweke |z|", f"{abs(z):.4f} ({verdict} at |z|<=0.1)"))
+        lines += _section("estimate stream", rows)
+
+    walk_rows = [
+        (key[len("obs_"):], value)
+        for key, value in sorted(result.diagnostics.items())
+        if key.startswith("obs_")
+    ]
+    if walk_rows:
+        lines += _section("walk diagnostics", walk_rows)
+
+    snapshot = metrics_snapshot(metrics)
+    if snapshot:
+        rows = []
+        counters = snapshot.get("counters", {})
+        api = {k: v for k, v in counters.items() if k.startswith("api.calls{")}
+        total_api = sum(api.values())
+        if total_api:
+            mix = "  ".join(
+                f"{key.split('kind=')[1].rstrip('}')} {value / total_api:.1%}"
+                for key, value in sorted(api.items())
+            )
+            rows.append(("query mix", mix))
+        hits = counters.get("cache.hits", 0)
+        misses = counters.get("cache.misses", 0)
+        if hits + misses:
+            rows.append(("cache hit ratio", f"{hits / (hits + misses):.2f} ({int(hits):,}/{int(hits + misses):,})"))
+        for key, data in snapshot.get("histograms", {}).items():
+            if data["count"]:
+                rows.append((key, f"mean {data['sum'] / data['count']:.2f} over {data['count']:,} obs"))
+        if rows:
+            lines += _section("metrics", rows)
+
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""The metrics registry: labelled counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is the numeric side of the observability
+layer: instrumented code increments counters (query mix, cache hits,
+retries), sets gauges (seed-set size, level count) and observes
+histograms (walk length, ESTIMATE-p recursion depth).  Registries are
+**mergeable across parallel walk shards exactly like**
+:class:`~repro.api.accounting.CostMeter`: each shard accumulates into
+its own registry, and the parent folds the per-shard snapshots in shard
+order — counters and histograms add, gauges keep the maximum — so the
+merged snapshot is identical for every worker count.
+
+Snapshots are plain nested dicts with deterministically ordered keys
+(``name{label=value,...}``, labels sorted), so they serialise to stable
+JSON and cross process boundaries without a custom pickle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233)
+"""Fibonacci-spaced upper bounds, a good fit for walk-length and
+recursion-depth distributions; one overflow bucket is implicit."""
+
+
+def _series_key(name: str, labels: Dict[str, object]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing total (int or float increments)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ReproError("counters only move forward; inc must be >= 0")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (last value wins within one registry)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary histogram: bucket counts plus sum and count.
+
+    ``counts[i]`` tallies observations ``<= buckets[i]``; the final slot
+    is the overflow bucket.  Fixed boundaries are what make histograms
+    from independent shards addable.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        ordered = tuple(float(b) for b in buckets)
+        if not ordered or any(later <= earlier for later, earlier in zip(ordered[1:], ordered)):
+            raise ReproError("histogram buckets must be strictly increasing and non-empty")
+        self.buckets = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """One run's (or one shard's) metric store."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instrument accessors (create on first touch)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _series_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _series_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels: object
+    ) -> Histogram:
+        key = _series_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(buckets)
+        return metric
+
+    # ------------------------------------------------------------------
+    # snapshots and merging
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic plain-dict rendering (keys sorted), suitable for
+        JSON export and for crossing process boundaries."""
+        return {
+            "counters": {key: self._counters[key].value for key in sorted(self._counters)},
+            "gauges": {key: self._gauges[key].value for key in sorted(self._gauges)},
+            "histograms": {
+                key: {
+                    "buckets": list(hist.buckets),
+                    "counts": list(hist.counts),
+                    "sum": hist.total,
+                    "count": hist.count,
+                }
+                for key, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a shard's snapshot in: counters/histograms add, gauges max.
+
+        Addition is commutative, and the gauge rule is order-free too, so
+        any merge order yields the same totals — but the parallel engine
+        still merges in shard order so *snapshots of the merge itself*
+        are reproducible structurally (key insertion order included).
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self.counter(key).value += value
+        for key, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(key)
+            gauge.value = max(gauge.value, value)
+        for key, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(key, buckets=data["buckets"])
+            if tuple(hist.buckets) != tuple(float(b) for b in data["buckets"]):
+                raise ReproError(f"histogram {key!r} bucket mismatch on merge")
+            hist.counts = [a + b for a, b in zip(hist.counts, data["counts"])]
+            hist.total += data["sum"]
+            hist.count += data["count"]
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        self.merge_snapshot(other.snapshot())

@@ -1,0 +1,171 @@
+"""The structured trace bus.
+
+Estimators, GRAPH-BUILDER, the parallel engine and the resilient client
+emit *records* — flat dicts — into a :class:`Tracer`, which stamps each
+one with a monotonic sequence number and the current
+:class:`~repro.platform.clock.SimulatedClock` time before handing it to
+a :class:`TraceSink`.  Two record kinds exist:
+
+* ``event`` — a point observation (``srw.step``, ``api.retry``, ...);
+* ``span``  — a completed unit of work carrying its open time ``t0``
+  alongside the close time ``ts`` (``tarw.instance``, ``srw.chain``,
+  ``parallel.shard``, ...).
+
+Design constraints, enforced by the ``obs`` test tier:
+
+* **Deterministic.**  Records carry only simulated time, never wall
+  time, and emitting consumes no walker RNG and charges no cost meter —
+  a traced run is bit-identical to an untraced one, and a fixed seed
+  replays byte-identical JSONL (see :mod:`repro.obs.export`).
+* **Zero overhead when off.**  The module-level :data:`NULL_SINK` is the
+  single shared disabled sink; instrumented hot paths guard on
+  ``obs.trace is None`` / ``obs.enabled`` and allocate nothing when
+  tracing is off.
+* **Zero dependencies.**  Pure stdlib; any layer may import this one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.platform.clock import SimulatedClock
+
+TRACE_SCHEMA_VERSION = 1
+"""Bumped whenever the record layout changes incompatibly; the analyzer
+stamps it into the run-opening ``run.begin`` event."""
+
+REQUIRED_KEYS = ("seq", "ts", "kind", "name")
+"""Every record carries at least these fields."""
+
+KINDS = ("event", "span")
+
+
+class TraceSink:
+    """Where records go.  Subclasses set ``enabled`` and ``emit``."""
+
+    enabled: bool = False
+
+    def emit(self, record: Dict[str, object]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NullSink(TraceSink):
+    """The disabled sink: swallows everything, allocates nothing."""
+
+    enabled = False
+    __slots__ = ()
+
+    def emit(self, record: Dict[str, object]) -> None:
+        pass
+
+
+NULL_SINK = NullSink()
+"""The one shared disabled sink.  Hot paths compare against this object
+(identity) — constructing per-run null sinks would defeat the overhead
+guard test."""
+
+
+class RecordingSink(TraceSink):
+    """Buffers records in memory, in emission order.
+
+    The workhorse sink: the CLI records then writes JSONL at exit, and
+    parallel walk shards record locally so the parent can replay their
+    buffers in deterministic shard order after the fan-out completes.
+    """
+
+    enabled = True
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def emit(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+
+
+class Span:
+    """An open unit of work; emitted as one record when closed.
+
+    Use as a context manager; :meth:`add` attaches fields to the record
+    before (or at) close.  The record carries ``t0`` (open time) and
+    ``ts`` (close time) from the tracer's simulated clock.
+    """
+
+    __slots__ = ("_tracer", "_name", "_t0", "_fields", "_closed")
+
+    def __init__(self, tracer: "Tracer", name: str, fields: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._t0 = tracer.now()
+        self._fields = fields
+        self._closed = False
+
+    def add(self, **fields: object) -> "Span":
+        self._fields.update(fields)
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._tracer._emit("span", self._name, self._fields, t0=self._t0)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._fields.setdefault("error", exc_type.__name__)
+        self.close()
+
+
+class Tracer:
+    """Stamps and routes records for one run (or one walk shard)."""
+
+    __slots__ = ("sink", "clock", "_seq")
+
+    def __init__(self, sink: TraceSink, clock: Optional[SimulatedClock] = None) -> None:
+        self.sink = sink
+        self.clock = clock if clock is not None else SimulatedClock(0.0)
+        self._seq = 0
+
+    def bind_clock(self, clock: SimulatedClock) -> None:
+        """Adopt a run's clock (the budgeted client's private clock), so
+        timestamps reflect simulated crawl time including rate-limit and
+        backoff waits."""
+        self.clock = clock
+
+    def now(self) -> float:
+        return round(self.clock.now(), 6)
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, name: str, fields: Dict[str, object], **extra: object) -> None:
+        record: Dict[str, object] = {"seq": self._seq, "ts": self.now(), "kind": kind, "name": name}
+        record.update(extra)
+        record.update(fields)
+        self._seq += 1
+        self.sink.emit(record)
+
+    def event(self, name: str, **fields: object) -> None:
+        """Emit a point event."""
+        self._emit("event", name, fields)
+
+    def span(self, name: str, **fields: object) -> Span:
+        """Open a span; emitted as a single record when closed."""
+        return Span(self, name, dict(fields))
+
+    def replay(self, records: Iterable[Dict[str, object]], **labels: object) -> None:
+        """Re-emit foreign records (a shard's buffer) through this tracer.
+
+        Each record is copied, tagged with *labels* (e.g. ``shard=2``)
+        and re-sequenced into this tracer's stream; its own ``ts``/``t0``
+        are kept (they are shard-local simulated times).  Replaying in a
+        fixed order is what makes merged parallel traces byte-identical
+        across worker counts.
+        """
+        for original in records:
+            record = dict(original)
+            record.update(labels)
+            record["seq"] = self._seq
+            self._seq += 1
+            self.sink.emit(record)

@@ -52,6 +52,7 @@ from repro.core.graph_builder import (
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
 from repro.errors import EstimationError
+from repro.obs import NULL_OBS, MetricsRegistry, Observability, RecordingSink
 from repro.parallel.engine import ExecutionEngine, ParallelConfig
 from repro.parallel.stats import WalkStats
 from repro.sampling.estimators import ratio_average
@@ -145,16 +146,18 @@ def _shard_stack(
     oracle_template,
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    obs: Observability = NULL_OBS,
 ):
     inner = SimulatedMicroblogClient(
-        platform, budget=budget, rate_limit_policy=policy, latency=latency
+        platform, budget=budget, rate_limit_policy=policy, latency=latency, obs=obs
     )
+    obs.bind_clock(inner.clock)
     if fault_plan is not None and fault_plan.active:
-        inner = FaultInjectingClient(inner, fault_plan)
+        inner = FaultInjectingClient(inner, fault_plan, obs=obs)
     if fault_plan is not None or retry_policy is not None:
-        inner = ResilientClient(inner, retry_policy)
-    client = CachingClient(inner)
-    context = QueryContext(client, query)
+        inner = ResilientClient(inner, retry_policy, obs=obs)
+    client = CachingClient(inner, obs=obs)
+    context = QueryContext(client, query, obs=obs)
     return client, context, _rebuild_oracle(oracle_template, context)
 
 
@@ -186,12 +189,29 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
     query = estimator.context.query
     oracle_template = estimator.oracle
     walker_config = estimator.config
+    parent_obs: Observability = getattr(estimator, "obs", NULL_OBS)
+    want_trace = parent_obs.trace is not None
+    want_metrics = parent_obs.metrics is not None
+    if want_trace:
+        # Only shard-count and budget enter the trace: both are part of
+        # the deterministic plan.  The worker count must never appear in
+        # a record, or worker-count invariance of the bytes would break.
+        parent_obs.trace.event("parallel.plan", shards=n_shards, budget=budget)
     start = time.perf_counter()
 
     def shard(index: int) -> Dict[str, object]:
         from repro.core.srw import MASRWEstimator
         from repro.core.tarw import MATARWEstimator
 
+        # Each shard records telemetry locally (own sink, own registry);
+        # the parent replays/merges the buffers in shard order afterwards,
+        # so the merged stream is identical for every worker count.
+        shard_obs = NULL_OBS
+        if want_trace or want_metrics:
+            shard_obs = Observability(
+                trace_sink=RecordingSink() if want_trace else None,
+                metrics=MetricsRegistry() if want_metrics else None,
+            )
         client, context, oracle = _shard_stack(
             platform,
             query,
@@ -201,6 +221,7 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
             oracle_template,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
+            obs=shard_obs,
         )
         if kind == "tarw":
             sub = MATARWEstimator(context, oracle, walker_config, seed=shard_seeds[index])
@@ -229,6 +250,11 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
             "diagnostics": result.diagnostics,
             "simulated_wait": getattr(client.inner, "simulated_wait", 0.0),
             "cache_hits": float(client.hits),
+            # Plain dicts/lists: they cross process boundaries unchanged.
+            "trace_records": shard_obs.trace_records() if want_trace else None,
+            "metrics_snapshot": (
+                shard_obs.metrics.snapshot() if want_metrics else None
+            ),
         }
 
     engine = ExecutionEngine(
@@ -238,6 +264,20 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
     )
     outcomes = engine.run(shard, [(index,) for index in range(n_shards)])
     execute_seconds = engine.wall_seconds
+
+    # Fold shard telemetry back in deterministic shard order — the same
+    # discipline as the estimate merge below, and for the same reason.
+    for index, outcome in enumerate(outcomes):
+        if want_trace:
+            parent_obs.trace.event(
+                "parallel.shard",
+                shard=index,
+                cost=outcome["cost_total"],
+                walks=outcome["walks_completed"],
+            )
+            parent_obs.trace.replay(outcome["trace_records"], shard=index)
+        if want_metrics:
+            parent_obs.metrics.merge_snapshot(outcome["metrics_snapshot"])
 
     merge_start = time.perf_counter()
     if kind == "tarw":

@@ -1,0 +1,1 @@
+"""The obs test tier: trace bus, metrics, diagnostics, golden traces."""

@@ -1,0 +1,183 @@
+"""Convergence diagnostics against closed-form values.
+
+ESS is pinned on streams whose answer is known analytically — an i.i.d.
+stream has ESS ≈ n, an AR(1) stream with coefficient φ has
+ESS ≈ n·(1-φ)/(1+φ) — and the ESTIMATE-p agreement diagnostic is pinned
+on the enumerable DAG of ``tests/core/test_estimate_p_unbiased.py``,
+where Eq. 6 probabilities have exact values.  Tolerances are generous
+(±30%) because the truncated-autocorrelation ESS estimator is itself
+noisy at these lengths; the point is the order of magnitude, which is
+what the ``--report`` verdicts hang on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.diagnostics import (
+    effective_sample_size,
+    estimate_stream_diagnostics,
+    srw_burn_in_report,
+    visit_probability_agreement,
+)
+from tests.core.test_estimate_p_unbiased import (
+    _run_walks,
+    exact_probabilities,
+    make_estimator,
+)
+
+pytestmark = [pytest.mark.obs, pytest.mark.statistical]
+
+N = 4_000
+
+
+def ar1_stream(phi: float, n: int = N, seed: int = 7):
+    rng = random.Random(seed)
+    x, out = 0.0, []
+    for _ in range(n):
+        x = phi * x + rng.gauss(0, 1)
+        out.append(x)
+    return out
+
+
+# ----------------------------------------------------------------------
+# effective sample size
+# ----------------------------------------------------------------------
+def test_ess_of_iid_stream_is_about_n():
+    rng = random.Random(42)
+    stream = [rng.gauss(0, 1) for _ in range(N)]
+    assert effective_sample_size(stream) == pytest.approx(N, rel=0.10)
+
+
+@pytest.mark.parametrize("phi", [0.6, 0.9])
+def test_ess_of_ar1_stream_matches_closed_form(phi):
+    theory = N * (1 - phi) / (1 + phi)
+    assert effective_sample_size(ar1_stream(phi)) == pytest.approx(theory, rel=0.30)
+
+
+def test_ess_degenerate_cases():
+    assert effective_sample_size([1.0, 2.0, 3.0]) == 3.0  # too short: n
+    assert effective_sample_size([5.0] * 100) == 100.0    # constant: n
+    assert 1.0 <= effective_sample_size(list(range(100))) <= 100.0  # clamped
+
+
+# ----------------------------------------------------------------------
+# estimate-stream summary
+# ----------------------------------------------------------------------
+def test_stream_diagnostics_drop_none_and_need_four_points():
+    assert estimate_stream_diagnostics([]) == {}
+    assert estimate_stream_diagnostics([1.0, None, 2.0, None]) == {}
+    out = estimate_stream_diagnostics([None, 1.0, 2.0, 1.5, 1.8, None])
+    assert out["n"] == 4.0
+    assert 1.0 <= out["ess"] <= 4.0
+
+
+def test_stream_diagnostics_flag_a_trending_stream():
+    rng = random.Random(3)
+    mixed = estimate_stream_diagnostics([100 + rng.gauss(0, 1) for _ in range(200)])
+    trending = estimate_stream_diagnostics([float(i) for i in range(200)])
+    assert abs(mixed["geweke_z"]) < 1.0
+    assert abs(trending["geweke_z"]) > 5.0
+    assert trending["ess"] < 10.0 < mixed["ess"]
+
+
+# ----------------------------------------------------------------------
+# SRW burn-in adequacy
+# ----------------------------------------------------------------------
+def stationary_chain(seed: int, n: int = 400):
+    rng = random.Random(seed)
+    return [rng.gauss(5, 1) for _ in range(n)]
+
+
+def test_burn_in_report_on_stationary_chains():
+    report = srw_burn_in_report([stationary_chain(s) for s in (10, 11, 12)])
+    assert report["chains"] == 3.0
+    assert report["geweke_converged_chains"] <= 3.0
+    assert report["discard_fraction"] < 0.5
+    assert report["mean_burn_in"] < 200
+    assert report["post_burn_in_ess"] > 100
+
+
+def test_burn_in_report_adequate_verdict():
+    report = srw_burn_in_report([stationary_chain(10)], min_burn_in=50)
+    assert report["geweke_converged_chains"] == 1.0
+    assert report["mean_burn_in"] == 50.0  # the clamp is applied
+    assert report["adequate"] == 1.0
+
+
+def test_burn_in_report_flags_unmixed_chains():
+    # A strong transient start: Geweke's quarter-chain fallback kicks in
+    # and the verdict is inadequate.
+    def transient(seed, n=400):
+        rng = random.Random(seed)
+        x, out = 30.0, []
+        for _ in range(n):
+            x = 0.9 * x + rng.gauss(0, 1)
+            out.append(x)
+        return out
+
+    report = srw_burn_in_report([transient(s) for s in (1, 2, 3)])
+    assert report["chains"] == 3.0
+    assert report["adequate"] == 0.0
+
+
+def test_burn_in_report_skips_too_short_chains():
+    assert srw_burn_in_report([[1.0, 2.0, 3.0]]) == {}
+    mixed = srw_burn_in_report([[1.0, 2.0], stationary_chain(10)])
+    assert mixed["chains"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# ESTIMATE-p visit agreement on the enumerable DAG
+# ----------------------------------------------------------------------
+F, G = 5, 6  # the DAG's sinks (see tests/core/test_estimate_p_unbiased.py)
+
+
+def test_agreement_is_exact_on_matching_counts():
+    estimator = make_estimator((F, G))
+    exact_up, _ = exact_probabilities(estimator.oracle, {F, G})
+    visits = {node: round(N * p) for node, p in exact_up.items()}
+    out = visit_probability_agreement(
+        visits, exact_up, N, level_of=estimator.oracle.level_of
+    )
+    assert out["max_abs_z"] == pytest.approx(0.0, abs=0.02)
+    assert out["mean_abs_deviation"] == pytest.approx(0.0, abs=1e-4)
+    assert out["tv_distance"] == pytest.approx(0.0, abs=1e-4)
+    assert out["tv_distance_by_level"] == pytest.approx(0.0, abs=1e-4)
+
+
+def test_walk_visits_agree_with_eq6_on_the_dag():
+    estimator = make_estimator((F, G), seed=2024)
+    exact_up, exact_down = exact_probabilities(estimator.oracle, {F, G})
+    up_visits, down_visits = _run_walks(estimator, N)
+    for visits, probabilities in ((up_visits, exact_up), (down_visits, exact_down)):
+        out = visit_probability_agreement(
+            visits, probabilities, N, level_of=estimator.oracle.level_of
+        )
+        assert out["nodes"] == 7.0
+        assert out["max_abs_z"] < 4.0
+        assert out["mean_abs_deviation"] < 0.02
+        assert out["tv_distance"] < 0.02
+        # every walk phase visits each level exactly once, so per-level
+        # mass matches expectation identically
+        assert out["tv_distance_by_level"] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_agreement_detects_a_wrong_probability_map():
+    estimator = make_estimator((F, G), seed=2024)
+    exact_up, _ = exact_probabilities(estimator.oracle, {F, G})
+    up_visits, _ = _run_walks(estimator, N)
+    wrong = dict(exact_up)
+    wrong[0], wrong[F] = exact_up.get(F, 0.0) + 0.5, 0.9
+    out = visit_probability_agreement(
+        up_visits, wrong, N, level_of=estimator.oracle.level_of
+    )
+    assert out["max_abs_z"] > 10.0
+    assert out["tv_distance"] > 0.1
+
+
+def test_agreement_empty_inputs():
+    assert visit_probability_agreement({}, {1: 0.5}, 0) == {}
+    assert visit_probability_agreement({1: 3}, {1: 0.0}, 10) == {}

@@ -1,0 +1,93 @@
+"""Golden-trace regression tests.
+
+Each pinned run (see ``conftest.golden_run``) must reproduce its
+committed canonical JSONL trace **byte for byte** — serially and through
+the shard-merge engine at any worker count.  The traces pin estimator
+behaviour structurally: an extra API call, a reordered walk phase, a
+lost retry or a drifted probability changes the bytes even when the
+final estimate happens to survive.
+
+Regenerating after an *intentional* behaviour change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_golden_traces.py
+
+then review the diff of ``tests/data/trace_*.jsonl`` like any other code
+change — the diff *is* the behaviour change.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.export import parse_trace, trace_lines, validate_trace
+from repro.obs.trace import RecordingSink, TRACE_SCHEMA_VERSION
+
+from tests.obs.conftest import golden_run
+
+pytestmark = pytest.mark.obs
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "data"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+ALGORITHMS = ("ma-tarw", "ma-srw")
+MODES = ("serial", "sharded")
+
+
+def golden_path(algorithm: str, mode: str) -> Path:
+    return DATA_DIR / f"trace_{algorithm.replace('-', '_')}_{mode}.jsonl"
+
+
+def traced_run(platform, algorithm: str, n_workers=None) -> str:
+    obs = Observability(trace_sink=RecordingSink())
+    golden_run(platform, algorithm, n_workers=n_workers, obs=obs)
+    return "\n".join(trace_lines(obs.trace_records())) + "\n"
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("mode", MODES)
+def test_trace_matches_golden_bytes(obs_platform, algorithm, mode):
+    workers = None if mode == "serial" else 1
+    text = traced_run(obs_platform, algorithm, n_workers=workers)
+    path = golden_path(algorithm, mode)
+    if REGEN:
+        path.write_text(text, encoding="ascii", newline="\n")
+        pytest.skip(f"regenerated {path.name} ({len(text.splitlines())} records)")
+    assert path.exists(), (
+        f"missing golden file {path}; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    golden = path.read_text(encoding="ascii")
+    assert text == golden, (
+        f"{path.name} drifted — if the behaviour change is intentional, "
+        "regenerate with REPRO_REGEN_GOLDEN=1 and review the diff"
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_sharded_trace_is_worker_count_invariant(obs_platform, algorithm):
+    """n_workers=3 replays the exact bytes of the committed n_workers=1
+    golden: the worker count never appears in a record and shard buffers
+    merge in shard order."""
+    path = golden_path(algorithm, "sharded")
+    text = traced_run(obs_platform, algorithm, n_workers=3)
+    if REGEN:
+        assert text == path.read_text(encoding="ascii")
+        pytest.skip("regeneration run: invariance re-checked against fresh golden")
+    assert text == path.read_text(encoding="ascii")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("mode", MODES)
+def test_golden_traces_are_schema_valid(algorithm, mode):
+    path = golden_path(algorithm, mode)
+    if not path.exists():
+        pytest.skip("golden files not generated yet")
+    records = parse_trace(path.read_text(encoding="ascii"))
+    validate_trace(records)
+    first = records[0]
+    assert first["name"] == "run.begin"
+    assert first["schema"] == TRACE_SCHEMA_VERSION
+    assert first["algorithm"] == algorithm
+    assert records[-1]["name"] == "run.end"

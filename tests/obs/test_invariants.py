@@ -1,0 +1,208 @@
+"""The observability contract: watching a run never changes it.
+
+Pins the tentpole's hard guarantees:
+
+* **Overhead guard** — instrumented layers default to the *shared*
+  ``NULL_OBS`` instance (object identity, not just falsiness), so a dark
+  run allocates no telemetry objects on the hot path;
+* **Bit-identity** — estimates, cost columns, convergence traces and
+  diagnostics are identical with telemetry on and off, serially and
+  through the shard-merge engine, with and without injected faults;
+* **Worker-count invariance** — merged shard metrics are identical for
+  every worker count;
+* **Reconciliation** — trace records and the metrics registry agree
+  *exactly* with CostMeter: clean query spend with ``query_total`` and
+  the per-kind columns, retry waste with the budget-exempt ``retries``
+  column under the hostile fault profile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.api.faults import FAULT_PROFILES, FaultInjectingClient
+from repro.api.resilient import ResilientClient
+from repro.core.analyzer import MicroblogAnalyzer
+from repro.core.graph_builder import QueryContext
+from repro.obs import NULL_OBS, MetricsRegistry, Observability
+from repro.obs.export import span_counts
+from repro.obs.trace import RecordingSink
+
+from tests.obs.conftest import golden_query, golden_run
+
+pytestmark = pytest.mark.obs
+
+CLEAN_KINDS = ("search", "connections", "timeline")
+
+
+def full_obs() -> Observability:
+    return Observability(trace_sink=RecordingSink(), metrics=MetricsRegistry())
+
+
+def hostile_plan(seed: int = 123):
+    return dataclasses.replace(FAULT_PROFILES["hostile"], seed=seed)
+
+
+def strip_obs_keys(diagnostics):
+    # wall_* keys are real-time measurements of the host machine, the one
+    # part of a result that is legitimately nondeterministic
+    return {
+        k: v for k, v in diagnostics.items()
+        if not k.startswith("obs_") and not k.startswith("wall_")
+    }
+
+
+def assert_results_bit_identical(dark, traced):
+    assert traced.value == dark.value
+    assert traced.cost_total == dark.cost_total
+    assert traced.cost_by_kind == dark.cost_by_kind
+    assert traced.num_samples == dark.num_samples
+    assert traced.trace == dark.trace
+    assert strip_obs_keys(traced.diagnostics) == strip_obs_keys(dark.diagnostics)
+
+
+# ----------------------------------------------------------------------
+# overhead guard: the dark path is one shared null object
+# ----------------------------------------------------------------------
+def test_analyzer_defaults_to_the_shared_null_obs(obs_platform):
+    analyzer = MicroblogAnalyzer(obs_platform)
+    assert analyzer.obs is NULL_OBS
+
+
+def test_client_stack_defaults_to_the_shared_null_obs(obs_platform):
+    inner = SimulatedMicroblogClient(obs_platform, budget=10)
+    assert inner.obs is NULL_OBS
+    faulty = FaultInjectingClient(inner, hostile_plan())
+    assert faulty.obs is NULL_OBS
+    resilient = ResilientClient(faulty)
+    assert resilient.obs is NULL_OBS
+    caching = CachingClient(resilient)
+    assert caching.obs is NULL_OBS
+    context = QueryContext(caching, golden_query())
+    assert context.obs is NULL_OBS
+
+
+def test_estimators_inherit_obs_from_the_context(obs_platform):
+    obs = full_obs()
+    inner = SimulatedMicroblogClient(obs_platform, budget=10, obs=obs)
+    context = QueryContext(CachingClient(inner, obs=obs), golden_query(), obs=obs)
+    from repro.core.srw import MASRWEstimator, SRWConfig
+    from repro.core.tarw import MATARWEstimator, TARWConfig
+
+    assert MATARWEstimator(context, None, TARWConfig(), seed=1).obs is obs
+    assert MASRWEstimator(context, None, SRWConfig(), seed=1).obs is obs
+
+
+def test_empty_observability_is_disabled():
+    obs = Observability()
+    assert obs.enabled is False and obs.trace is None and obs.metrics is None
+
+
+# ----------------------------------------------------------------------
+# bit-identity: traced == dark
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ["ma-tarw", "ma-srw"])
+def test_traced_run_is_bit_identical_serial(obs_platform, algorithm):
+    dark = golden_run(obs_platform, algorithm)
+    traced = golden_run(obs_platform, algorithm, obs=full_obs())
+    assert_results_bit_identical(dark, traced)
+
+
+@pytest.mark.parametrize("algorithm", ["ma-tarw", "ma-srw"])
+def test_traced_run_is_bit_identical_sharded(obs_platform, algorithm):
+    dark = golden_run(obs_platform, algorithm, n_workers=2)
+    traced = golden_run(obs_platform, algorithm, n_workers=2, obs=full_obs())
+    assert_results_bit_identical(dark, traced)
+
+
+def test_traced_run_is_bit_identical_under_hostile_faults(obs_platform):
+    dark = golden_run(obs_platform, "ma-tarw", fault_plan=hostile_plan())
+    traced = golden_run(
+        obs_platform, "ma-tarw", fault_plan=hostile_plan(), obs=full_obs()
+    )
+    assert_results_bit_identical(dark, traced)
+    assert traced.cost_by_kind.get("retries", 0) > 0, (
+        "hostile profile injected no faults — the reconciliation tests "
+        "below would be vacuous"
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["ma-tarw", "ma-srw"])
+def test_obs_diagnostics_only_add_keys(obs_platform, algorithm):
+    traced = golden_run(obs_platform, algorithm, obs=full_obs())
+    obs_keys = [k for k in traced.diagnostics if k.startswith("obs_")]
+    prefix = "obs_p_agree_" if algorithm == "ma-tarw" else "obs_burn_in_"
+    assert any(k.startswith(prefix) for k in obs_keys), obs_keys
+
+
+# ----------------------------------------------------------------------
+# worker-count invariance of merged metrics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ["ma-tarw", "ma-srw"])
+def test_merged_metrics_are_worker_count_invariant(obs_platform, algorithm):
+    snapshots = {}
+    values = {}
+    for workers in (1, 3):
+        obs = full_obs()
+        result = golden_run(obs_platform, algorithm, n_workers=workers, obs=obs)
+        snapshots[workers] = obs.metrics.snapshot()
+        values[workers] = result.value
+    assert snapshots[1] == snapshots[3]
+    assert values[1] == values[3]
+
+
+# ----------------------------------------------------------------------
+# reconciliation with CostMeter
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_workers", [None, 3])
+def test_trace_and_metrics_reconcile_with_cost_meter(obs_platform, n_workers):
+    obs = full_obs()
+    result = golden_run(obs_platform, "ma-tarw", n_workers=n_workers, obs=obs)
+    records = obs.trace_records()
+    counters = obs.metrics.snapshot()["counters"]
+
+    traced_calls = sum(r["calls"] for r in records if r["name"] == "api.call")
+    assert traced_calls == result.cost_total  # == CostMeter.query_total
+    for kind in CLEAN_KINDS:
+        counted = counters.get(f"api.calls{{kind={kind}}}", 0)
+        assert counted == result.cost_by_kind.get(kind, 0), kind
+        assert counted == sum(
+            r["calls"] for r in records
+            if r["name"] == "api.call" and r["api"] == kind
+        )
+    assert "api.calls{kind=retries}" not in counters  # fault-free run
+    assert span_counts(records).get("api.retry", 0) == 0
+
+
+def test_retries_reconcile_under_hostile_faults(obs_platform):
+    obs = full_obs()
+    result = golden_run(obs_platform, "ma-tarw", fault_plan=hostile_plan(), obs=obs)
+    records = obs.trace_records()
+    counters = obs.metrics.snapshot()["counters"]
+
+    retries = result.cost_by_kind.get("retries", 0)
+    assert retries > 0
+    # one trace event and one counter unit per failed attempt — the same
+    # grain as the meter's budget-exempt ``retries`` column
+    assert span_counts(records).get("api.retry", 0) == retries
+    assert counters.get("api.calls{kind=retries}", 0) == retries
+    # retry waste never leaks into the clean spend
+    clean = sum(r["calls"] for r in records if r["name"] == "api.call")
+    assert clean == result.cost_total
+    assert result.cost_total == sum(
+        result.cost_by_kind.get(kind, 0) for kind in CLEAN_KINDS
+    )
+    assert counters.get("faults.injected{fault=transient}", 0) > 0
+
+
+def test_cache_counters_mirror_client_tallies(obs_platform):
+    obs = full_obs()
+    golden_run(obs_platform, "ma-srw", obs=obs)
+    counters = obs.metrics.snapshot()["counters"]
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    assert misses > 0
+    assert hits > 0  # walks revisit classified nodes constantly

@@ -1,0 +1,137 @@
+"""Unit tests for the metrics registry: series keys, snapshots, merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.export import metrics_json, metrics_snapshot
+
+pytestmark = pytest.mark.obs
+
+
+# ----------------------------------------------------------------------
+# instruments
+# ----------------------------------------------------------------------
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("api.calls", kind="search")
+    counter.inc()
+    counter.inc(3)
+    assert registry.counter("api.calls", kind="search").value == 4
+    with pytest.raises(ReproError):
+        counter.inc(-1)
+
+
+def test_label_order_does_not_split_series():
+    registry = MetricsRegistry()
+    registry.counter("tarw.level_visits", level=2, phase="up").inc()
+    registry.counter("tarw.level_visits", phase="up", level=2).inc()
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"tarw.level_visits{level=2,phase=up}": 2}
+
+
+def test_gauge_keeps_last_value():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("tarw.seed_set_size")
+    gauge.set(10)
+    gauge.set(7)
+    assert registry.snapshot()["gauges"]["tarw.seed_set_size"] == 7.0
+
+
+def test_histogram_buckets_and_overflow():
+    hist = Histogram(buckets=(1, 2, 5))
+    for value in (0.5, 1, 2, 3, 100):
+        hist.observe(value)
+    assert hist.counts == [2, 1, 1, 1]  # <=1, <=2, <=5, overflow
+    assert hist.count == 5
+    assert hist.total == pytest.approx(106.5)
+    assert hist.mean() == pytest.approx(106.5 / 5)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ReproError):
+        Histogram(buckets=(1, 1, 2))
+    with pytest.raises(ReproError):
+        Histogram(buckets=())
+
+
+def test_empty_histogram_has_no_mean():
+    assert Histogram().mean() is None
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+def test_snapshot_is_sorted_and_json_stable():
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a").inc(2)
+    registry.histogram("walk", buckets=(1, 2)).observe(1)
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["a", "b"]
+    assert snapshot["histograms"]["walk"] == {
+        "buckets": [1.0, 2.0], "counts": [1, 0, 0], "sum": 1.0, "count": 1,
+    }
+    # the rendering round-trips and is deterministic
+    assert json.loads(metrics_json(registry)) == json.loads(metrics_json(snapshot))
+    assert metrics_snapshot(None) is None
+
+
+# ----------------------------------------------------------------------
+# merging: the CostMeter-style shard fold
+# ----------------------------------------------------------------------
+def build_shard(seed: int) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("api.calls", kind="search").inc(seed)
+    registry.counter("srw.steps").inc(10 * seed)
+    registry.gauge("tarw.seed_set_size").set(seed)
+    hist = registry.histogram("tarw.walk_length")
+    for value in range(seed):
+        hist.observe(value)
+    return registry
+
+
+def test_merge_adds_counters_and_histograms_and_maxes_gauges():
+    parent = MetricsRegistry()
+    parent.merge_snapshot(build_shard(2).snapshot())
+    parent.merge_snapshot(build_shard(5).snapshot())
+    snapshot = parent.snapshot()
+    assert snapshot["counters"]["api.calls{kind=search}"] == 7
+    assert snapshot["counters"]["srw.steps"] == 70
+    assert snapshot["gauges"]["tarw.seed_set_size"] == 5.0
+    assert snapshot["histograms"]["tarw.walk_length"]["count"] == 7
+
+
+def test_merge_is_order_invariant():
+    forward, backward = MetricsRegistry(), MetricsRegistry()
+    shards = [build_shard(seed) for seed in (1, 3, 4)]
+    for shard in shards:
+        forward.merge_snapshot(shard.snapshot())
+    for shard in reversed(shards):
+        backward.merge_snapshot(shard.snapshot())
+    assert forward.snapshot() == backward.snapshot()
+
+
+def test_merge_from_equals_merge_snapshot():
+    via_registry, via_snapshot = MetricsRegistry(), MetricsRegistry()
+    shard = build_shard(3)
+    via_registry.merge_from(shard)
+    via_snapshot.merge_snapshot(shard.snapshot())
+    assert via_registry.snapshot() == via_snapshot.snapshot()
+
+
+def test_merge_rejects_bucket_mismatch():
+    parent = MetricsRegistry()
+    parent.histogram("walk", buckets=(1, 2)).observe(1)
+    shard = MetricsRegistry()
+    shard.histogram("walk", buckets=(1, 2, 3)).observe(1)
+    with pytest.raises(ReproError, match="bucket mismatch"):
+        parent.merge_snapshot(shard.snapshot())
+
+
+def test_default_buckets_are_strictly_increasing():
+    assert all(b > a for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]))

@@ -1,0 +1,184 @@
+"""Unit tests for the structured trace bus and the JSONL exporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import NULL_OBS, NULL_SINK, Observability
+from repro.obs.export import (
+    format_record,
+    parse_trace,
+    span_counts,
+    trace_lines,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.trace import (
+    KINDS,
+    NullSink,
+    RecordingSink,
+    REQUIRED_KEYS,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+)
+from repro.platform.clock import SimulatedClock
+
+pytestmark = pytest.mark.obs
+
+
+def recording_tracer(start=0.0):
+    sink = RecordingSink()
+    return Tracer(sink, SimulatedClock(start)), sink
+
+
+# ----------------------------------------------------------------------
+# events, spans, sequencing
+# ----------------------------------------------------------------------
+def test_events_are_stamped_and_sequenced():
+    tracer, sink = recording_tracer(start=100.0)
+    tracer.event("a", x=1)
+    tracer.clock.advance(2.5)
+    tracer.event("b")
+    assert sink.records == [
+        {"seq": 0, "ts": 100.0, "kind": "event", "name": "a", "x": 1},
+        {"seq": 1, "ts": 102.5, "kind": "event", "name": "b"},
+    ]
+
+
+def test_span_records_open_and_close_times():
+    tracer, sink = recording_tracer(start=10.0)
+    span = tracer.span("work", node=7)
+    tracer.clock.advance(5.0)
+    span.add(steps=3)
+    span.close()
+    span.close()  # idempotent: still exactly one record
+    assert sink.records == [
+        {"seq": 0, "ts": 15.0, "kind": "span", "name": "work",
+         "t0": 10.0, "node": 7, "steps": 3},
+    ]
+
+
+def test_span_context_manager_stamps_error_type():
+    tracer, sink = recording_tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("walk"):
+            raise ValueError("boom")
+    (record,) = sink.records
+    assert record["error"] == "ValueError"
+    assert record["kind"] == "span"
+
+
+def test_timestamps_are_rounded_to_microseconds():
+    tracer, sink = recording_tracer()
+    tracer.clock.advance(1 / 3)
+    tracer.event("tick")
+    assert sink.records[0]["ts"] == round(1 / 3, 6)
+
+
+def test_bind_clock_adopts_the_runs_clock():
+    tracer, sink = recording_tracer()
+    late = SimulatedClock(500.0)
+    tracer.bind_clock(late)
+    tracer.event("after")
+    assert sink.records[0]["ts"] == 500.0
+
+
+def test_replay_resequences_and_labels_foreign_records():
+    shard_tracer, shard_sink = recording_tracer(start=40.0)
+    shard_tracer.event("srw.step", node=1)
+    shard_tracer.event("srw.step", node=2)
+    parent, parent_sink = recording_tracer()
+    parent.event("parallel.plan", shards=2)
+    parent.replay(shard_sink.records, shard=1)
+    assert [r["seq"] for r in parent_sink.records] == [0, 1, 2]
+    replayed = parent_sink.records[1]
+    assert replayed["shard"] == 1
+    assert replayed["ts"] == 40.0  # shard-local time is preserved
+    # the shard's own buffer is untouched (replay copies)
+    assert "shard" not in shard_sink.records[0]
+
+
+# ----------------------------------------------------------------------
+# sinks and the disabled fast path
+# ----------------------------------------------------------------------
+def test_null_sink_is_shared_and_disabled():
+    assert isinstance(NULL_SINK, NullSink)
+    assert NULL_SINK.enabled is False
+    NULL_SINK.emit({"seq": 0})  # swallows silently
+
+
+def test_observability_with_null_sink_stays_dark():
+    obs = Observability(trace_sink=NULL_SINK)
+    assert obs.trace is None
+    assert obs.metrics is None
+    assert obs.enabled is False
+    assert obs.trace_records() == []
+    obs.bind_clock(SimulatedClock(1.0))  # no-op, must not raise
+
+
+def test_null_obs_is_the_shared_disabled_instance():
+    assert NULL_OBS.enabled is False
+    assert NULL_OBS.trace is None
+    assert NULL_OBS.metrics is None
+
+
+# ----------------------------------------------------------------------
+# canonical JSONL round-trip and validation
+# ----------------------------------------------------------------------
+def test_format_record_is_canonical():
+    line = format_record({"name": "a", "seq": 0, "kind": "event", "ts": 1.5})
+    assert line == '{"kind":"event","name":"a","seq":0,"ts":1.5}'
+
+
+def test_write_and_parse_round_trip(tmp_path):
+    tracer, sink = recording_tracer()
+    tracer.event("run.begin", schema=TRACE_SCHEMA_VERSION)
+    with tracer.span("work"):
+        pass
+    path = tmp_path / "trace.jsonl"
+    count = write_trace(sink.records, path)
+    assert count == 2
+    parsed = parse_trace(path.read_text(encoding="ascii"))
+    assert parsed == sink.records
+    validate_trace(parsed)
+    assert trace_lines(parsed) == path.read_text().splitlines()
+
+
+def test_parse_trace_rejects_bad_json():
+    with pytest.raises(ReproError, match="line 2"):
+        parse_trace('{"seq":0}\nnot json\n')
+
+
+@pytest.mark.parametrize(
+    "record,match",
+    [
+        ({"seq": 0, "ts": 0.0, "kind": "event"}, "missing required key"),
+        ({"seq": 0, "ts": 0.0, "kind": "noise", "name": "x"}, "unknown kind"),
+        ({"seq": 0, "ts": 0.0, "kind": "span", "name": "x"}, "lacks t0"),
+    ],
+)
+def test_validate_trace_flags_schema_violations(record, match):
+    with pytest.raises(ReproError, match=match):
+        validate_trace([record])
+
+
+def test_validate_trace_requires_monotonic_seq():
+    good = {"ts": 0.0, "kind": "event", "name": "x"}
+    with pytest.raises(ReproError, match="seq monotonicity"):
+        validate_trace([dict(good, seq=0), dict(good, seq=0)])
+
+
+def test_span_counts_groups_by_name():
+    tracer, sink = recording_tracer()
+    tracer.event("api.call", calls=2)
+    tracer.event("api.call", calls=1)
+    tracer.event("run.end")
+    assert span_counts(sink.records) == {"api.call": 2, "run.end": 1}
+
+
+def test_schema_constants_are_stable():
+    # The golden files pin these; bump TRACE_SCHEMA_VERSION on change.
+    assert TRACE_SCHEMA_VERSION == 1
+    assert REQUIRED_KEYS == ("seq", "ts", "kind", "name")
+    assert KINDS == ("event", "span")

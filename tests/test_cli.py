@@ -94,3 +94,94 @@ def test_missing_keyword_and_query_rejected(saved_platform, capsys):
     captured = capsys.readouterr()
     assert code == 2
     assert "error:" in captured.err
+
+
+# ----------------------------------------------------------------------
+# observability flags: --trace-out / --metrics / --report
+# ----------------------------------------------------------------------
+def test_estimate_trace_out_writes_schema_valid_jsonl(saved_platform, tmp_path, capsys):
+    from repro.obs.export import parse_trace, validate_trace
+    from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+    trace_path = tmp_path / "trace.jsonl"
+    code = main([
+        "estimate", "--platform", str(saved_platform),
+        "--keyword", "privacy", "--budget", "4000",
+        "--algorithm", "ma-srw", "--walk-seed", "3",
+        "--trace-out", str(trace_path),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "trace    :" in captured.out
+    records = parse_trace(trace_path.read_text(encoding="ascii"))
+    validate_trace(records)
+    assert records[0]["name"] == "run.begin"
+    assert records[0]["schema"] == TRACE_SCHEMA_VERSION
+    assert records[0]["algorithm"] == "ma-srw"
+    assert records[-1]["name"] == "run.end"
+
+
+def test_estimate_trace_out_is_deterministic(saved_platform, tmp_path, capsys):
+    args = [
+        "estimate", "--platform", str(saved_platform),
+        "--keyword", "privacy", "--budget", "3000",
+        "--algorithm", "ma-srw", "--walk-seed", "9",
+    ]
+    paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+    for path in paths:
+        assert main(args + ["--trace-out", str(path)]) == 0
+    capsys.readouterr()
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+def test_estimate_metrics_prints_registry_json(saved_platform, capsys):
+    code = main([
+        "estimate", "--platform", str(saved_platform),
+        "--keyword", "privacy", "--budget", "4000",
+        "--algorithm", "ma-srw", "--metrics",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert '"counters"' in captured.out
+    assert '"api.calls{kind=search}"' in captured.out
+    assert '"histograms"' in captured.out
+
+
+def test_estimate_report_renders(saved_platform, capsys):
+    code = main([
+        "estimate", "--platform", str(saved_platform),
+        "--keyword", "privacy", "--budget", "4000",
+        "--algorithm", "ma-srw", "--report",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "convergence report" in captured.out
+    assert "query mix" in captured.out
+    assert "burn_in" in captured.out
+
+
+def test_report_with_replicates_prints_notice(saved_platform, capsys):
+    code = main([
+        "estimate", "--platform", str(saved_platform),
+        "--keyword", "privacy", "--budget", "9000", "--replicates", "3",
+        "--algorithm", "ma-srw", "--report",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "unavailable with --replicates" in captured.out
+
+
+def test_every_estimate_option_documents_itself():
+    """Pin against argparse help drift: each flag must carry help text."""
+    import argparse
+
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    for name, sub in subparsers.choices.items():
+        for action in sub._actions:
+            if action.dest == "help":
+                continue
+            assert action.help, f"{name}: option {action.dest!r} lacks help text"
