@@ -1,0 +1,239 @@
+"""Walk hot-path benchmark: the flattened fast path before/after.
+
+Times one serial budgeted ``estimate()`` per algorithm with the fast
+path disabled (the layered slow path) and enabled (pre-resolved
+:mod:`repro.api.fastpath` operations) on identical inputs, asserting the
+two runs are **bit-identical** in estimate, total cost and per-kind cost
+— the speedup must come purely from doing the same accounting with less
+interpreter work.
+
+Output per (algorithm, mode):
+
+* unprofiled wall-clock (best of ``TIMING_REPEATS``; the speedup claim
+  is read off these — profiling overhead would distort it).  Every
+  timed run starts from a **cold store** (``FrozenStore.drop_caches``):
+  the process-cached bench platform memoises materialised timelines, so
+  without the reset only the first run would pay the materialisation
+  cost the fast path exists to avoid — warm-cache timings would
+  understate the user-facing first-run speedup;
+* a phase breakdown from a *separate* cProfile run, split into
+  ``classify`` (``LevelByLevelOracle._classify`` cumulative), ``dp``
+  (``_run_dp_if_dirty`` cumulative, MA-TARW only) and ``step``
+  (everything else: RNG draws, walk bookkeeping, charge pipeline);
+* the run's cProfile dump at ``benchmarks/results/walk_hotpath_*.pstats``
+  (binary, git-ignored) for ad-hoc inspection with ``python -m pstats``.
+
+Tables land in ``benchmarks/results/walk_hotpath.txt`` and the
+machine-readable summary in ``BENCH_walk_hotpath.json`` at the repo
+root.
+
+``--quick`` is the CI perf-smoke mode: a small platform, one
+fast-vs-slow identity check per algorithm, plus the *guard counters* —
+the run fails if ``fastpath.resolved`` never fired or any
+``fastpath.fallback{reason}`` did, i.e. if the clean bench stack
+silently stopped resolving to the fast path.
+"""
+
+import argparse
+import json
+import pathlib
+import pstats
+import sys
+import time
+
+from repro.api.fastpath import set_fast_path_enabled
+from repro.bench import bench_platform, emit, format_table, run_estimator
+from repro.bench.profiling import profiled
+from repro.core.query import count_users
+from repro.obs import MetricsRegistry, Observability
+
+ALGORITHMS = ("ma-tarw", "ma-srw")
+NUM_USERS = 30_000
+BUDGET = 8_000
+SEED = 3
+TIMING_REPEATS = 2
+QUICK_NUM_USERS = 4_000
+QUICK_BUDGET = 2_000
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+JSON_PATH = REPO_ROOT / "BENCH_walk_hotpath.json"
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+PHASE_FUNCS = {
+    # phase -> (filename suffix, function name); cumulative times
+    "classify": ("graph_builder.py", "_classify"),
+    "dp": ("tarw.py", "_run_dp_if_dirty"),
+}
+
+
+def _run(platform, query, algorithm, fast, budget=BUDGET, obs=None):
+    """One estimate run with the fast path forced on/off."""
+    previous = set_fast_path_enabled(fast)
+    try:
+        return run_estimator(
+            platform, query, algorithm, budget=budget, seed=SEED, obs=obs
+        )
+    finally:
+        set_fast_path_enabled(previous)
+
+
+def _timed(platform, query, algorithm, fast):
+    """Best-of-N cold-store wall-clock plus the (deterministic) result."""
+    best = float("inf")
+    result = None
+    for _ in range(TIMING_REPEATS):
+        platform.store.drop_caches()
+        start = time.perf_counter()
+        result = _run(platform, query, algorithm, fast)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _phase_breakdown(platform, query, algorithm, fast, mode_label):
+    """Profile one run, dump its .pstats, and split time into phases."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    dump = RESULTS_DIR / f"walk_hotpath_{algorithm.replace('-', '_')}_{mode_label}.pstats"
+    platform.store.drop_caches()
+    previous = set_fast_path_enabled(fast)
+    try:
+        with profiled(str(dump)) as profiler:
+            run_estimator(platform, query, algorithm, budget=BUDGET, seed=SEED)
+    finally:
+        set_fast_path_enabled(previous)
+    stats = pstats.Stats(profiler)
+    stats.stream = None  # keep the object picklable/printable-free
+    phases = {name: 0.0 for name in PHASE_FUNCS}
+    for (filename, _line, func), (_cc, _nc, _tt, cum, _callers) in stats.stats.items():
+        for name, (suffix, target) in PHASE_FUNCS.items():
+            if func == target and filename.endswith(suffix):
+                phases[name] += cum
+    total = stats.total_tt
+    phases["step"] = max(total - sum(phases.values()), 0.0)
+    phases["profiled_total"] = total
+    return phases, dump
+
+
+def _identical(a, b):
+    return (
+        a.value == b.value
+        and a.cost_total == b.cost_total
+        and a.cost_by_kind == b.cost_by_kind
+    )
+
+
+def run_full():
+    platform = bench_platform(NUM_USERS)
+    query = count_users("privacy")
+    rows = []
+    payload = {
+        "num_users": NUM_USERS,
+        "budget": BUDGET,
+        "seed": SEED,
+        "query": "count_users('privacy')",
+        "algorithms": {},
+    }
+    for algorithm in ALGORITHMS:
+        slow, t_slow = _timed(platform, query, algorithm, fast=False)
+        fast, t_fast = _timed(platform, query, algorithm, fast=True)
+        if not _identical(slow, fast):
+            print(
+                f"FAIL: {algorithm} fast path is not bit-identical: "
+                f"slow={slow.value!r}/{slow.cost_by_kind} "
+                f"fast={fast.value!r}/{fast.cost_by_kind}",
+                file=sys.stderr,
+            )
+            return 1
+        modes = {}
+        for mode_label, is_fast, wall, result in (
+            ("slow", False, t_slow, slow),
+            ("fast", True, t_fast, fast),
+        ):
+            phases, dump = _phase_breakdown(platform, query, algorithm, is_fast, mode_label)
+            modes[mode_label] = {
+                "wall_seconds": round(wall, 4),
+                "phases_seconds": {k: round(v, 4) for k, v in phases.items()},
+                "pstats": str(dump.relative_to(REPO_ROOT)),
+            }
+            rows.append([
+                algorithm,
+                mode_label,
+                wall,
+                phases["profiled_total"],
+                phases["classify"],
+                phases.get("dp", 0.0),
+                phases["step"],
+                result.value,
+                result.cost_total,
+            ])
+        payload["algorithms"][algorithm] = {
+            "value": slow.value,
+            "cost_total": slow.cost_total,
+            "bit_identical": True,
+            "speedup": round(t_slow / t_fast, 2),
+            "modes": modes,
+        }
+        print(f"{algorithm}: {t_slow / t_fast:.2f}x serial speedup, bit-identical")
+    table = format_table(
+        "Walk hot path: layered slow path vs flattened fast path "
+        f"({NUM_USERS:,} users, budget {BUDGET:,}, seed {SEED}; wall is "
+        "unprofiled and cold-store, phase columns are from a separate "
+        "cProfile run and sum to 'profiled s')",
+        ["algorithm", "mode", "wall s", "profiled s", "classify s", "dp s",
+         "step s", "estimate", "cost"],
+        rows,
+    )
+    emit("walk_hotpath", table)
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {JSON_PATH.name}")
+    return 0
+
+
+def run_quick():
+    """CI perf-smoke: identity + the fast-path guard counters."""
+    platform = bench_platform(QUICK_NUM_USERS)
+    query = count_users("privacy")
+    failures = []
+    for algorithm in ALGORITHMS:
+        slow = _run(platform, query, algorithm, fast=False, budget=QUICK_BUDGET)
+        metrics = MetricsRegistry()
+        obs = Observability(metrics=metrics)
+        fast = _run(
+            platform, query, algorithm, fast=True, budget=QUICK_BUDGET, obs=obs
+        )
+        if not _identical(slow, fast):
+            failures.append(
+                f"{algorithm}: fast path not bit-identical "
+                f"(slow {slow.value!r}, fast {fast.value!r})"
+            )
+        counters = metrics.snapshot()["counters"]
+        resolved = counters.get("fastpath.resolved", 0)
+        fallbacks = {k: v for k, v in counters.items() if k.startswith("fastpath.fallback")}
+        if resolved < 1:
+            failures.append(f"{algorithm}: fast path never resolved (guard counter 0)")
+        if fallbacks:
+            failures.append(f"{algorithm}: fast path fell back to slow path: {fallbacks}")
+        print(
+            f"{algorithm}: identical={_identical(slow, fast)} "
+            f"resolved={resolved} fallbacks={fallbacks or 'none'}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf-smoke OK: fast path resolved, no fallbacks, bit-identical")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI perf-smoke: small platform, identity + guard counters only",
+    )
+    args = parser.parse_args(argv)
+    return run_quick() if args.quick else run_full()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

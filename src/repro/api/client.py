@@ -140,7 +140,7 @@ class SimulatedMicroblogClient(MicroblogAPI):
         self._charge(accounting.CONNECTIONS, calls)
         return neighbors
 
-    def user_timeline(self, user_id: int) -> TimelineView:
+    def _timeline_posts(self, user_id: int):
         store = self.platform.store
         if not store.has_user(user_id):
             raise APIError(f"unknown user {user_id}")
@@ -149,6 +149,10 @@ class SimulatedMicroblogClient(MicroblogAPI):
         truncated = cap is not None and len(posts) > cap
         if truncated:
             posts = posts[-cap:]  # most recent `cap` posts survive
+        return posts, truncated
+
+    def user_timeline(self, user_id: int) -> TimelineView:
+        posts, truncated = self._timeline_posts(user_id)
         profile = self.platform.profile
         calls = profile.calls_for_items(len(posts), profile.timeline_page_size)
         self._charge(accounting.TIMELINE, calls)
@@ -157,6 +161,32 @@ class SimulatedMicroblogClient(MicroblogAPI):
             posts=tuple(posts),
             truncated=truncated,
         )
+
+    def timeline_view(self, user_id: int) -> TimelineView:
+        """Assemble a timeline view *without* charging for it.
+
+        Fast-path support (see :mod:`repro.api.fastpath`): when a
+        timeline was prepaid via :meth:`charge_timeline`, the caching
+        client materialises the identical view through this method.
+        """
+        posts, truncated = self._timeline_posts(user_id)
+        return TimelineView(
+            profile=self._profile_view(user_id),
+            posts=tuple(posts),
+            truncated=truncated,
+        )
+
+    def charge_timeline(self, user_id: int, calls: int) -> None:
+        """Charge a timeline fetch without serving it (fast-path prepay).
+
+        *user_id* is not needed for the charge itself; it is the seam
+        through which tests attribute per-user fetch accounting.
+        """
+        self._charge(accounting.TIMELINE, calls)
+
+    def charge_connections(self, user_id: int, calls: int) -> None:
+        """Charge a connections fetch (flattened fast-path serving)."""
+        self._charge(accounting.CONNECTIONS, calls)
 
     # ------------------------------------------------------------------
     # bookkeeping helpers
@@ -198,6 +228,9 @@ class CachingClient(MicroblogAPI):
         self.inner = inner
         self.obs = obs if obs is not None else NULL_OBS
         self._timelines: Dict[int, TimelineView] = {}
+        self._prepaid_timelines: set = set()
+        """Users whose timeline fetch the fast path already charged but
+        whose view has not been materialised (see ``prepay_timeline``)."""
         self._connections: Dict[int, Tuple[int, ...]] = {}
         self._searches: Dict[Tuple[str, Optional[int]], Tuple[SearchHit, ...]] = {}
         self._lock = threading.RLock()
@@ -255,6 +288,17 @@ class CachingClient(MicroblogAPI):
     def user_timeline(self, user_id: int) -> TimelineView:
         with self._lock:
             if user_id not in self._timelines:
+                if user_id in self._prepaid_timelines:
+                    # The fast path already paid for this timeline when it
+                    # resolved the user's first mention from the frozen
+                    # columns; materialise the identical view now,
+                    # uncharged, and count the ordinary cache hit.
+                    self.hits += 1
+                    self._count("hits")
+                    view = self.inner.timeline_view(user_id)  # type: ignore[attr-defined]
+                    self._timelines[user_id] = view
+                    self._prepaid_timelines.discard(user_id)
+                    return view
                 self.misses += 1
                 self._count("misses")
                 response = self.inner.user_timeline(user_id)
@@ -267,6 +311,57 @@ class CachingClient(MicroblogAPI):
                 self.hits += 1
                 self._count("hits")
             return self._timelines[user_id]
+
+    # ------------------------------------------------------------------
+    # fast-path support (see repro.api.fastpath)
+    # ------------------------------------------------------------------
+    def prepay_timeline(
+        self, user_id: int, inner: SimulatedMicroblogClient, calls: int
+    ) -> None:
+        """Charge a timeline fetch now, defer materialisation.
+
+        Counter and charge behaviour is identical to an ordinary
+        :meth:`user_timeline` miss/hit — a cached or already-prepaid user
+        counts a hit and charges nothing; otherwise a miss is counted and
+        *calls* charged before the user enters the prepaid set (so a
+        budget rejection leaves exactly the slow-path state).
+        """
+        with self._lock:
+            if user_id in self._timelines or user_id in self._prepaid_timelines:
+                self.hits += 1
+                self._count("hits")
+                return
+            self.misses += 1
+            self._count("misses")
+            inner.charge_timeline(user_id, calls)
+            self._prepaid_timelines.add(user_id)
+
+    def connections_via(
+        self, user_id: int, inner: SimulatedMicroblogClient
+    ) -> Tuple[int, ...]:
+        """Flattened connections serving: cache probe, CSR adjacency and
+        charge under a single lock acquisition, skipping the delegation
+        hops of the layered path.  Identical counters, charges, errors
+        and (object-identical) responses."""
+        with self._lock:
+            cached = self._connections.get(user_id)
+            if cached is not None:
+                self.hits += 1
+                self._count("hits")
+                return cached
+            self.misses += 1
+            self._count("misses")
+            store = inner.platform.store
+            if not store.has_user(user_id):
+                raise APIError(f"unknown user {user_id}")
+            neighbors = store.graph.sorted_neighbors(user_id)
+            profile = inner.platform.profile
+            inner.charge_connections(
+                user_id,
+                profile.calls_for_items(len(neighbors), profile.connections_page_size),
+            )
+            self._connections[user_id] = neighbors
+            return neighbors
 
     @property
     def meter(self) -> CostMeter:

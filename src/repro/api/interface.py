@@ -4,6 +4,15 @@ These are the *only* data shapes estimators see.  A :class:`ProfileView`
 hides fields the platform does not expose (Twitter hides gender, §6.2); a
 :class:`TimelineView` contains at most the platform's timeline cap of the
 user's most recent posts (Twitter: 3 200, §2).
+
+One deliberate exception to "estimators see only these shapes": when a
+query context recognises a clean simulated stack it may answer
+first-mention lookups straight from the store's columns *without*
+building the :class:`TimelineView` — see :mod:`repro.api.fastpath`.
+That shortcut is an implementation detail of the simulator, charged and
+traced identically to a real ``user_timeline`` call; any client that
+actually implements :class:`MicroblogAPI` (a live platform, a fault
+wrapper) always goes through these types.
 """
 
 from __future__ import annotations

@@ -82,11 +82,15 @@ def run_estimator(
     fault_plan=None,
     retry_policy=None,
     obs=None,
+    profile_out: Optional[str] = None,
 ) -> EstimateResult:
     """One budgeted estimation run with benchmark-friendly defaults.
 
     *obs* is an optional :class:`repro.obs.Observability`; passing one
     makes the bench run emit the same traces/metrics as the CLI flags.
+    *profile_out* dumps a cProfile ``.pstats`` of the run (the bench
+    analogue of the CLI's ``--profile``); profiled wall-clock is not
+    comparable to unprofiled wall-clock — see docs/BENCHMARKS.md.
     """
     analyzer = MicroblogAnalyzer(
         platform,
@@ -102,7 +106,10 @@ def run_estimator(
         retry_policy=retry_policy,
         obs=obs,
     )
-    return analyzer.estimate(query, budget=budget)
+    from repro.bench.profiling import profiled
+
+    with profiled(profile_out):
+        return analyzer.estimate(query, budget=budget)
 
 
 def cost_to_reach_error(result: EstimateResult, truth: float, target: float) -> Optional[int]:

@@ -1,0 +1,42 @@
+"""cProfile capture shared by the CLI and the bench harness.
+
+``--profile PATH`` on ``python -m repro estimate`` (and the bench
+scripts) funnels through :func:`profiled`: the wrapped block runs under
+:mod:`cProfile` and the binary stats land at *PATH*, ready for
+``python -m pstats PATH`` or ``snakeviz``.  A falsy path disables
+profiling entirely — the block runs with zero added overhead — so
+callers can thread the option through unconditionally.
+
+Profiling alters wall-clock (tracing overhead is substantial on the
+per-call-heavy slow path), so speedup numbers must come from unprofiled
+runs; the hot-path bench times unprofiled and profiles separately for
+the phase breakdown.  See docs/BENCHMARKS.md.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import cProfile
+from typing import Iterator, Optional
+
+
+@contextlib.contextmanager
+def profiled(path: Optional[str]) -> Iterator[Optional[cProfile.Profile]]:
+    """Run the block under cProfile, dumping ``.pstats`` to *path*.
+
+    Yields the active profiler (None when disabled) so in-process
+    callers can also read the stats without reloading the file.
+    """
+    if not path:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+
+
+__all__ = ["profiled"]

@@ -113,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print a human convergence report (estimate "
                                "stream mixing, burn-in adequacy, ESTIMATE-p "
                                "agreement, query mix)")
+    estimate.add_argument("--profile", metavar="PATH",
+                          help="run the estimation under cProfile and dump "
+                               "binary stats to PATH (.pstats; inspect with "
+                               "python -m pstats PATH — see docs/BENCHMARKS.md)")
 
     truth = sub.add_parser("truth", help="print the exact ground-truth answer")
     _platform_source_args(truth)
@@ -269,10 +273,15 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     )
     truth = exact_value(platform.store, query)
     print(query.describe())
+    from repro.bench.profiling import profiled
+
     if args.replicates > 1:
-        ci = analyzer.estimate_with_confidence(
-            query, budget=args.budget, replicates=args.replicates
-        )
+        with profiled(args.profile):
+            ci = analyzer.estimate_with_confidence(
+                query, budget=args.budget, replicates=args.replicates
+            )
+        if args.profile:
+            print(f"profile  : cProfile stats -> {args.profile}")
         print(f"estimate : {ci}")
         print(f"truth    : {truth:,.4f}  "
               f"({'inside' if ci.contains(truth) else 'outside'} the interval)")
@@ -280,7 +289,10 @@ def cmd_estimate(args: argparse.Namespace) -> int:
         if obs is not None:
             _emit_obs(args, obs, result=None, truth=truth)
         return 0
-    result = analyzer.estimate(query, budget=args.budget)
+    with profiled(args.profile):
+        result = analyzer.estimate(query, budget=args.budget)
+    if args.profile:
+        print(f"profile  : cProfile stats -> {args.profile}")
     if result.value is None:
         print("no estimate produced (budget too small for this algorithm)")
         if obs is not None:

@@ -28,6 +28,9 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
+from repro.api.fastpath import resolve_fast_path
 from repro.api.interface import MicroblogAPI, TimelineView
 from repro.core.levels import LevelIndex
 from repro.core.query import AggregateQuery, UserView
@@ -36,7 +39,16 @@ from repro.obs import NULL_OBS, Observability
 
 
 class QueryContext:
-    """Memoised API knowledge scoped to one aggregate query."""
+    """Memoised API knowledge scoped to one aggregate query.
+
+    At construction the client stack is resolved once against the fast-
+    path rules (see :mod:`repro.api.fastpath`): a clean caching stack
+    over a frozen store gets flattened per-API-kind operations — batched
+    first-mention resolution from the store's columns and single-lock
+    connection serving — with charges, counters and trace bytes identical
+    to the layered path.  Any fault/resilient layer, legacy store or
+    non-caching client keeps every operation on the layered slow path.
+    """
 
     def __init__(
         self,
@@ -52,6 +64,9 @@ class QueryContext:
         when dark)."""
         self._first_mentions: Dict[int, Optional[float]] = {}
         self._views: Dict[int, UserView] = {}
+        self.fast = resolve_fast_path(client, query.keyword, obs=self.obs)
+        """Flattened ops for this ``(client, keyword)`` pair, or None when
+        any resolution rule forces the layered slow path."""
 
     # ------------------------------------------------------------------
     # raw API passthroughs (the client caches repeats)
@@ -61,6 +76,9 @@ class QueryContext:
 
     def connections(self, user_id: int) -> Sequence[int]:
         """Sorted neighbor ids; an immutable sequence — do not mutate."""
+        fast = self.fast
+        if fast is not None:
+            return fast.connections(user_id)
         return self.client.user_connections(user_id)
 
     # ------------------------------------------------------------------
@@ -72,10 +90,34 @@ class QueryContext:
         "Visible" = within the platform's timeline cap; prolific users may
         have their true first mention hidden (§2's 3 200-tweet caveat).
         """
-        if user_id not in self._first_mentions:
-            view = self.timeline(user_id)
-            self._first_mentions[user_id] = view.first_mention_time(self.query.keyword)
-        return self._first_mentions[user_id]
+        memo = self._first_mentions
+        if user_id not in memo:
+            fast = self.fast
+            if fast is not None:
+                fast.first_mention_into(user_id, memo)
+            else:
+                view = self.timeline(user_id)
+                memo[user_id] = view.first_mention_time(self.query.keyword)
+        return memo[user_id]
+
+    def first_mentions(self, user_ids: Sequence[int]) -> List[Optional[float]]:
+        """Batched :meth:`first_mention` preserving input order.
+
+        The batch classifier's entry point: with the fast path resolved,
+        all uncached users are answered from the frozen first-mention
+        columns in one vectorised lookup (charges replayed per user in
+        input order — identical accounting to sequential calls); the
+        slow path degrades to exactly those sequential calls.  Results
+        land in the same per-context memo either way, which is what makes
+        a timeline classified at most once per ``(client, keyword)``
+        across pilot candidates and the final oracle.
+        """
+        fast = self.fast
+        if fast is not None:
+            memo = self._first_mentions
+            fast.first_mentions_into(user_ids, memo)
+            return [memo[u] for u in user_ids]
+        return [self.first_mention(u) for u in user_ids]
 
     def matches_keyword(self, user_id: int) -> bool:
         """Term-induced-subgraph membership: keyword anywhere in timeline.
@@ -171,8 +213,10 @@ class TermInducedOracle:
 
     def neighbors(self, user_id: int) -> List[int]:
         if user_id not in self._cache:
+            connections = self.context.connections(user_id)
+            mentions = self.context.first_mentions(connections)
             self._cache[user_id] = [
-                v for v in self.context.connections(user_id) if self.context.matches_keyword(v)
+                v for v, mention in zip(connections, mentions) if mention is not None
             ]
         return self._cache[user_id]
 
@@ -208,13 +252,25 @@ class LevelByLevelOracle:
         self._cache: Dict[int, List[int]] = {}
         self._up: Dict[int, List[int]] = {}
         self._down: Dict[int, List[int]] = {}
+        self._levels: Dict[int, Optional[int]] = {}
+        """Memoised level per user.  The batch classifier fills it for
+        every neighbor it buckets, so the DP / recount phases' repeated
+        ``level_of`` calls stop re-deriving levels from mention times."""
+        self.classify_epoch = 0
+        """Bumped once per :meth:`_classify`.  MA-TARW's ESTIMATE-p DP
+        keys its recomputation on this counter: an unchanged epoch means
+        the classified subgraph — and therefore the exact DP fixed point —
+        is unchanged, so the full-table Eq. 6 sweep can be skipped."""
 
     # ------------------------------------------------------------------
     def level_of(self, user_id: int) -> Optional[int]:
+        levels = self._levels
+        if user_id in levels:
+            return levels[user_id]
         mention = self.context.first_mention(user_id)
-        if mention is None:
-            return None
-        return self.index.level_of(mention)
+        level = None if mention is None else self.index.level_of(mention)
+        levels[user_id] = level
+        return level
 
     def _keep_intra_edge(self, u: int, v: int) -> bool:
         if self.keep_intra_fraction <= 0.0:
@@ -225,6 +281,30 @@ class LevelByLevelOracle:
         draw = random.Random(f"{self.edge_seed}:{low}:{high}").random()
         return draw < self.keep_intra_fraction
 
+    def _bucket(self, mentions: List[Optional[float]]) -> List[Optional[int]]:
+        """Level per mention time (None passes through), vectorised.
+
+        ``levels_of_array`` is element-wise identical to scalar
+        ``level_of`` calls (same IEEE float64 operations — see
+        :mod:`repro.core.levels`), so batch and sequential classification
+        produce the same buckets bit for bit.  Indexes without the array
+        method fall back to scalar calls.
+        """
+        levels_of_array = getattr(self.index, "levels_of_array", None)
+        if levels_of_array is None:
+            level_of = self.index.level_of
+            return [None if m is None else level_of(m) for m in mentions]
+        out: List[Optional[int]] = [None] * len(mentions)
+        times = np.array(
+            [np.nan if m is None else m for m in mentions], dtype=np.float64
+        )
+        mask = ~np.isnan(times)
+        if mask.any():
+            values = levels_of_array(times[mask]).tolist()
+            for i, value in zip(np.flatnonzero(mask).tolist(), values):
+                out[i] = value
+        return out
+
     def _classify(self, user_id: int) -> None:
         own_level = self.level_of(user_id)
         if own_level is None:
@@ -232,12 +312,19 @@ class LevelByLevelOracle:
             self._up[user_id] = []
             self._down[user_id] = []
             self._note_classified(user_id, None, 0, 0)
+            self.classify_epoch += 1
             return
+        # One batched call resolves every neighbor's first mention (and
+        # therefore its level): a single vectorised column lookup on the
+        # fast path, per-user fetches with identical charges otherwise.
+        neighbors = self.context.connections(user_id)
+        levels = self._bucket(self.context.first_mentions(neighbors))
         all_neighbors: List[int] = []
         up: List[int] = []
         down: List[int] = []
-        for v in self.context.connections(user_id):
-            level = self.level_of(v)
+        level_memo = self._levels
+        for v, level in zip(neighbors, levels):
+            level_memo[v] = level
             if level is None:
                 continue
             if level == own_level:
@@ -253,6 +340,7 @@ class LevelByLevelOracle:
         self._up[user_id] = up
         self._down[user_id] = down
         self._note_classified(user_id, own_level, len(up), len(down))
+        self.classify_epoch += 1
 
     def _note_classified(
         self, user_id: int, level: Optional[int], up: int, down: int

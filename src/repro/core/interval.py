@@ -19,6 +19,16 @@ independent of worker count whenever the pilot budget suffices (with a
 near-exhausted budget, which pilot hits the wall first can depend on
 scheduling — the serial default keeps the paper's exact semantics).
 
+Every pilot shares the *one* :class:`QueryContext`, and first-mention
+timestamps are memoised there per ``(client, keyword)`` — so only the
+first candidate's pilot pays timeline queries for the users it touches;
+each subsequent candidate ``T`` merely *re-buckets* the memoised
+timestamps through its own :class:`LevelIndex` (a vectorised
+``floor((t - origin)/T)`` over the already-known values — see
+``LevelByLevelOracle._bucket``).  The memo lives on the context (and the
+prepaid/response cache on its client), both thread-safe, so the reuse
+holds unchanged when the pilot grid is sharded across workers.
+
 Two scorers are provided:
 
 * ``"spectral"`` (default) — build the *pilot-observed subgraph* (every
@@ -274,6 +284,12 @@ def select_time_interval(
     queries (which the response cache largely amortises across repeats
     anyway).  The returned ``pilots`` list holds the repeat whose score is
     the median for each candidate.
+
+    Candidates also amortise each other: the shared context memoises
+    every first-mention timestamp it resolves, so later candidates
+    re-bucket the same timestamps under their own width instead of
+    re-fetching timelines (see the module docstring) — a user's timeline
+    is classified at most once across the whole selection.
 
     With ``n_workers > 1`` the (candidate × repeat) pilot grid runs on
     the parallel execution engine (threaded — the pilots share this

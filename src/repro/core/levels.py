@@ -54,6 +54,18 @@ class LevelIndex:
     def level_of(self, first_mention_time: float) -> int:
         return math.floor((first_mention_time - self.origin) / self.interval)
 
+    def levels_of_array(self, times: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`level_of` over a float64 array.
+
+        ``np.floor`` on the float64 quotient performs the same IEEE-754
+        division and floor as ``math.floor`` on a python float, so the
+        result is element-wise identical to scalar calls (pinned by a
+        property test) — the batch classifier depends on that.
+        """
+        import numpy as np
+
+        return np.floor((times - self.origin) / self.interval).astype(np.int64)
+
     def classify(self, level_u: int, level_v: int) -> EdgeKind:
         gap = abs(level_u - level_v)
         if gap == 0:
@@ -125,6 +137,15 @@ class QuantileLevelIndex:
         import bisect
 
         return bisect.bisect_right(self.boundaries, first_mention_time)
+
+    def levels_of_array(self, times: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`level_of`: ``searchsorted(..., side="right")``
+        is element-wise identical to ``bisect.bisect_right`` on the same
+        float64 values."""
+        import numpy as np
+
+        boundaries = np.asarray(self.boundaries, dtype=np.float64)
+        return np.searchsorted(boundaries, times, side="right").astype(np.int64)
 
     def classify(self, level_u: int, level_v: int) -> EdgeKind:
         gap = abs(level_u - level_v)

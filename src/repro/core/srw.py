@@ -131,6 +131,10 @@ class MASRWEstimator:
         self._obs_excursions: List[int] = []
         self.fault_step_retries = 0
         self.fault_restarts = 0
+        self._meter = getattr(getattr(context, "client", None), "meter", None)
+        """Pre-bound cost meter (None for stub contexts/clients without
+        one), so the per-step cost probe is one attribute read instead
+        of a delegation chain."""
 
     # ------------------------------------------------------------------
     def estimate(self) -> EstimateResult:
@@ -312,6 +316,9 @@ class MASRWEstimator:
             self._obs_excursions[chain] = 0
 
     def _cost(self) -> int:
+        meter = self._meter
+        if meter is not None:
+            return meter.query_total
         return self.context.client.total_cost  # type: ignore[attr-defined]
 
     def _cost_by_kind(self) -> dict:

@@ -157,6 +157,11 @@ def _shard_stack(
     if fault_plan is not None or retry_policy is not None:
         inner = ResilientClient(inner, retry_policy, obs=obs)
     client = CachingClient(inner, obs=obs)
+    # Each shard's context resolves the flattened fast path independently
+    # against its own stack (repro.api.fastpath): clean shards flatten,
+    # fault-injected shards keep the layered clients they are testing.
+    # Resolution is per-shard state only, so worker-count invariance of
+    # the merged estimate is untouched.
     context = QueryContext(client, query, obs=obs)
     return client, context, _rebuild_oracle(oracle_template, context)
 

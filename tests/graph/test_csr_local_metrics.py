@@ -1,0 +1,95 @@
+"""Local neighborhood metrics on the frozen CSR graph.
+
+``triangles_at`` and ``common_neighbor_count`` serve the walk-level
+diagnostics on the hot path; these tests pin their sorted-intersection
+implementations against hand-built graphs and the mutable
+:class:`SocialGraph` reference implementation.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.social_graph import SocialGraph, triangle_count_at
+
+
+def _csr(nodes, edges):
+    return CSRGraph.from_graph(SocialGraph(nodes=nodes, edges=edges))
+
+
+class TestTrianglesAt:
+    def test_two_triangles_sharing_a_node(self):
+        # 0 sits on triangles (0,1,2) and (0,3,4); 1 sits on one.
+        graph = _csr(
+            range(5),
+            [(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)],
+        )
+        assert graph.triangles_at(0) == 2
+        assert graph.triangles_at(1) == 1
+        assert graph.triangles_at(3) == 1
+
+    def test_triangle_free_path_graph(self):
+        graph = _csr(range(6), [(i, i + 1) for i in range(5)])
+        assert all(graph.triangles_at(n) == 0 for n in range(6))
+
+    def test_isolated_node(self):
+        graph = _csr([0, 1, 2], [(1, 2)])
+        assert graph.triangles_at(0) == 0
+
+    def test_unknown_node_raises(self):
+        graph = _csr([0, 1], [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.triangles_at(99)
+
+    def test_matches_mutable_reference_on_random_graph(self):
+        rng = random.Random(7)
+        nodes = list(range(30))
+        edges = [
+            (u, v)
+            for u in nodes
+            for v in nodes
+            if u < v and rng.random() < 0.2
+        ]
+        mutable = SocialGraph(nodes=nodes, edges=edges)
+        frozen = CSRGraph.from_graph(mutable)
+        for node in nodes:
+            assert frozen.triangles_at(node) == triangle_count_at(mutable, node)
+
+
+class TestCommonNeighborCount:
+    def test_count_matches_set_size(self):
+        rng = random.Random(11)
+        nodes = list(range(25))
+        edges = [
+            (u, v)
+            for u in nodes
+            for v in nodes
+            if u < v and rng.random() < 0.25
+        ]
+        graph = _csr(nodes, edges)
+        for u in nodes[:10]:
+            for v in nodes[10:20]:
+                common = graph.common_neighbors(u, v)
+                assert graph.common_neighbor_count(u, v) == len(common)
+                assert all(
+                    u in graph.neighbors(w) and v in graph.neighbors(w)
+                    for w in common
+                )
+
+    def test_unknown_node_is_zero_not_error(self):
+        graph = _csr([0, 1, 2], [(0, 1), (1, 2)])
+        assert graph.common_neighbor_count(0, 99) == 0
+        assert graph.common_neighbor_count(99, 0) == 0
+        assert graph.common_neighbors(99, 0) == set()
+
+    def test_disjoint_neighborhoods(self):
+        graph = _csr(range(4), [(0, 1), (2, 3)])
+        assert graph.common_neighbor_count(0, 2) == 0
+        assert graph.common_neighbors(1, 3) == set()
+
+    def test_shared_hub(self):
+        graph = _csr(range(4), [(0, 1), (0, 2), (0, 3)])
+        assert graph.common_neighbor_count(1, 2) == 1
+        assert graph.common_neighbors(1, 2) == {0}

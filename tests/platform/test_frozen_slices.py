@@ -1,0 +1,110 @@
+"""Edge cases of the FrozenStore keyword slices and batched lengths.
+
+The classification fast path reads these columns directly, so their
+corner behaviour (absent keywords, empty timelines, unknown ids, cache
+resets) must match the scalar serving methods exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlatformError
+
+KEYWORD = "privacy"
+
+
+def _store(platform):
+    return platform.store
+
+
+class TestAbsentKeyword:
+    def test_users_mentioning_empty(self, tiny_platform):
+        assert _store(tiny_platform).users_mentioning("zzz-never-posted") == []
+
+    def test_first_mention_arrays_empty(self, tiny_platform):
+        users, times = _store(tiny_platform).first_mention_arrays("zzz-never-posted")
+        assert users.size == 0
+        assert times.size == 0
+
+    def test_first_mention_time_none(self, tiny_platform):
+        store = _store(tiny_platform)
+        user = store.user_ids()[0]
+        assert store.first_mention_time("zzz-never-posted", user) is None
+
+
+class TestDegenerateTimelines:
+    def test_empty_timeline_user(self, tiny_platform):
+        store = _store(tiny_platform)
+        empty = [u for u in store.user_ids() if store.timeline_length(u) == 0]
+        if not empty:
+            pytest.skip("tiny platform generated no empty timelines")
+        user = empty[0]
+        assert store.timeline(user) == ()
+        assert store.first_mention_time(KEYWORD, user) is None
+        kw_users, _ = store.first_mention_arrays(KEYWORD)
+        assert user not in kw_users
+
+    def test_single_post_user(self, tiny_platform):
+        store = _store(tiny_platform)
+        singles = [u for u in store.user_ids() if store.timeline_length(u) == 1]
+        if not singles:
+            pytest.skip("tiny platform generated no single-post timelines")
+        user = singles[0]
+        (post,) = store.timeline(user)
+        expected = (
+            post.timestamp
+            if KEYWORD in post.keywords
+            else None
+        )
+        assert store.first_mention_time(KEYWORD, user) == expected
+
+
+class TestTimelineLengths:
+    def test_matches_scalar_over_sample(self, tiny_platform):
+        store = _store(tiny_platform)
+        users = store.user_ids()[:300]
+        batch = store.timeline_lengths(np.asarray(users, dtype=np.int64))
+        assert batch.tolist() == [store.timeline_length(u) for u in users]
+
+    def test_unknown_id_raises(self, tiny_platform):
+        store = _store(tiny_platform)
+        missing = max(store.user_ids()) + 1
+        with pytest.raises(PlatformError):
+            store.timeline_lengths(np.asarray([missing], dtype=np.int64))
+
+    def test_known_and_unknown_mix_raises(self, tiny_platform):
+        store = _store(tiny_platform)
+        known = store.user_ids()[0]
+        missing = max(store.user_ids()) + 1
+        with pytest.raises(PlatformError):
+            store.timeline_lengths(np.asarray([known, missing], dtype=np.int64))
+
+    def test_empty_batch(self, tiny_platform):
+        store = _store(tiny_platform)
+        assert store.timeline_lengths(np.asarray([], dtype=np.int64)).size == 0
+
+
+class TestFirstMentionArrays:
+    def test_users_sorted_and_values_match_scalar(self, tiny_platform):
+        store = _store(tiny_platform)
+        users, times = store.first_mention_arrays(KEYWORD)
+        assert users.size > 0
+        assert np.all(np.diff(users) > 0)  # strictly ascending, no dupes
+        for user, time in zip(users.tolist()[:200], times.tolist()[:200]):
+            assert store.first_mention_time(KEYWORD, user) == time
+
+    def test_covers_exactly_the_mentioning_users(self, tiny_platform):
+        store = _store(tiny_platform)
+        users, _ = store.first_mention_arrays(KEYWORD)
+        assert set(users.tolist()) == set(store.users_mentioning(KEYWORD))
+
+    def test_drop_caches_preserves_served_values(self, tiny_platform):
+        store = _store(tiny_platform)
+        users_before, times_before = store.first_mention_arrays(KEYWORD)
+        sample = store.user_ids()[:50]
+        timelines_before = [store.timeline(u) for u in sample]
+        store.drop_caches()
+        users_after, times_after = store.first_mention_arrays(KEYWORD)
+        assert np.array_equal(users_before, users_after)
+        assert np.array_equal(times_before, times_after)
+        assert [store.timeline(u) for u in sample] == timelines_before
