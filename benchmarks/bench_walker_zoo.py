@@ -1,0 +1,199 @@
+"""Walker-zoo matrix: RMSE vs budget per (algorithm, design, fault profile).
+
+The registry turned the estimators into interchangeable walkers; this
+benchmark asks the question the zoo exists to answer: *which walker
+should I reach for, on which graph design, under how much API hostility,
+at what budget?*  For every cell of
+
+    algorithm x graph design x fault profile x budget
+
+it runs ``SEEDS`` independent walks of the flagship AVG query and
+reports the **root-mean-square relative error** across seeds, plus the
+realised budget spend and the budget-exempt retry volume.  RMSE (not
+mean error) is the honest scalar here: walk estimators at small budgets
+fail by variance, and RMSE charges an occasional wild replicate the
+quadratic price a practitioner actually pays.
+
+Fault profiles piggyback on the resilience contract: a *hostile* cell
+must produce **bit-identical** estimates to its clean twin (faults heal
+below the walk), so its RMSE column is the same and the only new
+information is the retry volume — the quick mode asserts exactly that
+instead of re-measuring accuracy.
+
+Tables land in ``benchmarks/results/walker_zoo.txt`` and the
+machine-readable matrix in ``BENCH_walker_zoo.json`` at the repo root
+(reading guide: docs/BENCHMARKS.md).
+
+``--quick`` is the CI perf-smoke mode: a small platform, one budget,
+level-by-level only — every registered matrix walker must complete
+within budget and match its hostile twin bit-identically.
+"""
+
+import argparse
+import dataclasses
+import json
+import math
+import pathlib
+import sys
+
+from repro.api.faults import FAULT_PROFILES
+from repro.bench import bench_platform, emit, format_table, ground_truth, run_estimator
+from repro.core.query import FOLLOWERS, avg_of
+
+ALGORITHMS = ("ma-srw", "rewired-srw", "wnw", "frontier")
+DESIGNS = ("level-by-level", "term-induced")
+FAULT_NAMES = ("none", "hostile")
+BUDGETS = (1_500, 3_000, 6_000)
+SEEDS = (0, 1)
+FAULT_SEED = 97
+QUICK_NUM_USERS = 4_000
+QUICK_BUDGET = 2_000
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+JSON_PATH = REPO_ROOT / "BENCH_walker_zoo.json"
+
+
+def _fault_plan(name):
+    profile = FAULT_PROFILES[name]
+    if not profile.active:
+        return None
+    return dataclasses.replace(profile, seed=FAULT_SEED)
+
+
+def _cell(platform, query, truth, algorithm, design, fault_name, budget):
+    """One matrix cell: SEEDS runs -> RMSE of relative error + cost stats."""
+    errors = []
+    costs = []
+    retries = 0
+    misses = 0
+    for seed in SEEDS:
+        result = run_estimator(
+            platform, query, algorithm,
+            graph_design=design, budget=budget, seed=seed,
+            fault_plan=_fault_plan(fault_name),
+        )
+        costs.append(result.cost_total)
+        retries += result.cost_by_kind.get("retries", 0)
+        if result.value is None:
+            misses += 1
+        else:
+            errors.append(abs(result.value - truth) / abs(truth))
+    rmse = math.sqrt(sum(e * e for e in errors) / len(errors)) if errors else None
+    return {
+        "algorithm": algorithm,
+        "graph_design": design,
+        "fault_profile": fault_name,
+        "budget": budget,
+        "rmse_rel_error": rmse,
+        "runs": len(SEEDS),
+        "no_estimate_runs": misses,
+        "mean_cost": sum(costs) / len(costs),
+        "retry_calls": retries,
+    }
+
+
+def run_full():
+    platform = bench_platform()
+    query = avg_of("privacy", FOLLOWERS)
+    truth = ground_truth(platform, query)
+    cells = []
+    rows = []
+    total = len(ALGORITHMS) * len(DESIGNS) * len(FAULT_NAMES) * len(BUDGETS)
+    done = 0
+    for algorithm in ALGORITHMS:
+        for design in DESIGNS:
+            for fault_name in FAULT_NAMES:
+                for budget in BUDGETS:
+                    cell = _cell(
+                        platform, query, truth, algorithm, design, fault_name, budget
+                    )
+                    cells.append(cell)
+                    rows.append([
+                        algorithm,
+                        design,
+                        fault_name,
+                        budget,
+                        "-" if cell["rmse_rel_error"] is None
+                        else f"{cell['rmse_rel_error']:.3f}",
+                        f"{cell['mean_cost']:.0f}",
+                        cell["retry_calls"],
+                        cell["no_estimate_runs"],
+                    ])
+                    done += 1
+                    print(
+                        f"[{done}/{total}] {algorithm} / {design} / {fault_name} "
+                        f"/ budget {budget}: rmse="
+                        f"{cell['rmse_rel_error'] if cell['rmse_rel_error'] is None else round(cell['rmse_rel_error'], 3)}"
+                    )
+    table = format_table(
+        "Walker zoo: RMSE of relative error vs budget "
+        f"(AVG followers over 'privacy', {len(SEEDS)} seeds per cell; "
+        "hostile cells are bit-identical to clean ones, differing only "
+        "in retry volume — see docs/BENCHMARKS.md)",
+        ["algorithm", "design", "faults", "budget", "rmse", "mean cost",
+         "retries", "no est."],
+        rows,
+    )
+    emit("walker_zoo", table)
+    payload = {
+        "platform": {"num_users": platform.store.num_users, "seed": 20140622},
+        "query": "avg_of('privacy', FOLLOWERS)",
+        "truth": truth,
+        "seeds": list(SEEDS),
+        "budgets": list(BUDGETS),
+        "fault_seed": FAULT_SEED,
+        "matrix": cells,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {JSON_PATH.name}")
+    return 0
+
+
+def run_quick():
+    """CI perf-smoke: every matrix walker completes and heals faults."""
+    platform = bench_platform(QUICK_NUM_USERS)
+    query = avg_of("privacy", FOLLOWERS)
+    failures = []
+    for algorithm in ALGORITHMS:
+        clean = run_estimator(
+            platform, query, algorithm, budget=QUICK_BUDGET, seed=0
+        )
+        hostile = run_estimator(
+            platform, query, algorithm, budget=QUICK_BUDGET, seed=0,
+            fault_plan=_fault_plan("hostile"),
+        )
+        if clean.cost_total > QUICK_BUDGET:
+            failures.append(f"{algorithm}: overspent the budget ({clean.cost_total})")
+        if hostile.value != clean.value or hostile.cost_total != clean.cost_total:
+            failures.append(
+                f"{algorithm}: hostile run is not bit-identical "
+                f"(clean {clean.value!r}, hostile {hostile.value!r})"
+            )
+        retries = hostile.cost_by_kind.get("retries", 0)
+        if retries < 1:
+            failures.append(f"{algorithm}: hostile profile injected no retries")
+        print(
+            f"{algorithm}: value={clean.value!r} cost={clean.cost_total} "
+            f"identical={hostile.value == clean.value} retries={retries}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf-smoke OK: walker zoo complete, faults healed bit-identically")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI perf-smoke: small platform, completion + fault bit-identity only",
+    )
+    args = parser.parse_args(argv)
+    return run_quick() if args.quick else run_full()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

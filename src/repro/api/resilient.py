@@ -41,6 +41,7 @@ import random
 from repro.api import accounting
 from repro.api.interface import MicroblogAPI, SearchHit, TimelineView
 from repro.errors import (
+    BudgetExhaustedError,
     CircuitOpenError,
     ReproError,
     TransientAPIError,
@@ -231,6 +232,16 @@ class ResilientClient(MicroblogAPI):
                 self._clock.advance(delay)
             try:
                 response = fetch()
+            except BudgetExhaustedError:
+                # The platform is healthy — the caller's own budget
+                # refused the call.  A fault-free run would have raised
+                # before any attempt was made, so this request's injected
+                # failures must not poison the breaker: walkers that end
+                # by exhaustion (not plateau) would otherwise see
+                # CircuitOpenError where the clean run sees budget
+                # exhaustion, breaking fault bit-identity.
+                self._record_success()
+                raise
             except TransientAPIError as err:
                 last_err = err
                 self._charge_retry(key, attempt, err)

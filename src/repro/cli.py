@@ -73,7 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
     _platform_source_args(estimate)
     _query_args(estimate)
     estimate.add_argument("--algorithm", default="ma-tarw", choices=ALGORITHMS,
-                          help="estimation algorithm (default ma-tarw)")
+                          help="estimation walker from the registry (default "
+                               "ma-tarw; see docs/ALGORITHMS.md for the catalog)")
     estimate.add_argument("--graph-design", default="level-by-level",
                           choices=GRAPH_DESIGNS,
                           help="walkable graph design over the topic subgraph "
@@ -89,8 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "makes estimates and traces deterministic")
     estimate.add_argument("--workers", type=int, default=None,
                           help="run the walk budget as parallel shards on this "
-                               "many workers (ma-tarw / ma-srw only; the point "
-                               "estimate is worker-count-invariant)")
+                               "many workers (walkers with a parallel driver: "
+                               "ma-tarw, ma-srw, rewired-srw, wnw, frontier; "
+                               "the point estimate is worker-count-invariant)")
     estimate.add_argument("--executor", default="auto",
                           choices=["auto", "process", "thread", "serial"],
                           help="worker pool kind for --workers (default auto)")

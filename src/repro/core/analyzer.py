@@ -19,28 +19,31 @@ from repro._rng import RandomLike, ensure_rng, spawn
 from repro.api.client import CachingClient, SimulatedMicroblogClient
 from repro.api.faults import FaultInjectingClient, FaultPlan
 from repro.api.resilient import ResilientClient, RetryPolicy
+from repro.core.crawler import CrawlConfig
+from repro.core.frontier import FrontierConfig
 from repro.core.graph_builder import (
     LevelByLevelOracle,
     QueryContext,
     SocialGraphOracle,
     TermInducedOracle,
 )
-from repro.core.crawler import CrawlConfig, CrawlEstimator
 from repro.core.interval import select_time_interval
 from repro.core.levels import LevelIndex
-from repro.core.mr import MarkRecaptureEstimator, MRConfig
+from repro.core.mr import MRConfig
 from repro.core.query import AggregateQuery
+from repro.core.registry import GRAPH_DESIGNS, get_walker, walker_names
 from repro.core.results import EstimateResult
-from repro.core.srw import MASRWEstimator, SRWConfig
-from repro.core.tarw import MATARWEstimator, TARWConfig
+from repro.core.rewired import RewiredConfig
+from repro.core.srw import SRWConfig
+from repro.core.tarw import TARWConfig
+from repro.core.wnw import WNWConfig
 from repro.errors import BudgetExhaustedError, EstimationError
 from repro.obs import NULL_OBS, Observability
 from repro.obs.trace import TRACE_SCHEMA_VERSION
 from repro.platform.clock import DAY
 from repro.platform.simulator import SimulatedPlatform
 
-ALGORITHMS = ("ma-tarw", "ma-srw", "m&r", "crawl")
-GRAPH_DESIGNS = ("level-by-level", "term-induced", "social")
+ALGORITHMS = walker_names()
 
 
 class MicroblogAnalyzer:
@@ -62,6 +65,9 @@ class MicroblogAnalyzer:
         tarw_config: Optional[TARWConfig] = None,
         mr_config: Optional[MRConfig] = None,
         crawl_config: Optional[CrawlConfig] = None,
+        rewired_config: Optional[RewiredConfig] = None,
+        wnw_config: Optional[WNWConfig] = None,
+        frontier_config: Optional[FrontierConfig] = None,
         keep_intra_fraction: float = 0.0,
         seed: RandomLike = None,
         n_workers: Optional[int] = None,
@@ -72,16 +78,18 @@ class MicroblogAnalyzer:
         retry_policy: Optional[RetryPolicy] = None,
         obs: Optional[Observability] = None,
     ) -> None:
-        if algorithm not in ALGORITHMS:
-            raise EstimationError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+        spec = get_walker(algorithm)  # raises EstimationError when unknown
         if graph_design not in GRAPH_DESIGNS:
             raise EstimationError(
                 f"unknown graph design {graph_design!r}; choose from {GRAPH_DESIGNS}"
             )
-        if algorithm == "ma-tarw" and graph_design != "level-by-level":
-            raise EstimationError("MA-TARW requires the level-by-level graph design")
+        if graph_design not in spec.designs:
+            raise EstimationError(
+                f"{algorithm} requires the {' / '.join(spec.designs)} graph design"
+            )
         self.platform = platform
         self.algorithm = algorithm
+        self.walker_spec = spec
         self.graph_design = graph_design
         self.interval = interval
         self.level_index = level_index
@@ -91,6 +99,19 @@ class MicroblogAnalyzer:
         self.tarw_config = tarw_config or TARWConfig()
         self.mr_config = mr_config or MRConfig()
         self.crawl_config = crawl_config or CrawlConfig()
+        overrides = {
+            "ma-tarw": tarw_config,
+            "ma-srw": srw_config,
+            "rewired-srw": rewired_config,
+            "wnw": wnw_config,
+            "frontier": frontier_config,
+            "m&r": mr_config,
+            "crawl": crawl_config,
+        }
+        override = overrides.get(algorithm)
+        self.walker_config = override if override is not None else spec.config_cls()
+        """The chosen walker's resolved config: the matching ``*_config``
+        kwarg when given, the registry default otherwise."""
         self.keep_intra_fraction = keep_intra_fraction
         self.rng = ensure_rng(seed)
         self.api_latency = api_latency
@@ -111,12 +132,14 @@ class MicroblogAnalyzer:
         to the shared disabled instance — a dark run pays one attribute
         read per instrumented site and is bit-identical to a traced one."""
         self.parallel = None
-        """Walk-shard execution plan for MA-TARW / MA-SRW, built from
+        """Walk-shard execution plan for walkers with a parallel driver
+        (``parallel_kind`` of ``"hh"`` or ``"samples"``), built from
         ``n_workers``/``n_shards``/``executor``.  ``n_workers=None``
         (the default) keeps the classic single-walker serial run; any
         integer — including 1 — switches to the shard-merge engine, whose
         point estimate depends on the seed and shard count but never on
-        the worker count.  ``m&r`` and ``crawl`` ignore it."""
+        the worker count.  Walkers without a driver (``m&r``, ``crawl``)
+        ignore it."""
         if n_workers is not None:
             from repro.parallel.engine import ParallelConfig
 
@@ -157,18 +180,14 @@ class MicroblogAnalyzer:
         run_rng = spawn(self.rng, f"run:{query.keyword}:{query.aggregate.value}")
 
         oracle = self._build_oracle(context, run_rng)
-        if self.algorithm == "ma-tarw":
-            estimator = MATARWEstimator(
-                context, oracle, self.tarw_config, seed=run_rng, parallel=self.parallel
-            )
-        elif self.algorithm == "ma-srw":
-            estimator = MASRWEstimator(
-                context, oracle, self.srw_config, seed=run_rng, parallel=self.parallel
-            )
-        elif self.algorithm == "crawl":
-            estimator = CrawlEstimator(context, oracle, self.crawl_config, seed=run_rng)
-        else:
-            estimator = MarkRecaptureEstimator(context, oracle, self.mr_config, seed=run_rng)
+        spec = self.walker_spec
+        estimator = spec.estimator(
+            context,
+            oracle,
+            self.walker_config,
+            seed=run_rng,
+            parallel=self.parallel if spec.parallel_kind is not None else None,
+        )
         result = estimator.estimate()
         if result.walk_stats is None:
             result.diagnostics["simulated_wait_seconds"] = client.inner.simulated_wait  # type: ignore[attr-defined]

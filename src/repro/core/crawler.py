@@ -14,20 +14,21 @@ implements that budgeted BFS crawl over any neighbor oracle:
 * SUM — the sum over crawled matching users (same lower-bound caveat).
 
 Kept as an honest baseline: at small budgets it shows why the paper's
-problem needs estimators at all.
+problem needs estimators at all.  For an *estimator* built on the same
+multi-seed budgeted-crawl idea, see :class:`repro.core.frontier.
+FrontierEstimator` — it revisits nodes and reweights by degree, turning
+the crawl loop into an unbiased sampler instead of a lower bound.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import ClassVar, List, Optional, Set
 
-from repro._rng import RandomLike, ensure_rng
-from repro.core.graph_builder import QueryContext
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
-from repro.core.srw import NeighborOracle
+from repro.core.walker import BaseWalker
 from repro.errors import BudgetExhaustedError, EstimationError
 
 
@@ -46,22 +47,21 @@ class CrawlConfig:
             raise EstimationError("max_nodes must be >= 1 or None")
 
 
-class CrawlEstimator:
-    """Budgeted breadth-first crawl from the search seeds."""
+class CrawlEstimator(BaseWalker):
+    """Budgeted breadth-first crawl baseline (paper §3.2); superseded by the frontier walker.
 
-    def __init__(
-        self,
-        context: QueryContext,
-        oracle: NeighborOracle,
-        config: Optional[CrawlConfig] = None,
-        seed: RandomLike = None,
-    ) -> None:
-        self.context = context
-        self.oracle = oracle
-        self.config = config or CrawlConfig()
-        self.rng = ensure_rng(seed)
+    Budgeted breadth-first crawl from the search seeds.  Deprecated in
+    favor of :class:`~repro.core.frontier.FrontierEstimator` for actual
+    estimation — kept registered as the paper's honesty baseline.  Costs
+    are read through the shared Walker cost probes (the pre-bound meter),
+    so fast-path accounting is identical to every other walker's.
+    """
 
-    def estimate(self) -> EstimateResult:
+    algorithm: ClassVar[str] = "crawl"
+    parallel_kind: ClassVar[Optional[str]] = None
+    config_cls: ClassVar[type] = CrawlConfig
+
+    def _estimate_serial(self) -> EstimateResult:
         config = self.config
         query = self.context.query
         visited: Set[int] = set()
@@ -95,10 +95,10 @@ class CrawlEstimator:
         trace.append(TracePoint(self._cost(), value))
         return EstimateResult(
             query=query,
-            algorithm=f"crawl[{self.oracle.name}]",
+            algorithm=self.algorithm_id(),
             value=value,
             cost_total=self._cost(),
-            cost_by_kind=self.context.client.meter.by_kind(),  # type: ignore[attr-defined]
+            cost_by_kind=self._cost_by_kind(),
             trace=trace,
             num_samples=len(visited),
             diagnostics={
@@ -117,6 +117,3 @@ class CrawlEstimator:
         if not matching_values:
             return None
         return sum(matching_values) / len(matching_values)
-
-    def _cost(self) -> int:
-        return self.context.client.total_cost  # type: ignore[attr-defined]

@@ -386,3 +386,27 @@ class LevelByLevelOracle:
         selection-probability computation in MA-TARW's ``p_method="dp"``.
         """
         return list(self._cache)
+
+
+def rebuild_oracle(template, context: QueryContext):
+    """A fresh oracle of the template's kind over a different context.
+
+    Two consumers: the parallel engine rebuilds each shard's oracle over
+    the shard's private client stack, and the Walk-Not-Wait walker
+    rebinds the analyzer-built oracle to its probing context.  Every
+    graph-design parameter (level index, intra-edge retention, edge
+    seed) carries over; only the memoised API knowledge starts empty.
+    """
+    if isinstance(template, LevelByLevelOracle):
+        return LevelByLevelOracle(
+            context,
+            template.index,
+            keep_intra_fraction=template.keep_intra_fraction,
+            edge_seed=template.edge_seed,
+        )
+    if isinstance(template, (SocialGraphOracle, TermInducedOracle)):
+        return type(template)(context)
+    raise EstimationError(
+        f"cannot rebuild oracle {type(template).__name__}; "
+        "only the graph-builder oracles are supported"
+    )

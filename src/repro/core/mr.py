@@ -17,14 +17,19 @@ original paper, rather than an adaptive Geweke cut.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, ClassVar, List, Optional
 
-from repro._rng import RandomLike, ensure_rng
+from repro._rng import RandomLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.parallel.engine import ParallelConfig
 from repro.core.graph_builder import QueryContext
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
 from repro.core.srw import NeighborOracle
+from repro.core.walker import BaseWalker
 from repro.errors import BudgetExhaustedError, EstimationError
+from repro.obs import Observability
 from repro.sampling.estimators import ratio_average
 from repro.sampling.mark_recapture import katzir_count
 
@@ -47,8 +52,15 @@ class MRConfig:
             raise EstimationError("stall_steps must be >= 1")
 
 
-class MarkRecaptureEstimator:
-    """Budgeted Katzir-style COUNT estimation over any neighbor oracle."""
+class MarkRecaptureEstimator(BaseWalker):
+    """Mark-and-recapture COUNT baseline from walk collisions (Katzir et al., paper §6).
+
+    Budgeted Katzir-style COUNT estimation over any neighbor oracle.
+    """
+
+    algorithm: ClassVar[str] = "m&r"
+    parallel_kind: ClassVar[Optional[str]] = None
+    config_cls: ClassVar[type] = MRConfig
 
     def __init__(
         self,
@@ -56,15 +68,14 @@ class MarkRecaptureEstimator:
         oracle: NeighborOracle,
         config: Optional[MRConfig] = None,
         seed: RandomLike = None,
+        parallel: Optional["ParallelConfig"] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if context.query.aggregate is not Aggregate.COUNT:
             raise EstimationError("M&R supports COUNT queries only (as in the paper)")
-        self.context = context
-        self.oracle = oracle
-        self.config = config or MRConfig()
-        self.rng = ensure_rng(seed)
+        super().__init__(context, oracle, config, seed=seed, parallel=parallel, obs=obs)
 
-    def estimate(self) -> EstimateResult:
+    def _estimate_serial(self) -> EstimateResult:
         config = self.config
         nodes: List[int] = []
         degrees: List[int] = []
@@ -104,10 +115,10 @@ class MarkRecaptureEstimator:
         trace.append(TracePoint(self._cost(), value))
         return EstimateResult(
             query=self.context.query,
-            algorithm=f"m&r[{self.oracle.name}]",
+            algorithm=self.algorithm_id(),
             value=value,
             cost_total=self._cost(),
-            cost_by_kind=self.context.client.meter.by_kind(),  # type: ignore[attr-defined]
+            cost_by_kind=self._cost_by_kind(),
             trace=trace,
             num_samples=len(nodes),
             diagnostics={"steps": float(steps)},
@@ -131,6 +142,3 @@ class MarkRecaptureEstimator:
             return population * fraction
         except EstimationError:
             return None  # typically: no collisions yet
-
-    def _cost(self) -> int:
-        return self.context.client.total_cost  # type: ignore[attr-defined]

@@ -1,0 +1,140 @@
+"""Rewired SRW: on-the-fly virtual edges among visited nodes (arXiv:1211.5184).
+
+*Faster Random Walks By Rewiring Online Social Networks On-The-Fly*
+observes that an SRW's mixing time is bounded by the graph's conductance,
+and that a crawler — unlike the platform — is free to walk a *modified*
+graph as long as it can account for the modification.  The walker below
+implements the paper's CDRW idea in its simplest budget-relevant form:
+
+* On the **first visit** to a node, wire it to ``rewire_degree`` nodes
+  drawn uniformly from the already-visited set (§3's random rewiring —
+  the added edges form an expander over the visited subgraph, collapsing
+  its diameter).  Virtual edges are undirected and cost nothing: both
+  endpoints' adjacency is already cached.
+* Each step moves to a uniform choice over **real + virtual** neighbors.
+  Jumping a virtual edge lands on a visited node whose real adjacency is
+  cached, so the step is free; the walk escapes the community it is stuck
+  in without the teleport heuristic's full restart.
+* Reweighting uses the **rewired degree** (real + virtual at visit time):
+  the walk's stationary distribution on the rewired graph is ∝ rewired
+  degree, so the usual SRW estimators apply unchanged — this is the
+  paper's key point, that rewiring changes the sampling distribution in a
+  *known* way.  The rewired graph evolves while the walk runs (§4 of the
+  paper analyses this evolving-graph approximation); degrees recorded at
+  visit time are a snapshot, and the approximation error vanishes as the
+  visited set saturates.
+
+Everything else — chain loop, Geweke burn-in, estimate assembly, fault
+recovery, sharding — is inherited from MA-SRW via the Walker substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional
+
+from repro._rng import RandomLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.parallel.engine import ParallelConfig
+from repro.core.graph_builder import QueryContext
+from repro.core.srw import MASRWEstimator, SRWConfig
+from repro.errors import EstimationError
+from repro.obs import Observability
+
+
+@dataclass(frozen=True)
+class RewiredConfig(SRWConfig):
+    """Knobs for the rewired SRW (extends :class:`SRWConfig`)."""
+
+    rewire_degree: int = 3
+    """Virtual edges wired from each newly visited node to uniformly
+    chosen previously visited nodes (0 degenerates to plain MA-SRW).
+    The paper's trade-off: more virtual edges mix faster but dilute the
+    real-graph signal each sample carries, since the recorded degree —
+    and hence each sample's weight — absorbs the virtual additions."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rewire_degree < 0:
+            raise EstimationError("rewire_degree must be >= 0")
+
+
+class RewiredSRWEstimator(MASRWEstimator):
+    """SRW over a graph rewired on the fly: virtual edges among visited nodes speed mixing (arXiv:1211.5184).
+
+    Subclasses MA-SRW; only the visit hook (wire new nodes), the recorded
+    degree (real + virtual) and the step distribution (union adjacency)
+    change.
+    """
+
+    algorithm: ClassVar[str] = "rewired-srw"
+    parallel_kind: ClassVar[Optional[str]] = "samples"
+    obs_prefix: ClassVar[str] = "rewired"
+    config_cls: ClassVar[type] = RewiredConfig
+
+    def __init__(
+        self,
+        context: QueryContext,
+        oracle,
+        config: Optional[RewiredConfig] = None,
+        seed: RandomLike = None,
+        parallel: Optional["ParallelConfig"] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        super().__init__(context, oracle, config, seed=seed, parallel=parallel, obs=obs)
+        self._virtual: Dict[int, List[int]] = {}
+        self._visited: set = set()
+        self._visited_order: List[int] = []
+        """Uniform-sampling substrate for wiring: append-only, so the
+        draw ``rng.sample(order, k)`` is deterministic given the walk."""
+        self._virtual_edges = 0
+
+    # ------------------------------------------------------------------
+    def _wire(self, node: int) -> None:
+        """First-visit hook: wire *node* into the visited expander."""
+        if node in self._visited:
+            return
+        order = self._visited_order
+        k = min(self.config.rewire_degree, len(order))
+        if k > 0:
+            mine = self._virtual.setdefault(node, [])
+            for other in self.rng.sample(order, k):
+                mine.append(other)
+                self._virtual.setdefault(other, []).append(node)
+                self._virtual_edges += 1
+        self._visited.add(node)
+        order.append(node)
+
+    def _observe(
+        self, node: int, nodes: List[int], degrees: List[float], chain: int = 0
+    ) -> None:
+        # Wire before the degree lookup so the recorded degree includes
+        # this node's own fresh virtual edges (visit-time snapshot).
+        self._wire(node)
+        super()._observe(node, nodes, degrees, chain=chain)
+
+    def _sample_degree(self, node: int) -> float:
+        real = float(self._oracle_step(self.oracle.degree, node))
+        return real + len(self._virtual.get(node, ()))
+
+    def _advance(self, currents: List[int], index: int, seeds: List[int]) -> None:
+        node = currents[index]
+        real = self._oracle_step(self.oracle.neighbors, node)
+        virtual = self._virtual.get(node)
+        if virtual:
+            currents[index] = self.rng.choice(list(real) + virtual)
+        elif real:
+            currents[index] = self.rng.choice(real)
+        else:
+            # Isolated *and* unwired (only possible before any wiring
+            # happened): fall back to the SRW dead-end reseed.
+            currents[index] = self.rng.choice(seeds)
+            self._restarts += 1
+            self._note_restart(index, "dead_end")
+        self._observe(
+            currents[index], self._chain_nodes[index], self._chain_degrees[index], chain=index
+        )
+
+    def _walker_diagnostics(self) -> dict:
+        return {"virtual_edges": float(self._virtual_edges)}

@@ -18,26 +18,19 @@ Burn-in is detected with the Geweke diagnostic on the walk's degree
 series (§4.1 measures burn-in with Geweke Z ≤ 0.1), so slow-mixing graph
 designs automatically pay their longer burn-in in samples discarded —
 which is precisely the mechanism behind the paper's query-cost gaps.
+
+The chain loop, sample filtering and estimate assembly all live in
+:class:`repro.core.walker.ChainSampleWalker`; this module contributes the
+config and the registry identity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Protocol, Tuple
+from typing import ClassVar, List, Optional, Protocol
 
-from repro._rng import RandomLike, ensure_rng
-
-if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
-    from repro.parallel.engine import ParallelConfig
-from repro.core.graph_builder import QueryContext
-from repro.core.query import Aggregate
-from repro.core.results import EstimateResult, TracePoint
-from repro.errors import BudgetExhaustedError, EstimationError, TransientAPIError
-from repro.obs import NULL_OBS, Observability
-from repro.obs.diagnostics import srw_burn_in_report
-from repro.sampling.diagnostics import detect_burn_in
-from repro.sampling.estimators import ratio_average
-from repro.sampling.mark_recapture import katzir_count
+from repro.core.walker import ChainSampleWalker
+from repro.errors import EstimationError
 
 
 class NeighborOracle(Protocol):
@@ -102,334 +95,17 @@ class SRWConfig:
             raise EstimationError("step_retries must be >= 0")
 
 
-class MASRWEstimator:
-    """Budgeted MA-SRW runs over any neighbor oracle."""
+class MASRWEstimator(ChainSampleWalker):
+    """Simple random walk with Geweke burn-in and degree reweighting (paper §4, Algorithm 1).
 
-    def __init__(
-        self,
-        context: QueryContext,
-        oracle: NeighborOracle,
-        config: Optional[SRWConfig] = None,
-        seed: RandomLike = None,
-        parallel: Optional["ParallelConfig"] = None,
-        obs: Optional[Observability] = None,
-    ) -> None:
-        self.context = context
-        self.oracle = oracle
-        self.config = config or SRWConfig()
-        self.rng = ensure_rng(seed)
-        self.parallel = parallel
-        if obs is None:
-            obs = getattr(context, "obs", None)
-        self.obs = obs if obs is not None else NULL_OBS
-        """When set, :meth:`estimate` partitions the budget into logical
-        walk shards executed by :mod:`repro.parallel` (each shard a full
-        serial MA-SRW run on its own client and RNG stream) and pools the
-        post-burn-in samples.  None keeps the classic run."""
-        self._chain_nodes: List[List[int]] = []
-        self._chain_degrees: List[List[float]] = []
-        self._obs_excursions: List[int] = []
-        self.fault_step_retries = 0
-        self.fault_restarts = 0
-        self._meter = getattr(getattr(context, "client", None), "meter", None)
-        """Pre-bound cost meter (None for stub contexts/clients without
-        one), so the per-step cost probe is one attribute read instead
-        of a delegation chain."""
+    Budgeted MA-SRW runs over any neighbor oracle.  With
+    ``config.chains > 1``, that many independent chains are stepped
+    round-robin (each from its own seed) and their post-burn-in samples
+    pooled — the parallel-walks idea of Gjoka et al. [13], which covers
+    multi-component subgraphs faster than one teleporting chain.
+    """
 
-    # ------------------------------------------------------------------
-    def estimate(self) -> EstimateResult:
-        """Walk until the client's budget (or ``max_steps``) is exhausted.
-
-        With ``config.chains > 1``, that many independent chains are
-        stepped round-robin (each from its own seed) and their post-burn-in
-        samples pooled — the parallel-walks idea of Gjoka et al. [13],
-        which covers multi-component subgraphs faster than one teleporting
-        chain.
-        """
-        if self.parallel is not None:
-            from repro.parallel.walkers import run_parallel_estimate
-
-            return run_parallel_estimate(self)
-        return self._estimate_serial()
-
-    def _estimate_serial(self) -> EstimateResult:
-        config = self.config
-        query = self.context.query
-        chain_nodes: List[List[int]] = [[] for _ in range(config.chains)]
-        chain_degrees: List[List[float]] = [[] for _ in range(config.chains)]
-        self._chain_nodes = chain_nodes
-        self._chain_degrees = chain_degrees
-        trace: List[TracePoint] = []
-        steps = 0
-        restarts = 0
-        last_cost = -1
-        stalled_since = 0
-        next_trace = config.trace_every
-        self._obs_excursions = [0] * config.chains
-        try:
-            seeds = self._oracle_step(self.context.seeds, config.max_seeds)
-            if self.obs.trace is not None:
-                self.obs.trace.event("srw.seeds", n=len(seeds), chains=config.chains)
-            currents = [self.rng.choice(seeds) for _ in range(config.chains)]
-            for index, start in enumerate(currents):
-                try:
-                    self._observe(start, chain_nodes[index], chain_degrees[index], chain=index)
-                except TransientAPIError:
-                    # The chain starts dark: no sample committed, but the
-                    # first step below reseeds it like any faulted step.
-                    self.fault_restarts += 1
-                    self._note_restart(index, "fault")
-            while config.max_steps is None or steps < config.max_steps:
-                index = steps % config.chains
-                try:
-                    neighbors = self._oracle_step(self.oracle.neighbors, currents[index])
-                    if not neighbors:
-                        currents[index] = self.rng.choice(seeds)
-                        restarts += 1
-                        self._note_restart(index, "dead_end")
-                    else:
-                        currents[index] = self.rng.choice(neighbors)
-                    self._observe(currents[index], chain_nodes[index], chain_degrees[index], chain=index)
-                except TransientAPIError:
-                    # Walk-level recovery, stage 2: in-place retries were
-                    # exhausted, so the chain checkpoints — every committed
-                    # (node, degree) pair stays — and restarts from a seed.
-                    # Steps still advance, so a permanently dark platform
-                    # cannot trap the loop.
-                    currents[index] = self.rng.choice(seeds)
-                    self.fault_restarts += 1
-                    self._note_restart(index, "fault")
-                steps += 1
-                cost = self._cost()
-                if cost == last_cost:
-                    stalled_since += 1
-                    if stalled_since >= config.stall_steps:
-                        break
-                    if stalled_since % config.teleport_after == 0:
-                        currents[index] = self.rng.choice(seeds)
-                        restarts += 1
-                        self._note_restart(index, "teleport")
-                else:
-                    last_cost = cost
-                    stalled_since = 0
-                if steps >= next_trace:
-                    # Geometric spacing keeps total estimate-recomputation
-                    # work O(chain log chain); each recompute is O(chain).
-                    trace.append(
-                        TracePoint(cost, self._current_estimate(chain_nodes, chain_degrees))
-                    )
-                    next_trace = steps + max(config.trace_every, steps // 20)
-        except BudgetExhaustedError:
-            pass
-        except TransientAPIError:
-            pass  # platform unrecoverable during seeding: report what we have
-
-        value = self._current_estimate(chain_nodes, chain_degrees)
-        trace.append(TracePoint(self._cost(), value))
-        diagnostics = {
-            "steps": float(steps),
-            "dead_end_restarts": float(restarts),
-            "chains": float(config.chains),
-            "fault_restarts": float(self.fault_restarts),
-            "fault_step_retries": float(self.fault_step_retries),
-        }
-        if self.obs.enabled:
-            self._obs_chain_summary(chain_degrees, diagnostics)
-        return EstimateResult(
-            query=query,
-            algorithm=f"ma-srw[{self.oracle.name}]",
-            value=value,
-            cost_total=self._cost(),
-            cost_by_kind=self._cost_by_kind(),
-            trace=trace,
-            num_samples=sum(len(nodes) for nodes in chain_nodes),
-            diagnostics=diagnostics,
-        )
-
-    def _obs_chain_summary(self, chain_degrees: List[List[float]], diagnostics) -> None:
-        """Burn-in adequacy telemetry: per-chain trace events plus pooled
-        ``obs_burn_in_*`` diagnostics.  Pure post-processing of committed
-        degree series — no API calls, no RNG draws."""
-        config = self.config
-        if self.obs.trace is not None:
-            for index, degrees in enumerate(chain_degrees):
-                burn_in = None
-                if len(degrees) >= 4:
-                    scan_step = max(10, len(degrees) // 20)
-                    burn_in = detect_burn_in(
-                        degrees, threshold=config.geweke_threshold, step=scan_step
-                    )
-                    if burn_in is None:
-                        burn_in = len(degrees) // 4
-                    burn_in = max(burn_in, config.min_burn_in)
-                self.obs.trace.event(
-                    "srw.chain", chain=index, len=len(degrees), burn_in=burn_in
-                )
-        report = srw_burn_in_report(
-            chain_degrees,
-            threshold=config.geweke_threshold,
-            min_burn_in=config.min_burn_in,
-        )
-        for key, value in report.items():
-            diagnostics[f"obs_burn_in_{key}"] = value
-
-    # ------------------------------------------------------------------
-    def _oracle_step(self, lookup, node: int):
-        """Walk-level recovery, stage 1: retry a failed step in place.
-
-        See :meth:`MATARWEstimator._oracle_step` — same contract: no
-        walker RNG is consumed, so recovery never perturbs the stream.
-        """
-        for _ in range(self.config.step_retries):
-            try:
-                return lookup(node)
-            except TransientAPIError:
-                self.fault_step_retries += 1
-        return lookup(node)
-
-    def _observe(
-        self, node: int, nodes: List[int], degrees: List[float], chain: int = 0
-    ) -> None:
-        # Fetch the degree before appending anything: the lookup can raise
-        # BudgetExhaustedError, and a half-appended observation would
-        # desynchronise the two series.
-        degree = float(self._oracle_step(self.oracle.degree, node))
-        nodes.append(node)
-        degrees.append(degree)
-        obs = self.obs
-        if obs.enabled:
-            self._obs_excursions[chain] += 1
-            if obs.metrics is not None:
-                obs.metrics.counter("srw.steps").inc()
-                obs.metrics.histogram("srw.degree").observe(degree)
-            if obs.trace is not None:
-                obs.trace.event("srw.step", chain=chain, node=node, degree=int(degree))
-
-    def _note_restart(self, chain: int, reason: str) -> None:
-        obs = self.obs
-        if obs.enabled:
-            if obs.metrics is not None:
-                obs.metrics.counter("srw.restarts", reason=reason).inc()
-                obs.metrics.histogram("srw.excursion").observe(self._obs_excursions[chain])
-            if obs.trace is not None:
-                obs.trace.event("srw.restart", chain=chain, reason=reason)
-            self._obs_excursions[chain] = 0
-
-    def _cost(self) -> int:
-        meter = self._meter
-        if meter is not None:
-            return meter.query_total
-        return self.context.client.total_cost  # type: ignore[attr-defined]
-
-    def _cost_by_kind(self) -> dict:
-        return self.context.client.meter.by_kind()  # type: ignore[attr-defined]
-
-    # ------------------------------------------------------------------
-    def _usable_samples(self, nodes: List[int], degrees: List[float]):
-        """Apply Geweke burn-in and thinning to the raw chain."""
-        config = self.config
-        # Coarsen the scan step with chain length so repeated trace-time
-        # calls stay O(chain) rather than O(chain^2).
-        scan_step = max(10, len(degrees) // 20)
-        burn_in = detect_burn_in(degrees, threshold=config.geweke_threshold, step=scan_step)
-        if burn_in is None:
-            # Geweke never crossed the threshold.  On multi-component
-            # subgraphs the teleporting chain is a mixture whose segments
-            # legitimately differ, so a hard "no usable samples" would
-            # starve the estimator forever; fall back to discarding the
-            # first quarter, the usual fixed-fraction heuristic.
-            burn_in = len(degrees) // 4
-        burn_in = max(burn_in, config.min_burn_in)
-        kept_nodes: List[int] = []
-        kept_degrees: List[int] = []
-        for offset in range(burn_in, len(nodes), config.thinning):
-            if degrees[offset] <= 0:
-                continue  # isolated node (seed restart target) cannot be reweighted
-            kept_nodes.append(nodes[offset])
-            kept_degrees.append(int(degrees[offset]))
-        return kept_nodes, kept_degrees
-
-    def _current_estimate(
-        self, chain_nodes: List[List[int]], chain_degrees: List[List[float]]
-    ) -> Optional[float]:
-        kept_nodes: List[int] = []
-        kept_degrees: List[int] = []
-        for nodes, degrees in zip(chain_nodes, chain_degrees):
-            if len(nodes) < 4:
-                continue
-            chain_kept_nodes, chain_kept_degrees = self._usable_samples(nodes, degrees)
-            kept_nodes.extend(chain_kept_nodes)
-            kept_degrees.extend(chain_kept_degrees)
-        if len(kept_nodes) < 2:
-            return None
-        query = self.context.query
-        try:
-            if query.aggregate is Aggregate.AVG:
-                return self._avg_estimate(kept_nodes, kept_degrees)
-            count = self._count_estimate(kept_nodes, kept_degrees)
-            if query.aggregate is Aggregate.COUNT:
-                return count
-            return count * self._avg_estimate(kept_nodes, kept_degrees)
-        except EstimationError:
-            return None
-
-    # ------------------------------------------------------------------
-    # partial samples for cross-walker merging (repro.parallel)
-    # ------------------------------------------------------------------
-    def shard_samples(self) -> List[Tuple[int, int, Optional[bool], float]]:
-        """Post-burn-in, thinned samples of this walker's run, evaluated.
-
-        Called after :meth:`estimate` by the parallel engine.  Each tuple
-        is ``(node, subgraph_degree, condition_matches, f_value)`` with
-        ``condition_matches`` None when the walker's budget died before
-        the sample could be evaluated (the merge skips those, exactly as
-        the serial estimator does).  Evaluation reuses the walker's own
-        response cache, so extracting the samples costs no further API
-        calls beyond what the final in-run estimate already paid.
-        """
-        samples: List[Tuple[int, int, Optional[bool], float]] = []
-        for nodes, degrees in zip(self._chain_nodes, self._chain_degrees):
-            if len(nodes) < 4:
-                continue
-            kept_nodes, kept_degrees = self._usable_samples(nodes, degrees)
-            for node, degree in zip(kept_nodes, kept_degrees):
-                matches = self._safe_matches(node)
-                f_value = self.context.f_value(node) if matches else 0.0
-                samples.append((node, degree, matches, f_value))
-        return samples
-
-    def _safe_matches(self, node: int) -> Optional[bool]:
-        """Condition check that tolerates a just-exhausted budget.
-
-        Evaluating a sample costs a timeline fetch (a real, counted cost);
-        once the budget is gone, unaffordable samples are skipped rather
-        than aborting the whole estimate — they are a random suffix of the
-        chain, so dropping them loses information, not unbiasedness.
-        """
-        try:
-            return self.context.condition_matches(node)
-        except (BudgetExhaustedError, TransientAPIError):
-            return None
-
-    def _avg_estimate(self, nodes: List[int], degrees: List[int]) -> float:
-        values: List[float] = []
-        matching_degrees: List[int] = []
-        for node, degree in zip(nodes, degrees):
-            matches = self._safe_matches(node)
-            if matches:
-                values.append(self.context.f_value(node))
-                matching_degrees.append(degree)
-        return ratio_average(values, matching_degrees)
-
-    def _count_estimate(self, nodes: List[int], degrees: List[int]) -> float:
-        population = katzir_count(nodes, degrees).population
-        indicator: List[float] = []
-        affordable_degrees: List[int] = []
-        for node, degree in zip(nodes, degrees):
-            matches = self._safe_matches(node)
-            if matches is None:
-                continue
-            indicator.append(1.0 if matches else 0.0)
-            affordable_degrees.append(degree)
-        fraction = ratio_average(indicator, affordable_degrees)
-        return population * fraction
+    algorithm: ClassVar[str] = "ma-srw"
+    parallel_kind: ClassVar[Optional[str]] = "samples"
+    obs_prefix: ClassVar[str] = "srw"
+    config_cls: ClassVar[type] = SRWConfig

@@ -46,17 +46,18 @@ memoises p-estimates of local roots across instances; disable it with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Tuple
 
-from repro._rng import RandomLike, ensure_rng
+from repro._rng import RandomLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.parallel.engine import ParallelConfig
 from repro.core.graph_builder import LevelByLevelOracle, QueryContext
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
+from repro.core.walker import BaseWalker
 from repro.errors import BudgetExhaustedError, EstimationError, TransientAPIError
-from repro.obs import NULL_OBS, Observability
+from repro.obs import Observability
 from repro.obs.diagnostics import visit_probability_agreement
 
 COMBINE_MODES = ("phase_sum", "paper")
@@ -184,8 +185,18 @@ class TARWConfig:
             raise EstimationError("step_retries must be >= 0")
 
 
-class MATARWEstimator:
-    """Budgeted MA-TARW over a level-by-level oracle."""
+class MATARWEstimator(BaseWalker):
+    """Topology-aware random walk over the level-by-level subgraph (paper §5, Algorithms 2–3).
+
+    Budgeted MA-TARW over a level-by-level oracle.  Bottom-top-bottom walk
+    instances need no burn-in: every touched node's selection probability
+    is recovered from the level topology (Eq. 6) and fed into unbiased
+    Hansen–Hurwitz sums.
+    """
+
+    algorithm: ClassVar[str] = "ma-tarw"
+    parallel_kind: ClassVar[Optional[str]] = "hh"
+    config_cls: ClassVar[type] = TARWConfig
 
     def __init__(
         self,
@@ -196,20 +207,8 @@ class MATARWEstimator:
         parallel: Optional["ParallelConfig"] = None,
         obs: Optional[Observability] = None,
     ) -> None:
-        self.context = context
-        self.oracle = oracle
-        self.config = config or TARWConfig()
-        self.rng = ensure_rng(seed)
-        self.parallel = parallel
-        if obs is None:
-            obs = getattr(context, "obs", None)
-        self.obs = obs if obs is not None else NULL_OBS
+        super().__init__(context, oracle, config, seed=seed, parallel=parallel, obs=obs)
         self._obs_phase = "walk"  # flips to "recount" for the final pass
-        """When set, :meth:`estimate` partitions the budget into logical
-        walk shards executed by :mod:`repro.parallel` (each shard a full
-        serial MA-TARW run on its own client and RNG stream) and merges
-        the partial Hansen–Hurwitz sums.  None keeps the classic
-        single-walker run."""
         self._seeds: List[int] = []
         self._seed_set: frozenset = frozenset()
         self._root_cache: Dict[int, float] = {}
@@ -222,7 +221,6 @@ class MATARWEstimator:
         self._paper_paths: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
         self._instance_counter = 0
         self.zero_probability_drops = 0
-        self.fault_step_retries = 0
         self.fault_aborted_instances = 0
         # Deterministic DP state (p_method="dp").
         self._dp_p_up: Dict[int, float] = {}
@@ -240,21 +238,13 @@ class MATARWEstimator:
         self._seed_version = 0
         """Bumped whenever the seed set changes; part of the DP key
         because Eq. 6's start(u) term depends on it."""
-        self._meter = getattr(getattr(context, "client", None), "meter", None)
-        """Pre-bound cost meter (None for stub contexts/clients without
-        one), so the per-instance cost probe is one attribute read
-        instead of a delegation chain."""
+
+    def algorithm_id(self) -> str:
+        return self.algorithm  # level-by-level only: no oracle suffix
 
     # ------------------------------------------------------------------
-    # public entry point
+    # the serial run (BaseWalker.estimate handles parallel dispatch)
     # ------------------------------------------------------------------
-    def estimate(self) -> EstimateResult:
-        if self.parallel is not None:
-            from repro.parallel.walkers import run_parallel_estimate
-
-            return run_parallel_estimate(self)
-        return self._estimate_serial()
-
     def _estimate_serial(self) -> EstimateResult:
         config = self.config
         query = self.context.query
@@ -340,7 +330,7 @@ class MATARWEstimator:
                 self.obs.trace.event("tarw.done", instances=instances, cost=self._cost())
         return EstimateResult(
             query=query,
-            algorithm="ma-tarw",
+            algorithm=self.algorithm_id(),
             value=value,
             cost_total=self._cost(),
             cost_by_kind=self._cost_by_kind(),
@@ -525,23 +515,6 @@ class MATARWEstimator:
             if self.config.p_method == "estimate":
                 self._refresh_p(node, direction)
         self._dp_dirty = True
-
-    def _oracle_step(self, lookup, node: int):
-        """Walk-level recovery, stage 1: retry a failed step in place.
-
-        *lookup* is an oracle neighbor accessor.  A transient failure
-        (everything below — resilient retries, degraded fallbacks —
-        already gave up) re-issues the same lookup from the *current*
-        node up to ``step_retries`` times.  No walker RNG is consumed,
-        so recovery never perturbs the walk's random stream; past the
-        budget the error propagates and the instance checkpoints.
-        """
-        for _ in range(self.config.step_retries):
-            try:
-                return lookup(node)
-            except TransientAPIError:
-                self.fault_step_retries += 1
-        return lookup(node)
 
     def _walk_up(self, start: int) -> List[int]:
         path = [start]
@@ -923,12 +896,3 @@ class MATARWEstimator:
         if mean_count == 0:
             return None
         return mean_sum / mean_count
-
-    def _cost(self) -> int:
-        meter = self._meter
-        if meter is not None:
-            return meter.query_total
-        return self.context.client.total_cost  # type: ignore[attr-defined]
-
-    def _cost_by_kind(self) -> dict:
-        return self.context.client.meter.by_kind()  # type: ignore[attr-defined]

@@ -1,8 +1,10 @@
-"""Shard-planned parallel execution of MA-TARW and MA-SRW runs.
+"""Shard-planned parallel execution of registered walker runs.
 
-The paper's estimators aggregate *independent* walks (bottom-top-bottom
-instances for MA-TARW, SRW chains for MA-SRW) into one Hansen–Hurwitz /
-ratio estimate, which makes them embarrassingly parallel.  This module
+The estimators aggregate *independent* walks (bottom-top-bottom instances
+for MA-TARW, chain samples for the SRW family — MA-SRW, rewired,
+Walk-Not-Wait, frontier) into one Hansen–Hurwitz / ratio estimate, which
+makes them embarrassingly parallel.  Any walker whose class declares a
+``parallel_kind`` (see ``core/walker.py``) runs here.  This module
 implements the decomposition:
 
 1. **Plan** — split the query budget into ``n_shards`` logical walk
@@ -43,12 +45,7 @@ from repro.api.accounting import merge_cost_by_kind
 from repro.api.client import CachingClient, SimulatedMicroblogClient
 from repro.api.faults import FaultInjectingClient, FaultPlan
 from repro.api.resilient import ResilientClient, RetryPolicy
-from repro.core.graph_builder import (
-    LevelByLevelOracle,
-    QueryContext,
-    SocialGraphOracle,
-    TermInducedOracle,
-)
+from repro.core.graph_builder import QueryContext, rebuild_oracle
 from repro.core.query import Aggregate
 from repro.core.results import EstimateResult, TracePoint
 from repro.errors import EstimationError
@@ -120,23 +117,6 @@ def _fault_spec(client) -> Tuple[Optional[FaultPlan], Optional[RetryPolicy]]:
     return plan, policy
 
 
-def _rebuild_oracle(template, context: QueryContext):
-    """A fresh oracle of the template's kind over a shard's own context."""
-    if isinstance(template, LevelByLevelOracle):
-        return LevelByLevelOracle(
-            context,
-            template.index,
-            keep_intra_fraction=template.keep_intra_fraction,
-            edge_seed=template.edge_seed,
-        )
-    if isinstance(template, (SocialGraphOracle, TermInducedOracle)):
-        return type(template)(context)
-    raise EstimationError(
-        f"parallel execution cannot rebuild oracle {type(template).__name__}; "
-        "only the graph-builder oracles are supported"
-    )
-
-
 def _shard_stack(
     platform,
     query,
@@ -163,22 +143,27 @@ def _shard_stack(
     # Resolution is per-shard state only, so worker-count invariance of
     # the merged estimate is untouched.
     context = QueryContext(client, query, obs=obs)
-    return client, context, _rebuild_oracle(oracle_template, context)
+    return client, context, rebuild_oracle(oracle_template, context)
 
 
 # ----------------------------------------------------------------------
 # shard execution
 # ----------------------------------------------------------------------
 def run_parallel_estimate(estimator) -> EstimateResult:
-    """Entry point used by ``MATARWEstimator`` / ``MASRWEstimator``."""
-    from repro.core.srw import MASRWEstimator
-    from repro.core.tarw import MATARWEstimator
+    """Entry point used by ``BaseWalker.estimate`` (see ``core/walker.py``).
 
-    if isinstance(estimator, MATARWEstimator):
-        return _run_sharded(estimator, kind="tarw")
-    if isinstance(estimator, MASRWEstimator):
-        return _run_sharded(estimator, kind="srw")
-    raise EstimationError(f"no parallel driver for {type(estimator).__name__}")
+    The walker's class declares its shard-merge strategy via
+    ``parallel_kind``: ``"hh"`` merges Hansen–Hurwitz partial sums
+    (``hh_partial``), ``"samples"`` pools post-burn-in samples
+    (``shard_samples``).  Shard walkers are rebuilt as
+    ``type(estimator)(context, oracle, config, seed=...)`` — the uniform
+    Walker constructor — so every registered walker parallelises without
+    this module naming it.
+    """
+    kind = getattr(type(estimator), "parallel_kind", None)
+    if kind not in ("hh", "samples"):
+        raise EstimationError(f"no parallel driver for {type(estimator).__name__}")
+    return _run_sharded(estimator, kind=kind)
 
 
 def _run_sharded(estimator, kind: str) -> EstimateResult:
@@ -194,6 +179,8 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
     query = estimator.context.query
     oracle_template = estimator.oracle
     walker_config = estimator.config
+    estimator_cls = type(estimator)
+    merged_algorithm = estimator.algorithm_id()
     parent_obs: Observability = getattr(estimator, "obs", NULL_OBS)
     want_trace = parent_obs.trace is not None
     want_metrics = parent_obs.metrics is not None
@@ -205,9 +192,6 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
     start = time.perf_counter()
 
     def shard(index: int) -> Dict[str, object]:
-        from repro.core.srw import MASRWEstimator
-        from repro.core.tarw import MATARWEstimator
-
         # Each shard records telemetry locally (own sink, own registry);
         # the parent replays/merges the buffers in shard order afterwards,
         # so the merged stream is identical for every worker count.
@@ -228,9 +212,9 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
             retry_policy=retry_policy,
             obs=shard_obs,
         )
-        if kind == "tarw":
-            sub = MATARWEstimator(context, oracle, walker_config, seed=shard_seeds[index])
-            result = sub.estimate()
+        sub = estimator_cls(context, oracle, walker_config, seed=shard_seeds[index])
+        result = sub.estimate()
+        if kind == "hh":
             partial: object = sub.hh_partial()
             launched = int(
                 result.diagnostics.get("instances", 0.0)
@@ -239,8 +223,6 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
             completed = int(result.diagnostics.get("instances", 0.0))
             samples = completed
         else:
-            sub = MASRWEstimator(context, oracle, walker_config, seed=shard_seeds[index])
-            result = sub.estimate()
             partial = sub.shard_samples()
             launched = int(result.diagnostics.get("steps", 0.0))
             completed = launched
@@ -285,12 +267,11 @@ def _run_sharded(estimator, kind: str) -> EstimateResult:
             parent_obs.metrics.merge_snapshot(outcome["metrics_snapshot"])
 
     merge_start = time.perf_counter()
-    if kind == "tarw":
+    if kind == "hh":
         merged_value, trace, num_samples = _merge_tarw(query, outcomes, outer_cost)
-        algorithm = "ma-tarw"
     else:
         merged_value, trace, num_samples = _merge_srw(query, outcomes, outer_cost)
-        algorithm = f"ma-srw[{oracle_template.name}]"
+    algorithm = merged_algorithm
     merge_seconds = time.perf_counter() - merge_start
 
     # Pre-shard spend on the outer client (e.g. auto interval selection)
@@ -340,6 +321,10 @@ _ADDITIVE_DIAGNOSTICS = frozenset(
         "p_pool_nodes",
         "steps",
         "dead_end_restarts",
+        "virtual_edges",
+        "probe_calls",
+        "probe_resolved",
+        "probe_unresolved",
     }
 )
 
