@@ -230,7 +230,8 @@ def resolve_fast_path(
 ) -> Optional[FastPathOps]:
     """Resolve *client*'s stack to flattened ops, or None for slow path.
 
-    Emits ``fastpath.resolved`` / ``fastpath.fallback{reason}`` counters
+    Emits ``fastpath.resolved`` / ``fastpath.plane{plane}`` /
+    ``fastpath.fallback{reason}`` counters
     when a metrics registry is attached, so CI's perf-smoke guard can
     fail a run whose stack silently stopped resolving.
     """
@@ -259,6 +260,9 @@ def resolve_fast_path(
         return None
     if metrics is not None:
         metrics.counter("fastpath.resolved").inc()
+        metrics.counter(
+            "fastpath.plane", plane=getattr(store, "storage", "ram")
+        ).inc()
     return FastPathOps(client, inner, store, keyword, metrics=metrics)
 
 

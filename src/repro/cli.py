@@ -2,7 +2,9 @@
 
 Lets a user drive the full pipeline without writing Python:
 
-* ``simulate`` — build a deterministic platform and save it to ``.npz``;
+* ``simulate`` — build a deterministic platform and save it (``.npz``
+  archive, or a sharded memmap directory for any other path; add
+  ``--data-plane mmap`` to stream the build itself out of core);
 * ``keywords`` — list a platform's keywords with population statistics;
 * ``estimate`` — run an aggregate estimation under a budget (optionally
   with a replicate confidence interval) and compare to ground truth;
@@ -41,8 +43,14 @@ from repro.errors import ReproError
 from repro.groundtruth import exact_value, relative_error
 from repro.platform.clock import DAY
 from repro.platform.profiles import ALL_PROFILES
+from repro.platform.outofcore import DEFAULT_CHUNK_ROWS
 from repro.platform.serialization import load_platform, save_platform
-from repro.platform.simulator import PlatformConfig, SimulatedPlatform, build_platform
+from repro.platform.simulator import (
+    DATA_PLANES,
+    PlatformConfig,
+    SimulatedPlatform,
+    build_platform,
+)
 
 MEASURES = {
     "one": CONSTANT_ONE,
@@ -64,7 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="build a platform and save it")
     _platform_build_args(simulate)
-    simulate.add_argument("--out", required=True, help="output .npz path")
+    simulate.add_argument("--out", required=True,
+                          help="output path: a .npz archive, or (any other "
+                               "path) a sharded layout directory that loads "
+                               "via memmap")
 
     keywords = sub.add_parser("keywords", help="list keywords with statistics")
     _platform_source_args(keywords)
@@ -133,6 +144,17 @@ def _platform_build_args(parser: argparse.ArgumentParser) -> None:
                         help="platform generation seed (default 42)")
     parser.add_argument("--api-profile", default="twitter", choices=sorted(ALL_PROFILES),
                         help="API restriction profile (default twitter)")
+    parser.add_argument("--data-plane", default="frozen", choices=DATA_PLANES,
+                        help="post-store backend when building (default frozen; "
+                             "'mmap' streams the build through an on-disk "
+                             "sharded layout and serves columns via memmap — "
+                             "bit-identical estimates at a flat RSS)")
+    parser.add_argument("--chunk-rows", type=int, default=DEFAULT_CHUNK_ROWS,
+                        help="rows per streaming chunk for the mmap plane "
+                             f"(default {DEFAULT_CHUNK_ROWS})")
+    parser.add_argument("--progress", action="store_true",
+                        help="echo build progress (rows flushed, resident set) "
+                             "to stderr while the platform is generated")
 
 
 def _platform_source_args(parser: argparse.ArgumentParser) -> None:
@@ -157,13 +179,27 @@ def _query_args(parser: argparse.ArgumentParser) -> None:
                         help="restrict matches to [START, END) in days since epoch")
 
 
-def _resolve_platform(args: argparse.Namespace) -> SimulatedPlatform:
+def _resolve_platform(
+    args: argparse.Namespace,
+    obs=None,
+    spill_dir: Optional[str] = None,
+) -> SimulatedPlatform:
     if getattr(args, "platform", None):
         platform = load_platform(args.platform)
     else:
-        print(f"building platform ({args.users:,} users, seed {args.seed})...",
-              file=sys.stderr)
-        platform = build_platform(PlatformConfig(num_users=args.users, seed=args.seed))
+        plane = getattr(args, "data_plane", "frozen")
+        print(f"building platform ({args.users:,} users, seed {args.seed}, "
+              f"{plane} plane)...", file=sys.stderr)
+        config = PlatformConfig(
+            num_users=args.users,
+            seed=args.seed,
+            data_plane=plane,
+            build_chunk_rows=getattr(args, "chunk_rows", None) or DEFAULT_CHUNK_ROWS,
+            spill_dir=spill_dir,
+        )
+        platform = build_platform(
+            config, obs=obs, progress=True if getattr(args, "progress", False) else None
+        )
     profile = ALL_PROFILES[args.api_profile]
     if platform.profile.name != profile.name:
         platform = platform.with_profile(profile)
@@ -193,7 +229,13 @@ def _resolve_query(args: argparse.Namespace) -> AggregateQuery:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    platform = _resolve_platform(args)
+    # An mmap-plane build headed for a directory streams straight into the
+    # destination: the spool IS the sharded layout, so the final save only
+    # has to write the platform header.
+    spill_dir = None
+    if getattr(args, "data_plane", "frozen") == "mmap" and not args.out.endswith(".npz"):
+        spill_dir = args.out
+    platform = _resolve_platform(args, spill_dir=spill_dir)
     save_platform(platform, args.out)
     print(f"saved platform to {args.out} "
           f"({platform.store.num_users:,} users, {platform.store.num_posts:,} posts)")
@@ -254,14 +296,14 @@ def _emit_obs(args: argparse.Namespace, obs, result=None, truth=None) -> None:
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
-    platform = _resolve_platform(args)
+    obs = _build_obs(args)
+    platform = _resolve_platform(args, obs=obs)
     query = _resolve_query(args)
     interval = "auto" if args.interval_days == 0 else args.interval_days * DAY
     fault_plan = None
     profile_plan = FAULT_PROFILES[args.fault_profile]
     if profile_plan.active:
         fault_plan = dataclasses.replace(profile_plan, seed=args.fault_seed)
-    obs = _build_obs(args)
     analyzer = MicroblogAnalyzer(
         platform,
         algorithm=args.algorithm,

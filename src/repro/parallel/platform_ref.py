@@ -4,15 +4,27 @@ A :class:`~repro.platform.simulator.SimulatedPlatform` is not picklable
 (keyword workloads carry intensity *functions*), so it cannot be sent to
 a :class:`~concurrent.futures.ProcessPoolExecutor` worker directly.  A
 :class:`PlatformRef` holds the live object in the parent and, the first
-time it is pickled, spills the platform to a temporary ``.npz`` archive
-via :mod:`repro.platform.serialization` — which persists exactly the
-simulation *state* a worker needs.  Since the columnar data plane, the
-spill dumps the frozen store's column arrays near-directly and workers
-reload straight into a served :class:`~repro.platform.frozen.FrozenStore`,
-so process fan-out pays no per-post rebuild.  Workers resolve the
-reference by loading the archive once per process (a module-level cache
-keyed by
-path), so a pool amortises one load across any number of tasks.
+time it is pickled, spills the platform to a temporary sharded layout
+directory via :mod:`repro.platform.serialization` — which persists
+exactly the simulation *state* a worker needs.
+
+Platforms built on the ``"mmap"`` data plane never spill at all: their
+frozen store already serves from a sharded directory
+(``store.source_dir``), so ``path()`` hands workers that directory
+directly and everyone — parent included — maps the same physical pages.
+For RAM-resident platforms the spill is a near-direct column dump, and
+workers reload it with ``np.memmap`` rather than materialising copies,
+so an N-process pool still holds ~one platform's worth of column bytes.
+
+Workers resolve the reference by opening the layout once per process (a
+module-level cache keyed by path), so a pool amortises one load across
+any number of tasks.  Cache entries whose backing directory has vanished
+(a previous run's spill reclaimed) are evicted on the next resolve
+rather than served stale.
+
+Spills this class *creates* are reclaimed when the owning ref is
+garbage-collected (``weakref.finalize``) and at interpreter exit as a
+backstop; a ``source_dir`` it merely reuses is never deleted here.
 
 In-process (serial/thread) use never touches the disk: ``resolve()``
 returns the live object.
@@ -20,22 +32,26 @@ returns the live object.
 
 from __future__ import annotations
 
-import atexit
 import os
+import shutil
 import tempfile
+import weakref
 from typing import Dict, Optional
 
-from repro.platform.serialization import load_platform, save_platform
+from repro.platform.serialization import SHARDED_HEADER, load_platform, save_platform
 from repro.platform.simulator import SimulatedPlatform
 
 _WORKER_CACHE: Dict[str, SimulatedPlatform] = {}
 
 
-def _forget(path: str) -> None:
-    try:
-        os.unlink(path)
-    except OSError:
-        pass
+def _forget_tree(path: str) -> None:
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def _evict_stale() -> None:
+    """Drop cached platforms whose backing layout no longer exists."""
+    for path in [p for p in _WORKER_CACHE if not os.path.exists(p)]:
+        del _WORKER_CACHE[path]
 
 
 class PlatformRef:
@@ -44,18 +60,23 @@ class PlatformRef:
     def __init__(self, platform: SimulatedPlatform) -> None:
         self._platform: Optional[SimulatedPlatform] = platform
         self._path: Optional[str] = None
+        self._finalizer: Optional[weakref.finalize] = None
 
     # ------------------------------------------------------------------
     def path(self) -> str:
-        """Spill the platform to a temp ``.npz`` (once) and return the path."""
+        """The sharded layout workers should map; spills (once) if needed."""
         if self._path is None:
             if self._platform is None:
                 raise RuntimeError("PlatformRef has neither a platform nor a path")
-            handle, path = tempfile.mkstemp(prefix="repro-platform-", suffix=".npz")
-            os.close(handle)
-            save_platform(self._platform, path)
-            atexit.register(_forget, path)
-            self._path = path
+            source = getattr(self._platform.store, "source_dir", None)
+            if source and os.path.isfile(os.path.join(source, SHARDED_HEADER)):
+                # mmap-plane platform: its columns are already on disk.
+                self._path = source
+            else:
+                path = tempfile.mkdtemp(prefix="repro-platform-")
+                save_platform(self._platform, path)
+                self._finalizer = weakref.finalize(self, _forget_tree, path)
+                self._path = path
         return self._path
 
     def resolve(self) -> SimulatedPlatform:
@@ -63,13 +84,15 @@ class PlatformRef:
         if self._platform is not None:
             return self._platform
         assert self._path is not None
+        _evict_stale()
         if self._path not in _WORKER_CACHE:
             _WORKER_CACHE[self._path] = load_platform(self._path)
         return _WORKER_CACHE[self._path]
 
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
-        return {"_platform": None, "_path": self.path()}
+        # The worker-side copy never owns the spill: no finalizer ships.
+        return {"_platform": None, "_path": self.path(), "_finalizer": None}
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)

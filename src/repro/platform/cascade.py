@@ -284,6 +284,15 @@ def _emit_mentions_columnar(
     each adopter's first plus its follow-ups — is drawn here in whole-
     cascade numpy batches and lands in the store's bulk buffers.  No
     :class:`Post` objects, no bisect, no per-adopter array overhead.
+
+    On a spooled store (the out-of-core ``"mmap"`` build plane) the
+    columns stream to disk in bounded chunks instead: the survivor
+    ``(user, time)`` pairs are appended first, then the length column,
+    then the likes column, each drawn chunk-by-chunk from *post_rng*.
+    Per-column chunked draws consume the generator stream element-for-
+    element like the one-shot draws (lengths fully precede likes either
+    way), so the emitted posts are bit-identical; peak memory is bounded
+    by the adopter count and the spool chunk size, not the post count.
     """
     count = len(adoption_times)
     if count == 0:
@@ -299,6 +308,39 @@ def _emit_mentions_columnar(
     all_times = np.concatenate([first_times, follow_times[keep]])
     posted = all_users.size
     low, high = params.post_length_range
+    spool = getattr(store, "spool", None)
+    if spool is not None:
+        start = store.reserve_post_ids(posted)
+        code = spool.kw_code(keyword.lower())
+        chunk = spool.chunk_rows
+        for offset in range(0, posted, chunk):
+            stop = min(offset + chunk, posted)
+            spool.append_column("post_user", all_users[offset:stop])
+            spool.append_column("post_time", all_times[offset:stop])
+            spool.append_column(
+                "post_id", np.arange(start + offset, start + stop, dtype=np.int64)
+            )
+            spool.append_column(
+                "post_keyword", np.full(stop - offset, code, dtype=np.int64)
+            )
+        for offset in range(0, posted, chunk):
+            size = min(chunk, posted - offset)
+            spool.append_column(
+                "post_length", post_rng.integers(low, high + 1, size=size)
+            )
+        for offset in range(0, posted, chunk):
+            size = min(chunk, posted - offset)
+            spool.append_column(
+                "post_likes",
+                np.minimum(
+                    (post_rng.pareto(params.likes_pareto_alpha, size=size) + 1.0).astype(
+                        np.int64
+                    ),
+                    10_000,
+                )
+                - 1,
+            )
+        return posted
     lengths = post_rng.integers(low, high + 1, size=posted)
     likes = (
         np.minimum(

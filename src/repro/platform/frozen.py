@@ -19,10 +19,21 @@ responses, identical ordering, identical post objects (materialised lazily
 per timeline and cached as immutable tuples).  Mutators raise
 :class:`PlatformError`.  The social graph is the CSR compilation of the
 build graph (:class:`~repro.graph.csr.CSRGraph`).
+
+The column arrays never have to live in RAM: every read path (timeline
+``searchsorted`` slicing, keyword-log windows, first-mention lookups)
+works identically over ``np.memmap`` views of the sharded on-disk layout
+(:mod:`repro.platform.serialization`), because the indexes compiled here
+are themselves flat arrays.  A store whose columns are mapped from disk
+carries ``storage == "mmap"`` and a ``source_dir`` pointing at the shard
+directory; construction then passes :class:`CompiledIndexes` (compiled
+once, on disk) instead of re-sorting, so opening a 10M-row platform is a
+handful of ``mmap`` calls — no column is ever materialised wholesale.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -30,10 +41,30 @@ import numpy as np
 from repro.errors import PlatformError
 from repro.graph.csr import CSRGraph
 from repro.platform.posts import Post, make_keywords
-from repro.platform.users import UserProfile
+from repro.platform.users import ColumnProfiles, UserProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.platform.store import MicroblogStore
+
+
+@dataclass
+class CompiledIndexes:
+    """The sorted indexes :meth:`FrozenStore._compile_indexes` produces.
+
+    A bundle of them can be built out-of-core (streaming freeze) or read
+    back from the sharded layout, and handed to :class:`FrozenStore` so
+    construction skips the in-RAM sorts entirely.  Every field may be an
+    ``np.memmap``; serving semantics are identical either way.
+    """
+
+    sorted_user_ids: np.ndarray
+    tl_order: np.ndarray
+    tl_indptr: np.ndarray
+    kw_times: Dict[str, np.ndarray]
+    kw_users: Dict[str, np.ndarray]
+    kw_pids: Dict[str, np.ndarray]
+    kw_first_users: Dict[str, np.ndarray]
+    kw_first_times: Dict[str, np.ndarray]
 
 
 class FrozenStore:
@@ -53,6 +84,9 @@ class FrozenStore:
         keyword_names: List[str],
         multi_keywords: Optional[Dict[int, Tuple[str, ...]]] = None,
         next_post_id: Optional[int] = None,
+        precompiled: Optional[CompiledIndexes] = None,
+        source_dir: Optional[str] = None,
+        storage: str = "ram",
     ) -> None:
         self.graph = graph
         self._profiles = profiles
@@ -70,7 +104,16 @@ class FrozenStore:
             if next_post_id is not None
             else (int(post_id.max()) + 1 if post_id.size else 0)
         )
-        self._compile_indexes()
+        self.source_dir = source_dir
+        """Sharded on-disk layout backing/mirroring this store, if any.
+        :class:`~repro.parallel.platform_ref.PlatformRef` reuses it as the
+        spill, so process workers map the same files the parent serves."""
+        self.storage = storage
+        """``"ram"`` or ``"mmap"`` — where the columns physically live."""
+        if precompiled is not None:
+            self._adopt_indexes(precompiled)
+        else:
+            self._compile_indexes()
 
     # ------------------------------------------------------------------
     # compilation
@@ -173,7 +216,8 @@ class FrozenStore:
         self._kw_times: Dict[str, np.ndarray] = {}
         self._kw_users: Dict[str, np.ndarray] = {}
         self._kw_pids: Dict[str, np.ndarray] = {}
-        self._kw_first: Dict[str, Dict[int, float]] = {}
+        self._kw_first_users: Dict[str, np.ndarray] = {}
+        self._kw_first_times: Dict[str, np.ndarray] = {}
         # Background posts (code -1) dominate the column; filter them out
         # once so each keyword scans only the tagged subset.
         tagged = np.flatnonzero(self.post_keyword >= 0)
@@ -194,13 +238,42 @@ class FrozenStore:
             self._kw_times[name] = t
             self._kw_users[name] = u
             self._kw_pids[name] = p
-            # First mention per user: first occurrence in time order.
+            # First mention per user: first occurrence in time order,
+            # kept as parallel (sorted users, times) arrays — np.unique
+            # returns users ascending, matching the historical dict order.
             uniq, first_idx = np.unique(u, return_index=True)
-            self._kw_first[name] = {
-                int(user): float(t[idx]) for user, idx in zip(uniq, first_idx)
-            }
+            self._kw_first_users[name] = uniq
+            self._kw_first_times[name] = t[first_idx]
+        self._finish_indexes()
+
+    def _adopt_indexes(self, compiled: CompiledIndexes) -> None:
+        """Serve from pre-sorted (possibly disk-mapped) indexes as-is."""
+        self._sorted_user_ids = compiled.sorted_user_ids
+        self._tl_order = compiled.tl_order
+        self._tl_indptr = compiled.tl_indptr
+        self._tl_cache = {}
+        self._kw_times = dict(compiled.kw_times)
+        self._kw_users = dict(compiled.kw_users)
+        self._kw_pids = dict(compiled.kw_pids)
+        self._kw_first_users = dict(compiled.kw_first_users)
+        self._kw_first_times = dict(compiled.kw_first_times)
+        self._finish_indexes()
+
+    def _finish_indexes(self) -> None:
         self._kw_sets = {name: make_keywords(name) for name in self._keyword_names}
-        self._kw_first_arrays: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def compiled_indexes(self) -> CompiledIndexes:
+        """The live index bundle (shared arrays, treat as immutable)."""
+        return CompiledIndexes(
+            sorted_user_ids=self._sorted_user_ids,
+            tl_order=self._tl_order,
+            tl_indptr=self._tl_indptr,
+            kw_times=dict(self._kw_times),
+            kw_users=dict(self._kw_users),
+            kw_pids=dict(self._kw_pids),
+            kw_first_users=dict(self._kw_first_users),
+            kw_first_times=dict(self._kw_first_times),
+        )
 
     # ------------------------------------------------------------------
     # immutability guards
@@ -310,7 +383,6 @@ class FrozenStore:
         unchanged.  Never called on the serving path.
         """
         self._tl_cache.clear()
-        self._kw_first_arrays.clear()
 
     def timeline_length(self, user_id: int) -> int:
         row = self._user_row(user_id)
@@ -369,11 +441,21 @@ class FrozenStore:
 
     def first_mention_time(self, keyword: str, user_id: int) -> Optional[float]:
         """When *user_id* first posted *keyword*, or None if never."""
-        return self._kw_first.get(keyword.lower(), {}).get(user_id)
+        users = self._kw_first_users.get(keyword.lower())
+        if users is None or users.size == 0:
+            return None
+        idx = int(np.searchsorted(users, user_id))
+        if idx >= users.size or users[idx] != user_id:
+            return None
+        return float(self._kw_first_times[keyword.lower()][idx])
 
     def first_mention_times(self, keyword: str) -> Dict[int, float]:
-        """Copy of the full first-mention map for *keyword*."""
-        return dict(self._kw_first.get(keyword.lower(), {}))
+        """Full first-mention map for *keyword* (ascending user id)."""
+        name = keyword.lower()
+        users = self._kw_first_users.get(name)
+        if users is None:
+            return {}
+        return dict(zip(users.tolist(), self._kw_first_times[name].tolist()))
 
     def first_mention_arrays(self, keyword: str) -> Tuple[np.ndarray, np.ndarray]:
         """First-mention columns for *keyword*: ``(user_ids, times)``.
@@ -381,20 +463,18 @@ class FrozenStore:
         ``user_ids`` is sorted ascending so membership and values resolve
         with one ``searchsorted`` per batch — the classification fast
         path's lookup structure.  Values are bit-identical to
-        :meth:`first_mention_time` (both read the map compiled at
-        freeze).  A keyword never posted yields two empty arrays.
-        Compiled lazily, cached per keyword; treat as immutable.
+        :meth:`first_mention_time` (both read the columns compiled at
+        freeze; on a mapped store these are memmap views and the fast
+        path touches only the pages it slices).  A keyword never posted
+        yields two empty arrays.  Treat as immutable.
         """
         name = keyword.lower()
-        cached = self._kw_first_arrays.get(name)
-        if cached is None:
-            first = self._kw_first.get(name, {})
-            users = np.fromiter(first.keys(), dtype=np.int64, count=len(first))
-            times = np.fromiter(first.values(), dtype=np.float64, count=len(first))
-            order = np.argsort(users)
-            cached = (users[order], times[order])
-            self._kw_first_arrays[name] = cached
-        return cached
+        users = self._kw_first_users.get(name)
+        if users is None:
+            empty_u = np.empty(0, dtype=np.int64)
+            empty_t = np.empty(0, dtype=np.float64)
+            return empty_u, empty_t
+        return users, self._kw_first_times[name]
 
     def all_posts(self) -> Iterator[Post]:
         """Every post on the platform (firehose order: per-user, by time).
@@ -417,6 +497,10 @@ class FrozenStore:
     def refresh_follower_counts(self) -> None:
         """Copy graph degrees into ``profile.followers`` (profiles stay
         shared, mutable metadata — the platform's display layer)."""
+        if isinstance(self._profiles, ColumnProfiles):
+            # Lazy columnar profiles compute followers from the graph on
+            # materialisation — already consistent, nothing to write back.
+            return
         for user_id, profile in self._profiles.items():
             profile.followers = self.graph.degree(user_id)
 

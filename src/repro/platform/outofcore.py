@@ -1,0 +1,656 @@
+"""Out-of-core build plumbing for the ``"mmap"`` data plane.
+
+The frozen data plane (:mod:`repro.platform.frozen`) serves estimations
+from flat struct-of-arrays columns.  Nothing about *serving* requires
+those columns to be RAM arrays — every read path is ``searchsorted``
+slicing over sorted columns — but the *build* historically was all-in-
+memory: column chunks buffered in RAM, one giant ``np.lexsort`` at
+freeze.  At 10M post rows that is ~0.5 GB of columns plus comparable
+sort workspace, which is exactly the scaling wall the ROADMAP's 10M-user
+item names.
+
+This module provides the streaming alternative:
+
+* :class:`ColumnSpool` — an append-only directory of raw column files.
+  A spooled :class:`~repro.platform.store.MicroblogStore` writes post
+  batches straight through to disk (buffered ``write()``, so pages land
+  in the page cache, not the process RSS) instead of buffering them.
+* :func:`external_timeline_sort` — replaces the freeze-time
+  ``np.lexsort((post_time, rows))`` with three bounded-memory passes
+  (chunked bincount, stable counting-sort scatter, per-user-bucket time
+  sort).  The resulting permutation is **bit-identical** to the in-RAM
+  lexsort: grouping by user stably and then sorting each user's rows by
+  time stably reproduces exactly the (user, time, insertion-order) key.
+* :func:`freeze_spooled` — compiles a spooled store to a
+  :class:`~repro.platform.frozen.FrozenStore` whose columns and indexes
+  are ``np.memmap`` views over the spool directory, writing the
+  ``store.json`` manifest that makes the directory a self-contained
+  sharded layout (:mod:`repro.platform.serialization` adds the
+  platform-level header on top).
+
+Peak RSS of a spooled build is bounded by ``chunk_rows`` plus the
+scatter/gather working set, independent of the total row count; the
+resulting platform is bit-identical to the in-memory plane's because
+every RNG stream is consumed in the same element order (chunked draws
+from one ``np.random.Generator`` equal the one-shot draw elementwise).
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import resource
+import sys
+import tempfile
+import time
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PlatformError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.platform.store import MicroblogStore
+
+DEFAULT_CHUNK_ROWS = 262_144
+"""Default streaming chunk (rows).  At six int64/float64 columns this is
+~12 MB of live arrays per chunk — small enough that build RSS stays flat,
+large enough that numpy batch overhead is negligible."""
+
+SORT_CHUNK_ROWS = 65_536
+"""Working-chunk cap for :func:`external_timeline_sort` — the sort passes
+hold several same-sized temporaries at once, so they run on a smaller
+chunk than the streaming writers regardless of ``build_chunk_rows``."""
+
+STORE_MANIFEST = "store.json"
+"""Manifest file name marking a directory as a sharded store layout."""
+
+POST_COLUMNS: Tuple[Tuple[str, np.dtype], ...] = (
+    ("post_user", np.dtype(np.int64)),
+    ("post_time", np.dtype(np.float64)),
+    ("post_id", np.dtype(np.int64)),
+    ("post_length", np.dtype(np.int64)),
+    ("post_likes", np.dtype(np.int64)),
+    ("post_keyword", np.dtype(np.int64)),
+)
+POST_COLUMN_DTYPES: Dict[str, np.dtype] = dict(POST_COLUMNS)
+
+
+# ----------------------------------------------------------------------
+# process memory accounting
+# ----------------------------------------------------------------------
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
+    bytes so the scale bench's ceilings mean one thing everywhere.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
+
+
+def current_rss_bytes() -> int:
+    """Current resident set size, best effort (0 where unsupported)."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            return int(handle.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return 0
+
+
+def _madvise_dontneed(mapping: mmap.mmap) -> None:
+    """Drop a mapping's resident pages (best effort, linux/macOS only)."""
+    try:
+        mapping.madvise(mmap.MADV_DONTNEED)
+    except (AttributeError, ValueError, OSError):  # pragma: no cover
+        pass
+
+
+def _madvise_random(mapping: mmap.mmap) -> None:
+    """Disable fault-around for a mapping (best effort).
+
+    A faulting write to a shared file mapping makes the kernel pre-map a
+    neighbourhood of pages around the fault, not just the one touched.
+    For a scatter whose destinations span the whole file — the cascade
+    tail of a 10M-row timeline sort hits every user's cursor in one
+    chunk — that amplification alone can fault in the entire file.
+    ``MADV_RANDOM`` tells the kernel to map only the faulting page.
+    """
+    try:
+        mapping.madvise(mmap.MADV_RANDOM)
+    except (AttributeError, ValueError, OSError):  # pragma: no cover
+        pass
+
+
+# ----------------------------------------------------------------------
+# build progress
+# ----------------------------------------------------------------------
+class BuildProgress:
+    """Chunked build progress: obs metrics plus optional stderr echo.
+
+    Emits ``build.rows{stage=...}`` counters and a ``build.rss_bytes``
+    gauge into the supplied metrics registry (the same registry the
+    estimate-time observability uses), and — when ``echo`` — prints a
+    throttled one-line status per stage so ``python -m repro simulate
+    --progress`` gives a signal at large ``--users``.
+    """
+
+    def __init__(self, metrics=None, echo: bool = False, echo_seconds: float = 1.0) -> None:
+        self.metrics = metrics
+        self.echo = echo
+        self._echo_seconds = echo_seconds
+        self._last_echo = 0.0
+        self._rows: Dict[str, int] = {}
+
+    def add_rows(self, stage: str, count: int) -> None:
+        if count <= 0:
+            return
+        self._rows[stage] = self._rows.get(stage, 0) + int(count)
+        if self.metrics is not None:
+            self.metrics.counter("build.rows", stage=stage).inc(int(count))
+            self.metrics.gauge("build.rss_bytes").set(float(current_rss_bytes()))
+        self._maybe_echo(stage)
+
+    def note(self, stage: str) -> None:
+        """Mark a stage transition that has no row count (sorts, manifests)."""
+        if self.metrics is not None:
+            self.metrics.gauge("build.rss_bytes").set(float(current_rss_bytes()))
+        if self.echo:
+            rss = current_rss_bytes() / 1e6
+            print(f"[build] {stage} (rss {rss:,.0f} MB)", file=sys.stderr)
+
+    def rows(self, stage: str) -> int:
+        return self._rows.get(stage, 0)
+
+    def _maybe_echo(self, stage: str) -> None:
+        if not self.echo:
+            return
+        now = time.monotonic()
+        if now - self._last_echo < self._echo_seconds:
+            return
+        self._last_echo = now
+        rss = current_rss_bytes() / 1e6
+        print(
+            f"[build] {stage}: {self._rows[stage]:,} rows (rss {rss:,.0f} MB)",
+            file=sys.stderr,
+        )
+
+
+# ----------------------------------------------------------------------
+# spool: append-only column files
+# ----------------------------------------------------------------------
+class _ColumnWriter:
+    """Buffered appender for one raw column file."""
+
+    __slots__ = ("path", "dtype", "count", "_handle")
+
+    def __init__(self, path: str, dtype: np.dtype) -> None:
+        self.path = path
+        self.dtype = dtype
+        self.count = 0
+        self._handle = open(path, "wb", buffering=1 << 20)
+
+    def append(self, values: np.ndarray) -> None:
+        array = np.ascontiguousarray(values, dtype=self.dtype)
+        self._handle.write(array.tobytes())
+        self.count += array.size
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class ColumnSpool:
+    """Append-only on-disk post columns for a streaming platform build.
+
+    One raw binary file per post column, written through buffered file
+    handles so streamed pages never count against the process RSS.  The
+    column files are append-independent: the background streamer writes
+    all of one column's chunks before starting the next (matching the
+    one-shot RNG draw order), while cascade emission appends row-aligned
+    slices across all columns.  :meth:`finish` closes the writers and
+    checks every column reached the same row count.
+
+    Keyword codes are assigned in first-appearance order — background
+    ``None`` first (code -1, not named), then cascade keywords in config
+    order — exactly the order :meth:`FrozenStore.from_store` assigns, so
+    a spooled build's keyword column is bit-identical to the in-memory
+    plane's.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        progress: Optional[BuildProgress] = None,
+    ) -> None:
+        if chunk_rows < 1:
+            raise PlatformError("chunk_rows must be >= 1")
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-spool-")
+            self.owns_directory = True
+        else:
+            os.makedirs(directory, exist_ok=True)
+            self.owns_directory = False
+        self.directory = directory
+        self.chunk_rows = int(chunk_rows)
+        self.progress = progress
+        self.keyword_names: List[str] = []
+        self._keyword_index: Dict[str, int] = {}
+        self._writers: Dict[str, _ColumnWriter] = {
+            name: _ColumnWriter(self.column_path(name), dtype)
+            for name, dtype in POST_COLUMNS
+        }
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def column_path(self, name: str) -> str:
+        return os.path.join(self.directory, f"{name}.bin")
+
+    @property
+    def rows(self) -> int:
+        return self._writers["post_user"].count
+
+    def kw_code(self, keyword: Optional[str]) -> int:
+        """First-appearance keyword code (``None`` -> -1), as at freeze."""
+        if keyword is None:
+            return -1
+        if keyword not in self._keyword_index:
+            self._keyword_index[keyword] = len(self.keyword_names)
+            self.keyword_names.append(keyword)
+        return self._keyword_index[keyword]
+
+    def append_column(self, name: str, values: np.ndarray) -> None:
+        if self._finished:
+            raise PlatformError("spool already finished")
+        self._writers[name].append(values)
+
+    def append_posts(
+        self,
+        user_ids: np.ndarray,
+        timestamps: np.ndarray,
+        post_ids: np.ndarray,
+        lengths: np.ndarray,
+        likes: np.ndarray,
+        keyword: Optional[str],
+    ) -> None:
+        """Row-aligned append across all six columns, in bounded slices."""
+        code = self.kw_code(keyword)
+        total = int(timestamps.size)
+        step = self.chunk_rows
+        for offset in range(0, total, step):
+            stop = min(offset + step, total)
+            self.append_column("post_user", user_ids[offset:stop])
+            self.append_column("post_time", timestamps[offset:stop])
+            self.append_column("post_id", post_ids[offset:stop])
+            self.append_column("post_length", lengths[offset:stop])
+            self.append_column("post_likes", likes[offset:stop])
+            self.append_column("post_keyword", np.full(stop - offset, code, dtype=np.int64))
+
+    def finish(self) -> int:
+        """Close the writers; returns the (verified) common row count."""
+        if not self._finished:
+            counts = {name: writer.count for name, writer in self._writers.items()}
+            if len(set(counts.values())) > 1:
+                raise PlatformError(f"spool columns have unequal lengths: {counts}")
+            for writer in self._writers.values():
+                writer.close()
+            self._finished = True
+        return self._writers["post_user"].count
+
+    def iter_column(self, name: str, chunk_rows: Optional[int] = None):
+        """Yield ``(row_offset, chunk_array)`` over one finished column.
+
+        Sequential buffered reads into fresh heap arrays — the file's
+        pages stay in the kernel page cache, not this process's RSS.
+        """
+        return iter_column_file(
+            self.column_path(name),
+            POST_COLUMN_DTYPES[name],
+            chunk_rows or self.chunk_rows,
+        )
+
+
+def iter_column_file(path: str, dtype: np.dtype, chunk_rows: int):
+    """Yield ``(row_offset, array)`` chunks of a raw column file."""
+    itemsize = np.dtype(dtype).itemsize
+    offset = 0
+    with open(path, "rb") as handle:
+        while True:
+            raw = handle.read(chunk_rows * itemsize)
+            if not raw:
+                return
+            chunk = np.frombuffer(raw, dtype=dtype)
+            yield offset, chunk
+            offset += chunk.size
+
+
+def write_column_file(path: str, values: np.ndarray, dtype: np.dtype) -> None:
+    """Write *values* as one raw column file (buffered, RSS-neutral)."""
+    np.ascontiguousarray(values, dtype=dtype).tofile(path)
+
+
+def map_column_file(path: str, dtype: np.dtype, mode: str = "r") -> np.ndarray:
+    """``np.memmap`` view of a raw column file (empty array if 0 bytes)."""
+    if os.path.getsize(path) == 0:
+        return np.empty(0, dtype=dtype)
+    return np.memmap(path, dtype=dtype, mode=mode)
+
+
+# ----------------------------------------------------------------------
+# external stable timeline sort
+# ----------------------------------------------------------------------
+def external_timeline_sort(
+    post_user_path: str,
+    post_time_path: str,
+    out_path: str,
+    sorted_user_ids: np.ndarray,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    progress: Optional[BuildProgress] = None,
+) -> np.ndarray:
+    """Compute the timeline permutation out of core; returns ``tl_indptr``.
+
+    Bit-identical to ``np.lexsort((post_time, rows))`` — the permutation
+    that groups posts per user (users in sorted-id order) with each
+    user's run time-sorted and insertion order breaking timestamp ties —
+    but never holds more than ~4 chunk-sized arrays in RAM:
+
+    1. chunked ``bincount`` over ``post_user`` -> per-user counts ->
+       ``tl_indptr``;
+    2. stable counting-sort scatter: each chunk's row indices, stably
+       grouped by user, land at per-user write cursors in the output
+       file (grouping is stable, so within a user the scattered rows
+       stay in ascending original-row order).  Each row's *timestamp* is
+       scattered to the same position in a sibling scratch file, so the
+       next pass never has to gather timestamps by random access;
+    3. per-user-bucket time sort: contiguous runs of users are re-sorted
+       with ``np.lexsort((times, bucket))`` — stable, so timestamp ties
+       keep the pass-2 (insertion) order.  The bucket's timestamps come
+       from a *sequential* read of the pass-2 scratch file.
+
+    The scattered files are written via shared mappings marked
+    ``MADV_RANDOM`` (so a faulting write maps one page, not a
+    fault-around neighbourhood) whose pages are flushed and dropped
+    (``MADV_DONTNEED``) after every chunk, so each pass's resident set
+    is bounded by one chunk's touched pages (at most ~a page per user
+    per chunk), not by the file sizes — the property that keeps a
+    10M-row freeze inside a fixed RSS ceiling.
+
+    The working chunk is clamped to :data:`SORT_CHUNK_ROWS`: sort-pass
+    temporaries (argsort permutations, destination vectors) exist ~6 at
+    a time, so an over-generous build chunk would multiply straight into
+    peak RSS while buying nothing — the passes are I/O-shaped, not
+    dispatch-bound.  Chunk size never changes the result (tested).
+    """
+    chunk_rows = min(chunk_rows, SORT_CHUNK_ROWS)
+    ids = np.asarray(sorted_user_ids)
+    n_users = int(ids.size)
+    contiguous = bool(n_users and ids[0] == 0 and ids[-1] == n_users - 1)
+
+    # ---- pass 1: per-user counts --------------------------------------
+    counts = np.zeros(n_users, dtype=np.int64)
+    total_rows = 0
+    for _, chunk in iter_column_file(post_user_path, np.int64, chunk_rows):
+        rows = chunk if contiguous else np.searchsorted(ids, chunk)
+        counts += np.bincount(rows, minlength=n_users)
+        total_rows += chunk.size
+    tl_indptr = np.zeros(n_users + 1, dtype=np.int64)
+    np.cumsum(counts, out=tl_indptr[1:])
+    if progress is not None:
+        progress.note("freeze:timeline-indptr")
+
+    scratch_path = out_path + ".times"
+    with open(out_path, "wb") as handle:
+        handle.truncate(total_rows * 8)
+    with open(scratch_path, "wb") as handle:
+        handle.truncate(total_rows * 8)
+    if total_rows == 0:
+        os.unlink(scratch_path)
+        return tl_indptr
+
+    out_file = open(out_path, "r+b")
+    out_map = mmap.mmap(out_file.fileno(), 0)
+    out = np.frombuffer(out_map, dtype=np.int64)
+    scratch_file = open(scratch_path, "r+b")
+    scratch_map = mmap.mmap(scratch_file.fileno(), 0)
+    scratch = np.frombuffer(scratch_map, dtype=np.float64)
+    for mapping in (out_map, scratch_map):
+        _madvise_random(mapping)
+    try:
+        # ---- pass 2: stable counting-sort scatter ---------------------
+        cursor = tl_indptr[:-1].copy()
+        times_iter = iter_column_file(post_time_path, np.float64, chunk_rows)
+        for base, chunk in iter_column_file(post_user_path, np.int64, chunk_rows):
+            _, times_chunk = next(times_iter)
+            rows = chunk if contiguous else np.searchsorted(ids, chunk)
+            order = np.argsort(rows, kind="stable")
+            sorted_rows = rows[order]
+            starts = np.flatnonzero(np.r_[True, np.diff(sorted_rows) != 0])
+            lengths = np.diff(np.r_[starts, sorted_rows.size])
+            within = np.arange(sorted_rows.size) - np.repeat(starts, lengths)
+            destinations = cursor[sorted_rows] + within
+            out[destinations] = base + order
+            scratch[destinations] = times_chunk[order]
+            cursor[sorted_rows[starts]] += lengths
+            for mapping in (out_map, scratch_map):
+                mapping.flush()
+                _madvise_dontneed(mapping)
+            if progress is not None:
+                progress.add_rows("freeze:timeline-scatter", chunk.size)
+        del scratch
+        scratch_map.close()
+        scratch_file.close()
+
+        # ---- pass 3: per-user-bucket time sort ------------------------
+        with open(scratch_path, "rb") as times_sorted:
+            user = 0
+            while user < n_users:
+                # Greedily extend the bucket batch to ~chunk_rows rows.
+                upper = int(
+                    np.searchsorted(tl_indptr, tl_indptr[user] + chunk_rows, side="right") - 1
+                )
+                upper = min(max(upper, user + 1), n_users)
+                lo = int(tl_indptr[user])
+                hi = int(tl_indptr[upper])
+                if hi > lo:
+                    gathered = np.frombuffer(
+                        times_sorted.read((hi - lo) * 8), dtype=np.float64
+                    )
+                    segment = np.array(out[lo:hi])  # copy out of the mapping
+                    sizes = np.diff(tl_indptr[user: upper + 1])
+                    buckets = np.repeat(np.arange(sizes.size), sizes)
+                    order = np.lexsort((gathered, buckets))
+                    out[lo:hi] = segment[order]
+                    out_map.flush()
+                    _madvise_dontneed(out_map)
+                    if progress is not None:
+                        progress.add_rows("freeze:timeline-timesort", hi - lo)
+                user = upper
+    finally:
+        del out
+        out_map.close()
+        out_file.close()
+        if not scratch_file.closed:
+            del scratch
+            scratch_map.close()
+            scratch_file.close()
+        os.unlink(scratch_path)
+    return tl_indptr
+
+
+# ----------------------------------------------------------------------
+# spooled freeze
+# ----------------------------------------------------------------------
+def freeze_spooled(store: "MicroblogStore"):
+    """Compile a spooled :class:`MicroblogStore` to a mapped FrozenStore.
+
+    The returned store serves every column and compiled index as an
+    ``np.memmap`` view over the spool directory (``storage == "mmap"``,
+    ``source_dir`` set), and the directory carries a ``store.json``
+    manifest making it the sharded on-disk layout that
+    :func:`repro.platform.serialization.save_platform` and
+    :class:`repro.parallel.platform_ref.PlatformRef` reuse.
+    """
+    from repro.graph.csr import CSRGraph
+    from repro.platform.frozen import CompiledIndexes, FrozenStore
+
+    spool = store.spool
+    if spool is None:
+        raise PlatformError("freeze_spooled requires a spooled store")
+    progress = spool.progress
+    total_rows = spool.finish()
+    directory = spool.directory
+    chunk_rows = spool.chunk_rows
+
+    graph = CSRGraph.from_graph(store.graph)
+    profiles = store._profiles  # compile-time access, as FrozenStore.from_store
+    sorted_user_ids = np.array(sorted(profiles), dtype=np.int64)
+
+    # ---- timeline permutation (out-of-core stable sort) ---------------
+    tl_order_path = os.path.join(directory, "tl_order.bin")
+    tl_indptr = external_timeline_sort(
+        spool.column_path("post_user"),
+        spool.column_path("post_time"),
+        tl_order_path,
+        sorted_user_ids,
+        chunk_rows=chunk_rows,
+        progress=progress,
+    )
+    write_column_file(os.path.join(directory, "tl_indptr.bin"), tl_indptr, np.int64)
+    write_column_file(
+        os.path.join(directory, "sorted_user_ids.bin"), sorted_user_ids, np.int64
+    )
+
+    # ---- per-keyword logs (tagged subset is small: cascades only) -----
+    tagged_rows: List[np.ndarray] = []
+    tagged_codes: List[np.ndarray] = []
+    for base, chunk in spool.iter_column("post_keyword"):
+        hits = np.flatnonzero(chunk >= 0)
+        if hits.size:
+            tagged_rows.append(base + hits)
+            tagged_codes.append(chunk[hits])
+    rows_tagged = np.concatenate(tagged_rows) if tagged_rows else np.empty(0, np.int64)
+    codes_tagged = np.concatenate(tagged_codes) if tagged_codes else np.empty(0, np.int64)
+
+    post_time_mm = map_column_file(spool.column_path("post_time"), np.float64)
+    post_user_mm = map_column_file(spool.column_path("post_user"), np.int64)
+    post_id_mm = map_column_file(spool.column_path("post_id"), np.int64)
+
+    kw_manifest: Dict[str, Dict[str, str]] = {}
+    for code, name in enumerate(spool.keyword_names):
+        rows_kw = rows_tagged[codes_tagged == code]
+        t = np.asarray(post_time_mm[rows_kw])
+        u = np.asarray(post_user_mm[rows_kw])
+        p = np.asarray(post_id_mm[rows_kw])
+        order = np.lexsort((p, u, t))
+        t, u, p = t[order], u[order], p[order]
+        uniq, first_idx = np.unique(u, return_index=True)
+        stems = {
+            "times": f"kw{code}_times.bin",
+            "users": f"kw{code}_users.bin",
+            "pids": f"kw{code}_pids.bin",
+            "first_users": f"kw{code}_first_users.bin",
+            "first_times": f"kw{code}_first_times.bin",
+        }
+        write_column_file(os.path.join(directory, stems["times"]), t, np.float64)
+        write_column_file(os.path.join(directory, stems["users"]), u, np.int64)
+        write_column_file(os.path.join(directory, stems["pids"]), p, np.int64)
+        write_column_file(os.path.join(directory, stems["first_users"]), uniq, np.int64)
+        write_column_file(
+            os.path.join(directory, stems["first_times"]), t[first_idx], np.float64
+        )
+        kw_manifest[name] = stems
+    if progress is not None:
+        progress.note("freeze:keyword-indexes")
+
+    # ---- graph + profiles ---------------------------------------------
+    from repro.platform.users import profile_columns
+
+    write_column_file(os.path.join(directory, "graph_indptr.bin"), graph.indptr, np.int64)
+    write_column_file(os.path.join(directory, "graph_indices.bin"), graph.indices, np.int64)
+    write_column_file(os.path.join(directory, "graph_ids.bin"), graph._ids, np.int64)
+    columns = profile_columns(profiles)
+    write_column_file(os.path.join(directory, "prof_ids.bin"), columns["prof_ids"], np.int64)
+    write_column_file(
+        os.path.join(directory, "prof_gender.bin"), columns["prof_gender"], np.int8
+    )
+    write_column_file(os.path.join(directory, "prof_age.bin"), columns["prof_age"], np.int16)
+    np.save(os.path.join(directory, "prof_names.npy"), columns["prof_names"])
+
+    manifest = {
+        "format_version": 1,
+        "num_rows": total_rows,
+        "next_post_id": store._next_post_id,
+        "keyword_names": list(spool.keyword_names),
+        "keyword_files": kw_manifest,
+        "multi_keyword_posts": {},
+        "columns": {name: f"{name}.bin" for name, _ in POST_COLUMNS},
+    }
+    with open(os.path.join(directory, STORE_MANIFEST), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+    if progress is not None:
+        progress.note("freeze:manifest")
+
+    compiled = CompiledIndexes(
+        sorted_user_ids=sorted_user_ids,
+        tl_order=map_column_file(tl_order_path, np.int64),
+        tl_indptr=tl_indptr,
+        kw_times={
+            name: map_column_file(os.path.join(directory, stems["times"]), np.float64)
+            for name, stems in kw_manifest.items()
+        },
+        kw_users={
+            name: map_column_file(os.path.join(directory, stems["users"]), np.int64)
+            for name, stems in kw_manifest.items()
+        },
+        kw_pids={
+            name: map_column_file(os.path.join(directory, stems["pids"]), np.int64)
+            for name, stems in kw_manifest.items()
+        },
+        kw_first_users={
+            name: map_column_file(os.path.join(directory, stems["first_users"]), np.int64)
+            for name, stems in kw_manifest.items()
+        },
+        kw_first_times={
+            name: map_column_file(os.path.join(directory, stems["first_times"]), np.float64)
+            for name, stems in kw_manifest.items()
+        },
+    )
+    return FrozenStore(
+        graph=graph,
+        profiles=profiles,
+        user_order=list(profiles),
+        post_user=post_user_mm,
+        post_time=post_time_mm,
+        post_id=post_id_mm,
+        post_length=map_column_file(spool.column_path("post_length"), np.int64),
+        post_likes=map_column_file(spool.column_path("post_likes"), np.int64),
+        post_keyword=map_column_file(spool.column_path("post_keyword"), np.int64),
+        keyword_names=list(spool.keyword_names),
+        multi_keywords={},
+        next_post_id=store._next_post_id,
+        precompiled=compiled,
+        source_dir=directory,
+        storage="mmap",
+    )
+
+
+__all__ = [
+    "BuildProgress",
+    "ColumnSpool",
+    "DEFAULT_CHUNK_ROWS",
+    "POST_COLUMNS",
+    "POST_COLUMN_DTYPES",
+    "STORE_MANIFEST",
+    "current_rss_bytes",
+    "external_timeline_sort",
+    "freeze_spooled",
+    "iter_column_file",
+    "map_column_file",
+    "peak_rss_bytes",
+    "write_column_file",
+]

@@ -1,13 +1,25 @@
-"""Save/load simulated platforms to a single ``.npz`` archive.
+"""Save/load simulated platforms: ``.npz`` archive or sharded directory.
 
 Building a large platform takes seconds to minutes; benchmarks and CLI
-sessions want to reuse one across processes.  The archive stores columnar
-numpy arrays (edges, profile fields, post fields, adoption times) plus a
-small JSON header — no pickle, so archives are portable and inspectable.
+sessions want to reuse one across processes.  Two on-disk layouts:
+
+* **``.npz`` archive** (paths ending in ``.npz``) — the historical single
+  compressed file.  Columnar numpy arrays (edges, profile fields, post
+  fields, adoption times) plus a small JSON header — no pickle, portable
+  and inspectable.  Loading materialises every column into RAM.
+* **Sharded directory** (any other path) — one raw binary file per
+  column family plus ``store.json`` / ``header.json`` manifests.  This is
+  the out-of-core layout: :func:`load_platform` maps every column with
+  ``np.memmap`` (the default ``mmap_mode="r"``), so opening a 10M-row
+  platform costs a handful of ``mmap`` calls and serving touches only
+  the pages it reads.  The ``"mmap"`` build plane streams directly into
+  this layout, and :class:`~repro.parallel.platform_ref.PlatformRef`
+  reuses it as the process-worker spill — parent and workers share the
+  same physical pages.
 
 Since the data plane went columnar, the spill is a near-direct dump: the
 store is frozen (a no-op for the default data plane) and its post columns
-and the CSR graph's edge array are written as-is — no per-post python loop
+and the CSR graph's arrays are written as-is — no per-post python loop
 in either direction.  Loading reconstructs a :class:`FrozenStore` straight
 from the archived columns.
 
@@ -21,7 +33,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Tuple, Union
+import shutil
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,18 +42,37 @@ from repro.errors import PlatformError
 from repro.graph.csr import CSRGraph
 from repro.platform.cascade import CascadeResult
 from repro.platform.clock import SimulatedClock
-from repro.platform.frozen import FrozenStore
+from repro.platform.frozen import CompiledIndexes, FrozenStore
+from repro.platform.outofcore import (
+    POST_COLUMN_DTYPES,
+    STORE_MANIFEST,
+    map_column_file,
+    write_column_file,
+)
 from repro.platform.profiles import ALL_PROFILES
 from repro.platform.simulator import PlatformConfig, SimulatedPlatform
-from repro.platform.users import Gender, UserProfile
+from repro.platform.users import ColumnProfiles, Gender, UserProfile, profile_columns
 
 PathLike = Union[str, os.PathLike]
 FORMAT_VERSION = 1
+SHARDED_HEADER = "header.json"
 _GENDERS = [Gender.MALE, Gender.FEMALE, Gender.UNDISCLOSED]
 _GENDER_INDEX = {gender: i for i, gender in enumerate(_GENDERS)}
 
 
 def save_platform(platform: SimulatedPlatform, path: PathLike) -> None:
+    """Write *platform* to *path*.
+
+    A path ending in ``.npz`` gets the single-archive format; anything
+    else becomes (or updates) a sharded layout directory.
+    """
+    if str(path).endswith(".npz"):
+        _save_npz(platform, path)
+    else:
+        save_sharded(platform, path)
+
+
+def _save_npz(platform: SimulatedPlatform, path: PathLike) -> None:
     """Write *platform* to a ``.npz`` archive at *path*."""
     store = platform.store
     frozen = store if isinstance(store, FrozenStore) else store.freeze()
@@ -116,12 +148,17 @@ def save_platform(platform: SimulatedPlatform, path: PathLike) -> None:
     )
 
 
-def load_platform(path: PathLike) -> SimulatedPlatform:
+def load_platform(path: PathLike, mmap_mode: Optional[str] = "r") -> SimulatedPlatform:
     """Load a platform previously written by :func:`save_platform`.
 
     The restored platform serves from a :class:`FrozenStore` over a CSR
     graph, built directly from the archived columns — no post replay.
+    Sharded layout directories are opened with ``np.memmap`` views
+    (*mmap_mode* ``"r"``; pass ``None`` to materialise into RAM);
+    ``.npz`` archives always materialise.
     """
+    if os.path.isdir(path):
+        return load_sharded(path, mmap_mode=mmap_mode)
     with np.load(path, allow_pickle=True) as archive:
         header = json.loads(bytes(archive["header"]).decode("utf-8"))
         if header.get("format_version") != FORMAT_VERSION:
@@ -201,3 +238,259 @@ def load_platform(path: PathLike) -> SimulatedPlatform:
             clock=SimulatedClock(float(header["now"])),
             cascades=cascades,
         )
+
+
+# ----------------------------------------------------------------------
+# sharded directory layout
+# ----------------------------------------------------------------------
+def _store_manifest_path(directory: PathLike) -> str:
+    return os.path.join(str(directory), STORE_MANIFEST)
+
+
+def save_sharded(platform: SimulatedPlatform, path: PathLike) -> None:
+    """Write *platform* as a sharded layout directory at *path*.
+
+    When the frozen store already serves from a sharded spool
+    (``source_dir``) the column and index files are reused — same
+    directory: left in place; different directory: copied file-by-file —
+    and only the platform-level header and cascade files are (re)written.
+    A RAM-resident store is dumped column-by-column.  Keyword codes are
+    stored in the store's first-appearance order, **not** remapped, so a
+    reloaded platform's keyword column is bit-identical to the built one.
+    """
+    directory = str(path)
+    os.makedirs(directory, exist_ok=True)
+    store = platform.store
+    frozen = store if isinstance(store, FrozenStore) else store.freeze()
+
+    source = getattr(frozen, "source_dir", None)
+    if source and os.path.isfile(_store_manifest_path(source)):
+        if not os.path.samefile(source, directory):
+            for name in os.listdir(source):
+                full = os.path.join(source, name)
+                if os.path.isfile(full) and name != SHARDED_HEADER:
+                    shutil.copy2(full, os.path.join(directory, name))
+    else:
+        _dump_store_dir(frozen, directory)
+
+    cascade_names = sorted(platform.cascades)
+    cascade_files = {}
+    for index, name in enumerate(cascade_names):
+        result = platform.cascades[name]
+        items = sorted(result.adoption_times.items())
+        users_file = f"cascade{index}_users.bin"
+        times_file = f"cascade{index}_times.bin"
+        write_column_file(
+            os.path.join(directory, users_file),
+            np.array([u for u, _ in items], dtype=np.int64),
+            np.int64,
+        )
+        write_column_file(
+            os.path.join(directory, times_file),
+            np.array([t for _, t in items], dtype=np.float64),
+            np.float64,
+        )
+        cascade_files[name] = {
+            "users": users_file,
+            "times": times_file,
+            "total_posts": result.total_posts,
+        }
+
+    header = {
+        "format_version": FORMAT_VERSION,
+        "layout": "sharded",
+        "num_users": platform.config.num_users,
+        "horizon_days": platform.config.horizon_days,
+        "seed": platform.config.seed,
+        "profile": platform.profile.name,
+        "now": platform.now,
+        "cascades": cascade_files,
+    }
+    with open(os.path.join(directory, SHARDED_HEADER), "w", encoding="utf-8") as handle:
+        json.dump(header, handle, indent=1)
+
+
+def _dump_store_dir(frozen: FrozenStore, directory: str) -> None:
+    """Write a RAM-resident frozen store's columns/indexes as shard files."""
+    for name in POST_COLUMN_DTYPES:
+        write_column_file(
+            os.path.join(directory, f"{name}.bin"),
+            getattr(frozen, name),
+            POST_COLUMN_DTYPES[name],
+        )
+    compiled = frozen.compiled_indexes()
+    write_column_file(
+        os.path.join(directory, "tl_order.bin"), compiled.tl_order, np.int64
+    )
+    write_column_file(
+        os.path.join(directory, "tl_indptr.bin"), compiled.tl_indptr, np.int64
+    )
+    write_column_file(
+        os.path.join(directory, "sorted_user_ids.bin"), compiled.sorted_user_ids, np.int64
+    )
+    keyword_names = frozen.keywords()
+    kw_manifest: Dict[str, Dict[str, str]] = {}
+    for code, name in enumerate(keyword_names):
+        stems = {
+            "times": f"kw{code}_times.bin",
+            "users": f"kw{code}_users.bin",
+            "pids": f"kw{code}_pids.bin",
+            "first_users": f"kw{code}_first_users.bin",
+            "first_times": f"kw{code}_first_times.bin",
+        }
+        write_column_file(
+            os.path.join(directory, stems["times"]), compiled.kw_times[name], np.float64
+        )
+        write_column_file(
+            os.path.join(directory, stems["users"]), compiled.kw_users[name], np.int64
+        )
+        write_column_file(
+            os.path.join(directory, stems["pids"]), compiled.kw_pids[name], np.int64
+        )
+        write_column_file(
+            os.path.join(directory, stems["first_users"]),
+            compiled.kw_first_users[name],
+            np.int64,
+        )
+        write_column_file(
+            os.path.join(directory, stems["first_times"]),
+            compiled.kw_first_times[name],
+            np.float64,
+        )
+        kw_manifest[name] = stems
+
+    graph = CSRGraph.from_graph(frozen.graph)
+    write_column_file(os.path.join(directory, "graph_indptr.bin"), graph.indptr, np.int64)
+    write_column_file(os.path.join(directory, "graph_indices.bin"), graph.indices, np.int64)
+    write_column_file(os.path.join(directory, "graph_ids.bin"), graph._ids, np.int64)
+
+    columns = profile_columns(frozen._profiles)
+    write_column_file(os.path.join(directory, "prof_ids.bin"), columns["prof_ids"], np.int64)
+    write_column_file(
+        os.path.join(directory, "prof_gender.bin"), columns["prof_gender"], np.int8
+    )
+    write_column_file(os.path.join(directory, "prof_age.bin"), columns["prof_age"], np.int16)
+    np.save(os.path.join(directory, "prof_names.npy"), columns["prof_names"])
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "num_rows": int(frozen.post_id.size),
+        "next_post_id": frozen.num_posts,
+        "keyword_names": keyword_names,
+        "keyword_files": kw_manifest,
+        "multi_keyword_posts": {
+            str(pid): list(words) for pid, words in frozen._multi.items()
+        },
+        "columns": {name: f"{name}.bin" for name in POST_COLUMN_DTYPES},
+    }
+    with open(_store_manifest_path(directory), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+
+
+def load_sharded(path: PathLike, mmap_mode: Optional[str] = "r") -> SimulatedPlatform:
+    """Open a sharded layout directory as a served platform.
+
+    With the default ``mmap_mode="r"`` every column and compiled index is
+    an ``np.memmap`` view — nothing is materialised until a read slices
+    it, so process workers resolving the same directory share pages.
+    ``mmap_mode=None`` reads everything into RAM instead.
+    """
+    directory = str(path)
+    manifest_path = _store_manifest_path(directory)
+    header_path = os.path.join(directory, SHARDED_HEADER)
+    if not (os.path.isfile(manifest_path) and os.path.isfile(header_path)):
+        raise PlatformError(f"{directory!r} is not a sharded platform layout")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    with open(header_path, encoding="utf-8") as handle:
+        header = json.load(handle)
+    for blob, label in ((manifest, STORE_MANIFEST), (header, SHARDED_HEADER)):
+        if blob.get("format_version") != FORMAT_VERSION:
+            raise PlatformError(
+                f"unsupported {label} version {blob.get('format_version')}"
+            )
+    profile = ALL_PROFILES.get(header["profile"])
+    if profile is None:
+        raise PlatformError(f"unknown platform profile {header['profile']!r}")
+
+    def column(file_name: str, dtype) -> np.ndarray:
+        full = os.path.join(directory, file_name)
+        if mmap_mode:
+            return map_column_file(full, dtype, mode=mmap_mode)
+        return np.fromfile(full, dtype=dtype)
+
+    graph = CSRGraph(
+        column("graph_indptr.bin", np.int64),
+        column("graph_indices.bin", np.int64),
+        column("graph_ids.bin", np.int64),
+    )
+    prof_ids = column("prof_ids.bin", np.int64)
+    profiles = ColumnProfiles(
+        user_ids=prof_ids,
+        names=np.load(os.path.join(directory, "prof_names.npy"), mmap_mode=mmap_mode),
+        gender_codes=column("prof_gender.bin", np.int8),
+        ages=column("prof_age.bin", np.int16),
+        degree_of=graph.degree,
+    )
+
+    keyword_names: List[str] = list(manifest["keyword_names"])
+    kw_files: Dict[str, Dict[str, str]] = manifest["keyword_files"]
+    compiled = CompiledIndexes(
+        sorted_user_ids=column("sorted_user_ids.bin", np.int64),
+        tl_order=column("tl_order.bin", np.int64),
+        tl_indptr=column("tl_indptr.bin", np.int64),
+        kw_times={n: column(f["times"], np.float64) for n, f in kw_files.items()},
+        kw_users={n: column(f["users"], np.int64) for n, f in kw_files.items()},
+        kw_pids={n: column(f["pids"], np.int64) for n, f in kw_files.items()},
+        kw_first_users={
+            n: column(f["first_users"], np.int64) for n, f in kw_files.items()
+        },
+        kw_first_times={
+            n: column(f["first_times"], np.float64) for n, f in kw_files.items()
+        },
+    )
+    multi_map: Dict[int, Tuple[str, ...]] = {
+        int(pid): tuple(words)
+        for pid, words in manifest.get("multi_keyword_posts", {}).items()
+    }
+    store = FrozenStore(
+        graph=graph,
+        profiles=profiles,
+        user_order=prof_ids.tolist(),
+        post_user=column(manifest["columns"]["post_user"], np.int64),
+        post_time=column(manifest["columns"]["post_time"], np.float64),
+        post_id=column(manifest["columns"]["post_id"], np.int64),
+        post_length=column(manifest["columns"]["post_length"], np.int64),
+        post_likes=column(manifest["columns"]["post_likes"], np.int64),
+        post_keyword=column(manifest["columns"]["post_keyword"], np.int64),
+        keyword_names=keyword_names,
+        multi_keywords=multi_map,
+        next_post_id=int(manifest["next_post_id"]),
+        precompiled=compiled,
+        source_dir=directory,
+        storage="mmap" if mmap_mode else "ram",
+    )
+
+    cascades: Dict[str, CascadeResult] = {}
+    for name, entry in header["cascades"].items():
+        users = column(entry["users"], np.int64)
+        times = column(entry["times"], np.float64)
+        cascades[name] = CascadeResult(
+            keyword=name,
+            adoption_times={int(u): float(t) for u, t in zip(users, times)},
+            total_posts=int(entry["total_posts"]),
+        )
+
+    config = PlatformConfig(
+        num_users=int(header["num_users"]),
+        horizon_days=float(header["horizon_days"]),
+        keywords=(),
+        profile=profile,
+        seed=int(header["seed"]),
+    )
+    return SimulatedPlatform(
+        config=config,
+        store=store,
+        clock=SimulatedClock(float(header["now"])),
+        cascades=cascades,
+    )

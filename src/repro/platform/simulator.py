@@ -37,12 +37,18 @@ from repro.platform.users import generate_profile, generate_profiles
 from repro.platform.workload import KeywordSpec, standard_keywords
 
 GRAPH_MODELS = ("community", "barabasi_albert", "watts_strogatz", "erdos_renyi")
-DATA_PLANES = ("frozen", "legacy", "baseline")
+DATA_PLANES = ("frozen", "mmap", "legacy", "baseline")
 """Data-plane modes for :func:`build_platform`:
 
 * ``"frozen"`` (default) — vectorized columnar build, compiled at the end
   to an immutable :class:`~repro.platform.frozen.FrozenStore` with a CSR
   social graph; the fast serving path every estimator should use.
+* ``"mmap"`` — the *same* draws as ``"frozen"`` (bit-identical platform
+  data), but built out of core: column batches stream to an on-disk spool
+  in ``build_chunk_rows``-bounded chunks, the freeze-time sorts run as
+  external passes, and the resulting :class:`FrozenStore` serves every
+  column as an ``np.memmap`` view of the sharded layout.  Peak build RSS
+  stays flat in the post count; see :mod:`repro.platform.outofcore`.
 * ``"legacy"`` — the *same* vectorized build (identical RNG draws, hence
   identical platform data), served through the mutable dict/list store and
   dict-of-sets graph.  Exists so tests can pin frozen/legacy equivalence.
@@ -75,6 +81,12 @@ class PlatformConfig:
     seed: int = 0
     data_plane: str = "frozen"
     """See :data:`DATA_PLANES`."""
+    spill_dir: Optional[str] = None
+    """Directory for the ``"mmap"`` plane's on-disk columns (the sharded
+    layout).  ``None`` puts them in a temp directory removed at process
+    exit; a named directory persists and doubles as the saved platform."""
+    build_chunk_rows: int = 262_144
+    """Streaming-build chunk size (rows) for the ``"mmap"`` plane."""
 
     def __post_init__(self) -> None:
         if self.num_users < 2:
@@ -89,6 +101,8 @@ class PlatformConfig:
             raise PlatformError(
                 f"unknown data plane {self.data_plane!r}; choose from {DATA_PLANES}"
             )
+        if self.build_chunk_rows < 1:
+            raise PlatformError("build_chunk_rows must be >= 1")
 
     @property
     def horizon(self) -> float:
@@ -158,7 +172,11 @@ def _build_graph(config: PlatformConfig, seed_rng, vectorized: bool = False) -> 
 
 
 def _add_background_posts(
-    store: MicroblogStore, config: PlatformConfig, rng, vectorized: bool = True
+    store: MicroblogStore,
+    config: PlatformConfig,
+    rng,
+    vectorized: bool = True,
+    progress=None,
 ) -> None:
     """Keyword-free posts spread uniformly over the horizon.
 
@@ -167,6 +185,13 @@ def _add_background_posts(
     path draws every column in one numpy batch and hands the store a single
     bulk chunk; the scalar path is the original one-``bisect.insort``-per-
     post loop, kept for the ``"baseline"`` data plane.
+
+    On a spooled store the same columns stream to disk in bounded chunks.
+    The generator stream is consumed in the identical element order —
+    per-user counts first, then every timestamp, then every length, then
+    every like, each column chunked *within itself* — so the posts are
+    bit-identical to the one-shot path while peak memory stays flat in
+    the total row count.
     """
     if config.background_posts_mean == 0:
         return
@@ -180,11 +205,19 @@ def _add_background_posts(
         total = int(counts.sum())
         if total == 0:
             return
+        spool = store.spool
+        if spool is not None:
+            _stream_background_posts(
+                store, spool, nrng, user_ids, counts, total, horizon, progress
+            )
+            return
         users = np.repeat(user_ids, counts)
         times = nrng.random(total) * horizon
         lengths = nrng.integers(10, 141, size=total)
         likes = np.minimum((nrng.pareto(1.8, size=total) + 1.0).astype(np.int64), 10_000) - 1
         store.add_posts_columnar(users, times, lengths, likes)
+        if progress is not None:
+            progress.add_rows("background", total)
         return
     for user_id in store.user_ids():
         count = int(rng.expovariate(1.0 / config.background_posts_mean))
@@ -200,14 +233,95 @@ def _add_background_posts(
             )
 
 
-def build_platform(config: Optional[PlatformConfig] = None) -> SimulatedPlatform:
-    """Build a deterministic platform from *config* (defaults if None)."""
+def _stream_background_posts(
+    store: MicroblogStore,
+    spool,
+    nrng: np.random.Generator,
+    user_ids: np.ndarray,
+    counts: np.ndarray,
+    total: int,
+    horizon: float,
+    progress=None,
+) -> None:
+    """Chunked spool writes of the vectorized background columns.
+
+    Author/post-id/keyword columns (no RNG) stream in user-block chunks;
+    the three drawn columns each stream in their own chunked pass over
+    the same generator, preserving the one-shot draw order exactly.
+    """
+    start = store.reserve_post_ids(total)
+    code = spool.kw_code(None)
+    chunk = spool.chunk_rows
+    ends = np.cumsum(counts)
+    block_start = 0
+    while block_start < user_ids.size:
+        row0 = int(ends[block_start - 1]) if block_start else 0
+        block_end = int(np.searchsorted(ends, row0 + chunk, side="left")) + 1
+        block_end = min(max(block_end, block_start + 1), user_ids.size)
+        block = np.repeat(user_ids[block_start:block_end], counts[block_start:block_end])
+        spool.append_column("post_user", block)
+        spool.append_column(
+            "post_id", np.arange(start + row0, start + row0 + block.size, dtype=np.int64)
+        )
+        spool.append_column("post_keyword", np.full(block.size, code, dtype=np.int64))
+        if progress is not None:
+            progress.add_rows("background", block.size)
+        block_start = block_end
+    for offset in range(0, total, chunk):
+        size = min(chunk, total - offset)
+        spool.append_column("post_time", nrng.random(size) * horizon)
+    for offset in range(0, total, chunk):
+        size = min(chunk, total - offset)
+        spool.append_column("post_length", nrng.integers(10, 141, size=size))
+    for offset in range(0, total, chunk):
+        size = min(chunk, total - offset)
+        spool.append_column(
+            "post_likes",
+            np.minimum((nrng.pareto(1.8, size=size) + 1.0).astype(np.int64), 10_000) - 1,
+        )
+
+
+def build_platform(
+    config: Optional[PlatformConfig] = None,
+    obs=None,
+    progress=None,
+) -> SimulatedPlatform:
+    """Build a deterministic platform from *config* (defaults if None).
+
+    *obs* (an :class:`~repro.obs.Observability` with a metrics registry)
+    and *progress* (a :class:`~repro.platform.outofcore.BuildProgress`,
+    or ``True`` for stderr echo) are optional build telemetry: chunked
+    row counts per stage land in ``build.rows{stage=...}`` counters and
+    the resident set in a ``build.rss_bytes`` gauge, so large ``"mmap"``
+    builds give a progress signal instead of minutes of silence.
+    """
+    from repro.platform.outofcore import BuildProgress, ColumnSpool
+
     config = config or PlatformConfig()
+    if progress is True or (progress is None and obs is not None):
+        metrics = getattr(obs, "metrics", None) if obs is not None else None
+        progress = BuildProgress(metrics=metrics, echo=progress is True)
+    elif progress is None or progress is False:
+        progress = None
     root_rng = ensure_rng(config.seed)
     columnar = config.data_plane != "baseline"
 
     graph = _build_graph(config, spawn(root_rng, "graph"), vectorized=columnar)
-    store = MicroblogStore(graph)
+    spool = None
+    if config.data_plane == "mmap":
+        spool = ColumnSpool(
+            directory=config.spill_dir,
+            chunk_rows=config.build_chunk_rows,
+            progress=progress,
+        )
+        if spool.owns_directory:
+            # Temp spills live as long as the process: workers may map the
+            # same files mid-run, so reclamation waits for interpreter exit.
+            import atexit
+            import shutil
+
+            atexit.register(shutil.rmtree, spool.directory, True)
+    store = MicroblogStore(graph, spool=spool)
     profile_rng = spawn(root_rng, "profiles")
     if columnar:
         for user_profile in generate_profiles(config.num_users, seed=profile_rng):
@@ -216,8 +330,12 @@ def build_platform(config: Optional[PlatformConfig] = None) -> SimulatedPlatform
         for user_id in range(config.num_users):
             store.add_user(generate_profile(user_id, seed=profile_rng))
     store.refresh_follower_counts()
+    if progress is not None:
+        progress.note("users")
 
-    _add_background_posts(store, config, spawn(root_rng, "background"), vectorized=columnar)
+    _add_background_posts(
+        store, config, spawn(root_rng, "background"), vectorized=columnar, progress=progress
+    )
 
     cascades: Dict[str, CascadeResult] = {}
     for spec in config.keywords:
@@ -231,9 +349,11 @@ def build_platform(config: Optional[PlatformConfig] = None) -> SimulatedPlatform
             emission="columnar" if columnar else "scalar",
         )
         cascades[spec.keyword] = result
+        if progress is not None:
+            progress.add_rows(f"cascade:{spec.keyword}", result.total_posts)
 
     served: Union[MicroblogStore, FrozenStore]
-    if config.data_plane == "frozen":
+    if config.data_plane in ("frozen", "mmap"):
         served = store.freeze()
     else:
         # Drain any pending column chunks now so the store is safe to share
@@ -242,4 +362,14 @@ def build_platform(config: Optional[PlatformConfig] = None) -> SimulatedPlatform
         served = store
 
     clock = SimulatedClock(start=config.horizon)
-    return SimulatedPlatform(config=config, store=served, clock=clock, cascades=cascades)
+    platform = SimulatedPlatform(config=config, store=served, clock=clock, cascades=cascades)
+    if config.data_plane == "mmap":
+        # Top up the spool directory with the platform-level header and
+        # cascade files, making it a complete sharded layout that
+        # PlatformRef / save_platform / load_platform reuse as-is.
+        from repro.platform.serialization import save_platform
+
+        save_platform(platform, served.source_dir)
+        if progress is not None:
+            progress.note("sharded-layout")
+    return platform

@@ -70,7 +70,7 @@ class _ColumnChunk:
 class MicroblogStore:
     """Authoritative container of users, posts and the social graph."""
 
-    def __init__(self, graph: Optional[SocialGraph] = None) -> None:
+    def __init__(self, graph: Optional[SocialGraph] = None, spool=None) -> None:
         self.graph = graph if graph is not None else SocialGraph()
         self._profiles: Dict[int, UserProfile] = {}
         self._timelines: Dict[int, List[Post]] = {}
@@ -78,6 +78,12 @@ class MicroblogStore:
         self._first_mention: Dict[str, Dict[int, float]] = {}
         self._next_post_id = 0
         self._pending: List[_ColumnChunk] = []
+        self.spool = spool
+        """Optional :class:`~repro.platform.outofcore.ColumnSpool`.  When
+        set, column batches stream straight to the spool's on-disk files
+        instead of buffering in ``_pending`` — the store becomes a write-
+        only build sink until :meth:`freeze` compiles it out of core.
+        Post reads before that raise (there is nothing in RAM to read)."""
 
     # ------------------------------------------------------------------
     # population
@@ -94,12 +100,31 @@ class MicroblogStore:
         self._next_post_id += 1
         return post_id
 
+    def reserve_post_ids(self, count: int) -> int:
+        """Claim *count* consecutive post ids; returns the first.
+
+        The streaming build path draws each column in its own chunked
+        pass (matching the one-shot RNG order), so it reserves the id
+        range up front instead of going through a row-aligned batch.
+        """
+        start = self._next_post_id
+        self._next_post_id += int(count)
+        return start
+
+    def _require_readable(self, operation: str) -> None:
+        if self.spool is not None and self.spool.rows:
+            raise PlatformError(
+                f"spooled store is write-only until freeze() ({operation})"
+            )
+
     def add_post(self, post: Post) -> None:
         """Insert *post*, maintaining all indexes.
 
         Posts may arrive out of timestamp order (cascades interleave), so
         the timeline insert is a bisect, not an append.
         """
+        if self.spool is not None:
+            raise PlatformError("scalar add_post is unsupported on a spooled store")
         if post.user_id not in self._profiles:
             raise PlatformError(f"post by unknown user {post.user_id}")
         if self._pending:
@@ -148,6 +173,16 @@ class MicroblogStore:
             return np.empty(0, dtype=np.int64)
         post_ids = np.arange(self._next_post_id, self._next_post_id + count, dtype=np.int64)
         self._next_post_id += count
+        if self.spool is not None:
+            self.spool.append_posts(
+                users,
+                timestamps,
+                post_ids,
+                np.ascontiguousarray(lengths, dtype=np.int64),
+                np.ascontiguousarray(likes, dtype=np.int64),
+                keyword.lower() if keyword is not None else None,
+            )
+            return post_ids
         self._pending.append(
             _ColumnChunk(
                 users,
@@ -258,6 +293,10 @@ class MicroblogStore:
         indexes are gathered back into columns first.  The social graph is
         compiled to CSR.  The mutable store remains valid afterwards.
         """
+        if self.spool is not None:
+            from repro.platform.outofcore import freeze_spooled
+
+            return freeze_spooled(self)
         from repro.platform.frozen import FrozenStore
 
         return FrozenStore.from_store(self)
@@ -290,6 +329,7 @@ class MicroblogStore:
     # ------------------------------------------------------------------
     def timeline(self, user_id: int) -> List[Post]:
         """Full timeline of *user_id*, oldest first."""
+        self._require_readable("timeline")
         if self._pending:
             self._integrate_pending()
         try:
@@ -298,6 +338,7 @@ class MicroblogStore:
             raise PlatformError(f"unknown user {user_id}") from None
 
     def timeline_length(self, user_id: int) -> int:
+        self._require_readable("timeline_length")
         if self._pending:
             self._integrate_pending()
         try:
@@ -306,6 +347,7 @@ class MicroblogStore:
             raise PlatformError(f"unknown user {user_id}") from None
 
     def keywords(self) -> List[str]:
+        self._require_readable("keywords")
         if self._pending:
             self._integrate_pending()
         return list(self._keyword_log)
@@ -315,6 +357,7 @@ class MicroblogStore:
     ) -> Iterator[Tuple[float, int, int]]:
         """All ``(timestamp, user_id, post_id)`` mentions of *keyword* in
         ``[start, end)``, oldest first."""
+        self._require_readable("keyword_posts")
         if self._pending:
             self._integrate_pending()
         log = self._keyword_log.get(keyword.lower(), [])
@@ -335,18 +378,21 @@ class MicroblogStore:
 
     def first_mention_time(self, keyword: str, user_id: int) -> Optional[float]:
         """When *user_id* first posted *keyword*, or None if never."""
+        self._require_readable("first_mention_time")
         if self._pending:
             self._integrate_pending()
         return self._first_mention.get(keyword.lower(), {}).get(user_id)
 
     def first_mention_times(self, keyword: str) -> Dict[int, float]:
         """Copy of the full first-mention map for *keyword*."""
+        self._require_readable("first_mention_times")
         if self._pending:
             self._integrate_pending()
         return dict(self._first_mention.get(keyword.lower(), {}))
 
     def all_posts(self) -> Iterator[Post]:
         """Every post on the platform (firehose order: per-user, by time)."""
+        self._require_readable("all_posts")
         if self._pending:
             self._integrate_pending()
         for timeline in self._timelines.values():

@@ -11,8 +11,9 @@ Twitter profiles" — §6.2 — but present on Google+).
 from __future__ import annotations
 
 import enum
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -57,6 +58,103 @@ class UserProfile:
     @property
     def display_name_length(self) -> int:
         return len(self.display_name)
+
+
+GENDER_CODES = (Gender.MALE, Gender.FEMALE, Gender.UNDISCLOSED)
+"""Stable int8 encoding of :class:`Gender` for columnar storage."""
+
+
+class ColumnProfiles(Mapping):
+    """Lazy profile mapping over columnar (possibly memmapped) attributes.
+
+    Behaves like the ``Dict[int, UserProfile]`` the rest of the platform
+    expects — same iteration order (ascending user id, matching the
+    sorted dict the builders produce), same lookups — but materialises a
+    :class:`UserProfile` only on access, so opening a 10M-user platform
+    from disk does not allocate 10M dataclass instances up front.
+
+    ``followers`` is filled from *degree_of* (the frozen CSR graph's
+    degree) at materialisation time; materialised profiles are cached so
+    repeated access returns the identical object, preserving the
+    "profiles are shared mutable metadata" contract.
+    """
+
+    def __init__(
+        self,
+        user_ids: np.ndarray,
+        names: np.ndarray,
+        gender_codes: np.ndarray,
+        ages: np.ndarray,
+        degree_of: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        self._ids = user_ids
+        self._names = names
+        self._genders = gender_codes
+        self._ages = ages
+        self._degree_of = degree_of
+        self._cache: Dict[int, UserProfile] = {}
+
+    def _row(self, user_id: int) -> int:
+        idx = int(np.searchsorted(self._ids, user_id))
+        if idx >= self._ids.size or self._ids[idx] != user_id:
+            raise KeyError(user_id)
+        return idx
+
+    def __getitem__(self, user_id: int) -> UserProfile:
+        cached = self._cache.get(user_id)
+        if cached is not None:
+            return cached
+        row = self._row(user_id)
+        profile = UserProfile(
+            user_id=int(self._ids[row]),
+            display_name=str(self._names[row]),
+            gender=GENDER_CODES[int(self._genders[row])],
+            age=int(self._ages[row]),
+            followers=self._degree_of(user_id) if self._degree_of else 0,
+        )
+        self._cache[user_id] = profile
+        return profile
+
+    def __contains__(self, user_id: object) -> bool:
+        if not isinstance(user_id, (int, np.integer)):
+            return False
+        idx = int(np.searchsorted(self._ids, user_id))
+        return idx < self._ids.size and self._ids[idx] == user_id
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids.tolist())
+
+    def __len__(self) -> int:
+        return int(self._ids.size)
+
+    def items(self):
+        for user_id in self:
+            yield user_id, self[user_id]
+
+    def values(self):
+        for user_id in self:
+            yield self[user_id]
+
+
+def profile_columns(profiles) -> Dict[str, np.ndarray]:
+    """Decompose an id->profile mapping into flat columns (ascending id).
+
+    The inverse of :class:`ColumnProfiles`: the sharded on-disk layout
+    stores these four arrays and reconstructs the mapping lazily.
+    """
+    ids = np.array(sorted(profiles), dtype=np.int64)
+    gender_index = {g: i for i, g in enumerate(GENDER_CODES)}
+    names = np.array([profiles[i].display_name for i in ids.tolist()])
+    genders = np.array(
+        [gender_index[profiles[i].gender] for i in ids.tolist()], dtype=np.int8
+    )
+    ages = np.array([profiles[i].age for i in ids.tolist()], dtype=np.int16)
+    return {
+        "prof_ids": ids,
+        "prof_names": names,
+        "prof_gender": genders,
+        "prof_age": ages,
+    }
 
 
 def generate_profile(user_id: int, seed: RandomLike = None) -> UserProfile:

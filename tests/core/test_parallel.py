@@ -196,7 +196,10 @@ def test_parallel_auto_interval_still_invariant(tiny_platform):
 # replicate fan-out + platform shipping
 # ----------------------------------------------------------------------
 def test_platform_ref_pickle_roundtrip(tiny_platform):
-    ref = pickle.loads(pickle.dumps(PlatformRef(tiny_platform)))
+    # The parent ref must stay alive while its pickled copies are in use:
+    # its garbage collection reclaims the spill directory.
+    parent = PlatformRef(tiny_platform)
+    ref = pickle.loads(pickle.dumps(parent))
     restored = ref.resolve()
     assert restored.store.num_users == tiny_platform.store.num_users
 

@@ -1,0 +1,327 @@
+"""Out-of-core data-plane tier: the ``mmap`` plane must be a *bit-identical*
+drop-in for the in-memory ``frozen`` plane.
+
+The contract under test is strong on purpose: not "statistically the
+same" but byte-equal — every post column, every compiled index, every
+estimate, every CostMeter column, and the canonical walk-trace bytes,
+serially and through the shard-merge engine, with and without injected
+API faults.  Anything weaker would let the streaming build drift from
+the reference RNG consumption order and silently change published
+numbers at scale.
+
+Also covered here: the chunked-flush property (any chunk size produces
+the same columns as a single-shot build), the sharded-layout round trip,
+the spooled store's write-only guards, ``ColumnProfiles`` mapping
+semantics, and the :class:`PlatformRef` spill lifecycle (GC reclaims an
+owned spill; stale worker-cache entries are evicted).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.api.faults import FAULT_PROFILES
+from repro.errors import PlatformError
+from repro.obs import Observability
+from repro.obs.export import trace_lines
+from repro.obs.trace import RecordingSink
+from repro.parallel.platform_ref import _WORKER_CACHE, PlatformRef
+from repro.platform.outofcore import (
+    external_timeline_sort,
+    iter_column_file,
+    write_column_file,
+)
+from repro.platform.serialization import load_platform, save_platform
+from repro.platform.simulator import PlatformConfig, build_platform
+from repro.platform.users import ColumnProfiles, Gender, profile_columns
+from tests.conftest import tiny_keywords
+from tests.obs.conftest import GOLDEN_PLATFORM, golden_run
+
+pytestmark = pytest.mark.outofcore
+
+POST_COLUMNS = (
+    "post_user", "post_time", "post_id", "post_length", "post_likes", "post_keyword",
+)
+INDEX_FIELDS = ("kw_times", "kw_users", "kw_pids", "kw_first_users", "kw_first_times")
+
+
+def _config(**overrides) -> PlatformConfig:
+    base = dict(
+        keywords=tiny_keywords(), background_posts_mean=3.0, **GOLDEN_PLATFORM
+    )
+    base.update(overrides)
+    return PlatformConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def frozen_platform():
+    return build_platform(_config(data_plane="frozen"))
+
+
+@pytest.fixture(scope="module")
+def mmap_platform():
+    # A deliberately small chunk size so every streaming path (background
+    # user blocks, cascade emission, scatter/gather sort batches) crosses
+    # many chunk boundaries on this small platform.
+    return build_platform(_config(data_plane="mmap", build_chunk_rows=911))
+
+
+# ----------------------------------------------------------------------
+# column + index bit-identity
+# ----------------------------------------------------------------------
+def test_mmap_columns_match_frozen(frozen_platform, mmap_platform):
+    sf, sm = frozen_platform.store, mmap_platform.store
+    assert sm.storage == "mmap" and sm.source_dir
+    assert sf.post_id.size == sm.post_id.size > 0
+    for name in POST_COLUMNS:
+        a, b = getattr(sf, name), getattr(sm, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+
+
+def test_mmap_indexes_match_frozen(frozen_platform, mmap_platform):
+    cf = frozen_platform.store.compiled_indexes()
+    cm = mmap_platform.store.compiled_indexes()
+    assert np.array_equal(cf.sorted_user_ids, cm.sorted_user_ids)
+    assert np.array_equal(cf.tl_order, cm.tl_order)
+    assert np.array_equal(cf.tl_indptr, cm.tl_indptr)
+    assert frozen_platform.store.keywords() == mmap_platform.store.keywords()
+    for name in frozen_platform.store.keywords():
+        for field in INDEX_FIELDS:
+            assert np.array_equal(
+                getattr(cf, field)[name], getattr(cm, field)[name]
+            ), (name, field)
+
+
+def test_mmap_cascades_and_profiles_match(frozen_platform, mmap_platform):
+    assert set(frozen_platform.cascades) == set(mmap_platform.cascades)
+    for name, result in frozen_platform.cascades.items():
+        other = mmap_platform.cascades[name]
+        assert result.adoption_times == other.adoption_times
+        assert result.total_posts == other.total_posts
+    sf, sm = frozen_platform.store, mmap_platform.store
+    for uid in list(sf.user_ids())[:25]:
+        a, b = sf.profile(uid), sm.profile(uid)
+        assert (a.display_name, a.gender, a.age, a.followers) == (
+            b.display_name, b.gender, b.age, b.followers,
+        )
+
+
+# ----------------------------------------------------------------------
+# estimate / cost / trace bit-identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ("ma-tarw", "ma-srw"))
+@pytest.mark.parametrize("n_workers", (None, 3))
+def test_estimates_identical_across_planes(
+    frozen_platform, mmap_platform, algorithm, n_workers
+):
+    a = golden_run(frozen_platform, algorithm, n_workers=n_workers)
+    b = golden_run(mmap_platform, algorithm, n_workers=n_workers)
+    assert a.value == b.value
+    assert a.cost_total == b.cost_total
+    assert a.cost_by_kind == b.cost_by_kind
+
+
+@pytest.mark.parametrize("algorithm", ("ma-tarw", "ma-srw"))
+def test_trace_bytes_identical_across_planes(
+    frozen_platform, mmap_platform, algorithm
+):
+    def traced(platform):
+        obs = Observability(trace_sink=RecordingSink())
+        golden_run(platform, algorithm, obs=obs)
+        return "\n".join(trace_lines(obs.trace_records()))
+
+    assert traced(frozen_platform) == traced(mmap_platform)
+
+
+def test_estimates_identical_under_hostile_faults(frozen_platform, mmap_platform):
+    plan = dataclasses.replace(FAULT_PROFILES["hostile"], seed=3)
+    a = golden_run(frozen_platform, "ma-tarw", fault_plan=plan)
+    b = golden_run(mmap_platform, "ma-tarw", fault_plan=plan)
+    assert a.value == b.value
+    assert a.cost_by_kind == b.cost_by_kind
+
+
+# ----------------------------------------------------------------------
+# chunked flush == single shot, any chunk size
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("chunk_rows", (1, 7, 97, 100_000))
+def test_chunk_size_never_changes_columns(frozen_platform, chunk_rows):
+    platform = build_platform(
+        _config(num_users=120, data_plane="mmap", build_chunk_rows=chunk_rows)
+    )
+    reference = build_platform(_config(num_users=120, data_plane="frozen"))
+    for name in POST_COLUMNS:
+        assert np.array_equal(
+            getattr(reference.store, name), getattr(platform.store, name)
+        ), (chunk_rows, name)
+    assert np.array_equal(
+        reference.store.compiled_indexes().tl_order,
+        platform.store.compiled_indexes().tl_order,
+    )
+
+
+@pytest.mark.property
+def test_external_sort_matches_lexsort_property(tmp_path):
+    pytest.importorskip("hypothesis")
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.data(),
+        n_users=st.integers(min_value=1, max_value=12),
+        n_rows=st.integers(min_value=0, max_value=200),
+        chunk_rows=st.integers(min_value=1, max_value=64),
+    )
+    def check(data, n_users, n_rows, chunk_rows):
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        rng = np.random.default_rng(seed)
+        users = rng.integers(0, n_users, size=n_rows).astype(np.int64)
+        # Coarse timestamps force plenty of ties: stability is the point.
+        times = rng.integers(0, 5, size=n_rows).astype(np.float64)
+        ids = np.arange(n_users, dtype=np.int64)
+        user_path = str(tmp_path / f"u{seed}.bin")
+        time_path = str(tmp_path / f"t{seed}.bin")
+        out_path = str(tmp_path / f"o{seed}.bin")
+        write_column_file(user_path, users, np.int64)
+        write_column_file(time_path, times, np.float64)
+        try:
+            indptr = external_timeline_sort(
+                user_path, time_path, out_path, ids, chunk_rows=chunk_rows
+            )
+            order = np.concatenate(
+                [c for _, c in iter_column_file(out_path, np.int64, 64)]
+            ) if n_rows else np.empty(0, np.int64)
+        finally:
+            for path in (user_path, time_path, out_path):
+                if os.path.exists(path):
+                    os.unlink(path)
+        expected = np.lexsort((times, users))
+        assert np.array_equal(order, expected)
+        counts = np.bincount(users, minlength=n_users)
+        assert np.array_equal(np.diff(indptr), counts)
+
+    check()
+
+
+# ----------------------------------------------------------------------
+# sharded layout round trip
+# ----------------------------------------------------------------------
+def test_sharded_roundtrip_is_bit_identical(frozen_platform, tmp_path):
+    directory = tmp_path / "layout"
+    save_platform(frozen_platform, directory)
+    loaded = load_platform(directory)
+    for name in POST_COLUMNS:
+        assert np.array_equal(
+            getattr(frozen_platform.store, name), getattr(loaded.store, name)
+        ), name
+    assert loaded.store.keywords() == frozen_platform.store.keywords()
+    assert loaded.now == frozen_platform.now
+    assert set(loaded.cascades) == set(frozen_platform.cascades)
+    for name, result in frozen_platform.cascades.items():
+        assert loaded.cascades[name].adoption_times == result.adoption_times
+    run_a = golden_run(frozen_platform, "ma-srw")
+    run_b = golden_run(loaded, "ma-srw")
+    assert run_a.value == run_b.value
+    assert run_a.cost_by_kind == run_b.cost_by_kind
+
+
+# ----------------------------------------------------------------------
+# spooled store is write-only until freeze
+# ----------------------------------------------------------------------
+def test_spooled_store_rejects_reads_before_freeze(tmp_path):
+    from repro.platform.outofcore import ColumnSpool
+    from repro.platform.posts import Post
+    from repro.platform.store import MicroblogStore
+    from repro.platform.users import UserProfile
+
+    spool = ColumnSpool(directory=str(tmp_path / "spool"), chunk_rows=4)
+    store = MicroblogStore(spool=spool)
+    for uid in range(3):
+        store.add_user(UserProfile(uid, f"user-{uid}", Gender.UNDISCLOSED, 30))
+    store.add_posts_columnar(
+        np.array([0, 1, 2], dtype=np.int64),
+        np.array([1.0, 2.0, 3.0]),
+        np.array([10, 20, 30], dtype=np.int64),
+        np.array([0, 0, 0], dtype=np.int64),
+        keyword=None,
+    )
+    with pytest.raises(PlatformError):
+        store.timeline(0)
+    with pytest.raises(PlatformError):
+        list(store.all_posts())
+    with pytest.raises(PlatformError):
+        store.add_post(Post(post_id=99, user_id=0, timestamp=4.0))
+
+
+# ----------------------------------------------------------------------
+# ColumnProfiles mapping semantics
+# ----------------------------------------------------------------------
+def test_column_profiles_behaves_like_dict(frozen_platform):
+    source = frozen_platform.store._profiles
+    columns = profile_columns(source)
+    degree = frozen_platform.store.graph.degree
+    lazy = ColumnProfiles(
+        user_ids=columns["prof_ids"],
+        names=columns["prof_names"],
+        gender_codes=columns["prof_gender"],
+        ages=columns["prof_age"],
+        degree_of=degree,
+    )
+    assert len(lazy) == len(source)
+    assert list(lazy) == sorted(source)
+    sample = list(source)[:10]
+    for uid in sample:
+        assert uid in lazy
+        materialized = lazy[uid]
+        assert materialized.user_id == uid
+        assert materialized.display_name == source[uid].display_name
+        assert materialized.gender is source[uid].gender
+        assert materialized.age == source[uid].age
+        assert materialized.followers == degree(uid)
+    missing = max(source) + 1
+    assert missing not in lazy
+    with pytest.raises(KeyError):
+        lazy[missing]
+    assert isinstance(next(iter(lazy.values())).gender, Gender)
+
+
+# ----------------------------------------------------------------------
+# PlatformRef spill lifecycle
+# ----------------------------------------------------------------------
+def test_platform_ref_gc_reclaims_owned_spill(frozen_platform):
+    ref = PlatformRef(frozen_platform)
+    path = ref.path()
+    assert os.path.isdir(path)
+    del ref
+    gc.collect()
+    assert not os.path.exists(path)
+
+
+def test_platform_ref_reuses_mmap_source_dir(mmap_platform):
+    ref = PlatformRef(mmap_platform)
+    assert ref.path() == mmap_platform.store.source_dir
+    assert ref._finalizer is None  # never deletes a layout it didn't create
+    state = ref.__getstate__()
+    assert state["_path"] == mmap_platform.store.source_dir
+    assert state["_finalizer"] is None
+
+
+def test_worker_cache_evicts_stale_paths(frozen_platform, tmp_path):
+    stale = tmp_path / "gone-spill"
+    stale.mkdir()
+    _WORKER_CACHE[str(stale)] = frozen_platform
+    stale.rmdir()
+    ref = PlatformRef(frozen_platform)
+    try:
+        restored = PlatformRef.__new__(PlatformRef)
+        restored.__setstate__(ref.__getstate__())
+        assert restored.resolve().store.num_users == frozen_platform.store.num_users
+        assert str(stale) not in _WORKER_CACHE
+    finally:
+        _WORKER_CACHE.clear()
