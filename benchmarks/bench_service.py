@@ -1,0 +1,225 @@
+"""Service throughput benchmark: cold vs warm multi-tenant serving.
+
+Runs a fixed multi-tenant workload twice through
+:class:`repro.service.EstimationService` on the shared benchmark
+platform:
+
+* **cold** — a fresh service: every query pays its own pilot walks,
+  first-mention column materialisation, and full estimation;
+* **warm** — the *same* service again: the interval cache replays
+  recorded pilot ledgers, first-mention columns are shared, and exact
+  repeats come out of the result cache.
+
+The headline number is warm-over-cold throughput (queries/sec), with the
+hard gate that every warm outcome is **bit-identical** to its cold twin
+(value, per-kind cost columns, exported trace bytes) — reuse that
+changed any answer would be a bug, not a speedup.  Accuracy is reported
+as the RMSE of relative error against exact ground truth, once (the two
+passes are identical by construction).
+
+Tables land in ``benchmarks/results/service.txt`` and the
+machine-readable summary in ``BENCH_service.json`` at the repo root.
+
+``--quick`` is the CI perf-smoke mode: a small platform and workload,
+asserting warm ≡ cold and that the reuse counters actually fired; the
+throughput ratio is printed but not gated (CI machines are noisy).
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+
+from repro.bench import bench_platform, emit, format_table, ground_truth
+from repro.core.query import FOLLOWERS, MATCHING_POST_COUNT, avg_of, count_users, sum_of
+from repro.service import EstimationService, QueryRequest, TenantConfig
+
+NUM_USERS = 100_000
+BUDGET = 40_000
+"""Per-query call budget.  Auto interval selection alone costs ~26k
+calls on the 100k-user platform (dense timelines make pilot probes
+expensive), so the budget must clear that with room for the real walk —
+which is exactly what makes the pilot-ledger reuse worth having."""
+SEED = 7
+N_THREADS = 4
+MIN_SPEEDUP = 1.5
+
+QUICK_NUM_USERS = 4_000
+QUICK_BUDGET = 6_000
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+JSON_PATH = REPO_ROOT / "BENCH_service.json"
+
+
+def tenants():
+    # Unlimited allowances: the benchmark measures serving throughput,
+    # not admission (reservations are refund-free, and both passes must
+    # be admitted in full for the identity gate to mean anything).
+    return [TenantConfig("growth"), TenantConfig("ads"), TenantConfig("research")]
+
+
+def workload(budget):
+    """9 queries / 3 tenants / 3 keywords, with exact repeats (q7–q9)."""
+    return [
+        QueryRequest("growth", count_users("privacy"), budget, tag="q1"),
+        QueryRequest("ads", count_users("boston"), budget, tag="q2"),
+        QueryRequest("research", avg_of("privacy", FOLLOWERS), budget, tag="q3"),
+        QueryRequest("growth", sum_of("boston", MATCHING_POST_COUNT), budget, tag="q4"),
+        QueryRequest("ads", count_users("obamacare"), budget, tag="q5"),
+        QueryRequest("research", avg_of("boston", MATCHING_POST_COUNT), budget, tag="q6"),
+        QueryRequest("ads", count_users("privacy"), budget, tag="q7"),
+        QueryRequest("research", count_users("boston"), budget, tag="q8"),
+        QueryRequest("growth", avg_of("privacy", FOLLOWERS), budget, tag="q9"),
+    ]
+
+
+def _snapshot(outcomes):
+    return [
+        (
+            o.status,
+            None if o.result is None else o.result.value,
+            None if o.result is None else tuple(sorted(o.result.cost_by_kind.items())),
+            o.trace_bytes(),
+        )
+        for o in outcomes
+    ]
+
+
+def _timed_pass(service, requests, n_threads):
+    start = time.perf_counter()
+    outcomes = service.run_workload(requests, n_threads=n_threads)
+    elapsed = time.perf_counter() - start
+    return outcomes, elapsed
+
+
+def _check_identity(cold, warm):
+    problems = []
+    if _snapshot(cold) != _snapshot(warm):
+        for index, (a, b) in enumerate(zip(_snapshot(cold), _snapshot(warm))):
+            if a != b:
+                problems.append(f"query {index + 1}: cold {a[:3]} != warm {b[:3]}")
+    return problems
+
+
+def _rmse_relative_error(platform, outcomes):
+    errors = []
+    for outcome in outcomes:
+        if outcome.result is None:
+            continue
+        truth = ground_truth(platform, outcome.request.query)
+        if truth:
+            errors.append((outcome.result.value - truth) / truth)
+    if not errors:
+        return float("nan")
+    return math.sqrt(sum(e * e for e in errors) / len(errors))
+
+
+def run(num_users, budget, quick):
+    platform = bench_platform(num_users)
+    requests = workload(budget)
+    service = EstimationService(platform, tenants(), seed=SEED)
+
+    cold, t_cold = _timed_pass(service, requests, N_THREADS)
+    stats_cold = service.stats()
+    warm, t_warm = _timed_pass(service, requests, N_THREADS)
+    stats_warm = service.stats()
+
+    problems = _check_identity(cold, warm)
+    statuses = [o.status for o in cold]
+    if statuses != ["ok"] * len(requests):
+        problems.append(f"not all queries succeeded: {statuses}")
+    if not all(o.cached for o in warm):
+        problems.append("warm pass had uncached outcomes")
+    result_hits = stats_warm["result_hits"] - stats_cold["result_hits"]
+    if result_hits < len(requests):
+        problems.append(f"warm result-cache hits {result_hits} < {len(requests)}")
+    if stats_cold["reuse_interval_hits"] < 1:
+        problems.append("interval cache never hit within the cold pass")
+    if stats_warm["reuse_pilot_runs"] != stats_cold["reuse_pilot_runs"]:
+        problems.append("warm pass ran fresh pilots")
+
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    qps_cold = len(requests) / t_cold
+    qps_warm = len(requests) / t_warm
+    rmse = _rmse_relative_error(platform, cold)
+
+    rows = [
+        ["cold", len(requests), t_cold, qps_cold,
+         stats_cold["result_hits"], stats_cold["reuse_interval_hits"],
+         stats_cold["reuse_pilot_runs"]],
+        ["warm", len(requests), t_warm, qps_warm,
+         result_hits, stats_warm["reuse_interval_hits"],
+         stats_warm["reuse_pilot_runs"]],
+    ]
+    table = format_table(
+        "Multi-tenant service: cold vs warm serving "
+        f"({num_users:,} users, {len(requests)} queries / 3 tenants, "
+        f"budget {budget:,}/query, {N_THREADS} threads, seed {SEED}; "
+        f"warm ≡ cold bitwise; speedup {speedup:.1f}x, "
+        f"RMSE rel. error {rmse:.4f})",
+        ["pass", "queries", "wall s", "queries/s", "result hits",
+         "interval hits", "pilot runs"],
+        rows,
+    )
+    emit("service", table)
+
+    if not quick and speedup < MIN_SPEEDUP:
+        problems.append(f"warm speedup {speedup:.2f}x < required {MIN_SPEEDUP}x")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+
+    if not quick:
+        payload = {
+            "num_users": num_users,
+            "budget_per_query": budget,
+            "seed": SEED,
+            "n_threads": N_THREADS,
+            "queries": len(requests),
+            "tenants": len(tenants()),
+            "bit_identical_warm_vs_cold": True,
+            "rmse_relative_error": round(rmse, 6),
+            "cold": {
+                "wall_seconds": round(t_cold, 4),
+                "queries_per_second": round(qps_cold, 3),
+                "result_hits": stats_cold["result_hits"],
+                "interval_hits": stats_cold["reuse_interval_hits"],
+                "pilot_runs": stats_cold["reuse_pilot_runs"],
+                "column_hits": stats_cold["reuse_column_hits"],
+            },
+            "warm": {
+                "wall_seconds": round(t_warm, 4),
+                "queries_per_second": round(qps_warm, 3),
+                "result_hits": result_hits,
+            },
+            "speedup_warm_over_cold": round(speedup, 2),
+            "min_required_speedup": MIN_SPEEDUP,
+        }
+        JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {JSON_PATH.name}")
+    else:
+        print(
+            f"perf-smoke OK: warm ≡ cold bitwise, {result_hits} result hits, "
+            f"{speedup:.1f}x warm speedup (not gated in quick mode)"
+        )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI perf-smoke: small platform, identity + reuse counters only",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        return run(QUICK_NUM_USERS, QUICK_BUDGET, quick=True)
+    return run(NUM_USERS, BUDGET, quick=False)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -134,6 +134,43 @@ def build_parser() -> argparse.ArgumentParser:
     truth = sub.add_parser("truth", help="print the exact ground-truth answer")
     _platform_source_args(truth)
     _query_args(truth)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a multi-tenant query workload through the estimation service",
+    )
+    _platform_source_args(serve)
+    serve.add_argument("--tenants", required=True, metavar="PATH",
+                       help="workload JSON: tenant grants (budgets, rate limits, "
+                            "admission policy) plus the queries to run — see "
+                            "repro.service.workload for the format")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="service thread-pool width (default 4; outcomes "
+                            "are bit-identical at every width)")
+    serve.add_argument("--algorithm", default="ma-tarw", choices=ALGORITHMS,
+                       help="estimation walker every query runs (default ma-tarw)")
+    serve.add_argument("--graph-design", default="level-by-level",
+                       choices=GRAPH_DESIGNS,
+                       help="graph design for every query (default level-by-level)")
+    serve.add_argument("--interval-days", type=float, default=0.0,
+                       help="level bucket width in days; 0 = auto-select with "
+                            "the cross-query interval cache (default)")
+    serve.add_argument("--service-seed", type=int, default=0,
+                       help="service seed; per-query seeds derive from it and "
+                            "each query's fingerprint (default 0)")
+    serve.add_argument("--fault-profile", default="none",
+                       choices=sorted(FAULT_PROFILES),
+                       help="inject seeded API faults under every query")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the injected-fault draws")
+    serve.add_argument("--truth", action="store_true",
+                       help="also print each query's exact answer and error")
+    serve.add_argument("--trace-out", metavar="PATH",
+                       help="write the service-level trace (service.* admission "
+                            "and query events) as canonical JSONL")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the service metrics registry (per-tenant "
+                            "query/call counters, queue depths) as JSON")
     return parser
 
 
@@ -357,11 +394,88 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry, Observability
+    from repro.obs.trace import RecordingSink
+    from repro.service import EstimationService, load_workload
+
+    obs = None
+    if args.trace_out or args.metrics:
+        obs = Observability(
+            trace_sink=RecordingSink() if args.trace_out else None,
+            metrics=MetricsRegistry() if args.metrics else None,
+        )
+    platform = _resolve_platform(args)
+    tenants, requests = load_workload(args.tenants)
+    if not requests:
+        raise ReproError(f"workload {args.tenants} defines no queries")
+    fault_plan = None
+    profile_plan = FAULT_PROFILES[args.fault_profile]
+    if profile_plan.active:
+        fault_plan = dataclasses.replace(profile_plan, seed=args.fault_seed)
+    interval = "auto" if args.interval_days == 0 else args.interval_days * DAY
+    service = EstimationService(
+        platform,
+        tenants,
+        algorithm=args.algorithm,
+        graph_design=args.graph_design,
+        interval=interval,
+        seed=args.service_seed,
+        n_threads=args.threads,
+        fault_plan=fault_plan,
+        obs=obs if obs is not None else None,
+    )
+    outcomes = service.run_workload(requests)
+    print(f"{'id':>4s} {'tenant':12s} {'status':9s} {'keyword':14s} "
+          f"{'estimate':>14s} {'cost':>8s} {'cached':>6s}")
+    for outcome in outcomes:
+        value = "-" if outcome.result is None or outcome.result.value is None \
+            else f"{outcome.result.value:,.2f}"
+        cost = "-" if outcome.result is None else f"{outcome.result.cost_total:,}"
+        note = outcome.reason or outcome.error
+        line = (f"{outcome.request_id:4d} {outcome.request.tenant:12s} "
+                f"{outcome.status:9s} {outcome.request.query.keyword:14s} "
+                f"{value:>14s} {cost:>8s} {'yes' if outcome.cached else 'no':>6s}")
+        if note:
+            line += f"  ({note})"
+        print(line)
+        if args.truth and outcome.result is not None and outcome.result.value is not None:
+            truth = exact_value(platform.store, outcome.request.query)
+            print(f"     truth {truth:,.2f}  "
+                  f"rel. err {relative_error(outcome.result.value, truth):.2%}")
+    print()
+    for name in sorted(service.tenants):
+        tenant = service.tenants[name]
+        bill = service.tenant_bill(name)
+        spent = sum(v for k, v in bill.items() if k != "retries")
+        allowance = "unlimited" if tenant.allowance is None else f"{tenant.allowance:,}"
+        print(f"tenant {name:12s} reserved {tenant.reserved:,}/{allowance} "
+              f"spent {spent:,} {bill} queued {service.queue_depth(name)}")
+    stats = service.stats()
+    print(f"service  : {stats['completed']} ok, {stats['failed']} failed, "
+          f"{stats['rejected']} rejected, {stats['queued']} queued; "
+          f"result cache {stats['result_hits']} hits / {stats['result_misses']} misses; "
+          f"interval cache {stats['reuse_interval_hits']} hits, "
+          f"{stats['reuse_pilot_runs']} pilot runs")
+    if obs is not None and args.metrics:
+        from repro.obs.export import metrics_json
+
+        print()
+        print(metrics_json(obs.metrics))
+    if obs is not None and args.trace_out:
+        from repro.obs.export import write_trace
+
+        count = write_trace(obs.trace_records(), args.trace_out)
+        print(f"trace    : {count:,} records -> {args.trace_out}")
+    return 0
+
+
 COMMANDS = {
     "simulate": cmd_simulate,
     "keywords": cmd_keywords,
     "estimate": cmd_estimate,
     "truth": cmd_truth,
+    "serve": cmd_serve,
 }
 
 

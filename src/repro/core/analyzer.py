@@ -33,6 +33,7 @@ from repro.core.mr import MRConfig
 from repro.core.query import AggregateQuery
 from repro.core.registry import GRAPH_DESIGNS, get_walker, walker_names
 from repro.core.results import EstimateResult
+from repro.core.reuse import SharedQueryState
 from repro.core.rewired import RewiredConfig
 from repro.core.srw import SRWConfig
 from repro.core.tarw import TARWConfig
@@ -77,6 +78,7 @@ class MicroblogAnalyzer:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         obs: Optional[Observability] = None,
+        reuse: Optional[SharedQueryState] = None,
     ) -> None:
         spec = get_walker(algorithm)  # raises EstimationError when unknown
         if graph_design not in GRAPH_DESIGNS:
@@ -131,6 +133,16 @@ class MicroblogAnalyzer:
         the client stack and the chosen estimator emit into it.  Defaults
         to the shared disabled instance — a dark run pays one attribute
         read per instrumented site and is bit-identical to a traced one."""
+        self.reuse = reuse
+        """Cross-query reuse cache (see :mod:`repro.core.reuse`).  When
+        set, ``interval="auto"`` resolves through the shared keyword →
+        interval cache (cold queries record a pilot ledger, warm queries
+        replay it — identical charges/trace bytes, no pilot CPU) and the
+        fast path's first-mention columns come from the shared memo.
+        The pilot phase then draws from the cache's keyword-scoped RNG
+        instead of this analyzer's run stream, so two analyzers sharing
+        one cache — and one analyzer asked twice — agree bit for bit.
+        ``None`` (the default) keeps the classic self-contained run."""
         self.parallel = None
         """Walk-shard execution plan for walkers with a parallel driver
         (``parallel_kind`` of ``"hh"`` or ``"samples"``), built from
@@ -177,6 +189,10 @@ class MicroblogAnalyzer:
             inner = ResilientClient(inner, self.retry_policy, obs=obs)
         client = CachingClient(inner, obs=obs)
         context = QueryContext(client, query, obs=obs)
+        if self.reuse is not None and context.fast is not None:
+            self.reuse.bind_first_mention_columns(
+                context.fast, self.platform, query.keyword
+            )
         run_rng = spawn(self.rng, f"run:{query.keyword}:{query.aggregate.value}")
 
         oracle = self._build_oracle(context, run_rng)
@@ -251,9 +267,36 @@ class MicroblogAnalyzer:
                 raise EstimationError("interval must be positive")
             return interval
         try:
-            selection = select_time_interval(
-                context, seed=run_rng, n_workers=self.n_workers, executor=self.executor
-            )
+            if self.reuse is not None:
+                selection = self.reuse.interval_for(
+                    context,
+                    self.platform,
+                    budget=context.client.meter.budget,  # type: ignore[attr-defined]
+                    token=self._reuse_token(),
+                )
+            else:
+                selection = select_time_interval(
+                    context,
+                    seed=run_rng,
+                    n_workers=self.n_workers,
+                    executor=self.executor,
+                )
         except BudgetExhaustedError:
             raise EstimationError("budget exhausted during interval selection") from None
         return selection.interval
+
+    def _reuse_token(self) -> tuple:
+        """Stack configuration folded into shared-cache keys.
+
+        Anything that can change what the pilot phase *observes* — the
+        fault plan shapes responses and retry charges, latency shapes the
+        simulated clock — must split the cache, or a replayed ledger
+        would assert a history this stack never produced.  Frozen
+        dataclass reprs are content-based and deterministic.
+        """
+        return (
+            self.graph_design,
+            repr(self.fault_plan),
+            repr(self.retry_policy),
+            self.api_latency,
+        )

@@ -34,6 +34,7 @@ from repro.api.fastpath import resolve_fast_path
 from repro.api.interface import MicroblogAPI, TimelineView
 from repro.core.levels import LevelIndex
 from repro.core.query import AggregateQuery, UserView
+from repro.core.reuse import QueryStateHandle
 from repro.errors import EstimationError
 from repro.obs import NULL_OBS, Observability
 
@@ -55,6 +56,7 @@ class QueryContext:
         client: MicroblogAPI,
         query: AggregateQuery,
         obs: Optional[Observability] = None,
+        state: Optional[QueryStateHandle] = None,
     ) -> None:
         self.client = client
         self.query = query
@@ -62,8 +64,12 @@ class QueryContext:
         """The run's telemetry handles; estimators and oracles built on
         this context inherit them (the shared :data:`~repro.obs.NULL_OBS`
         when dark)."""
-        self._first_mentions: Dict[int, Optional[float]] = {}
-        self._views: Dict[int, UserView] = {}
+        self.state = state if state is not None else QueryStateHandle()
+        """The memoised per-user facts live behind this invalidatable
+        handle (see :mod:`repro.core.reuse`); a private handle per context
+        — the default — reproduces the classic one-estimate lifetime."""
+        self._first_mentions = self.state.first_mentions
+        self._views: Dict[int, UserView] = self.state.views  # type: ignore[assignment]
         self.fast = resolve_fast_path(client, query.keyword, obs=self.obs)
         """Flattened ops for this ``(client, keyword)`` pair, or None when
         any resolution rule forces the layered slow path."""

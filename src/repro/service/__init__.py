@@ -1,0 +1,22 @@
+"""Multi-tenant estimation service with cross-query reuse.
+
+The long-lived serving layer over the paper's MICROBLOG-ANALYZER: many
+tenants, one shared frozen/mmap platform, per-tenant budgets and rate
+limits, admission control, and cross-query reuse that stays bit-identical
+to cold runs.  See :mod:`repro.service.service` for the determinism
+contract and docs/ARCHITECTURE.md for where the layer sits.
+"""
+
+from repro.service.service import EstimationService, QueryOutcome, QueryRequest
+from repro.service.tenants import TenantConfig, TenantState
+from repro.service.workload import load_workload, parse_workload
+
+__all__ = [
+    "EstimationService",
+    "QueryOutcome",
+    "QueryRequest",
+    "TenantConfig",
+    "TenantState",
+    "load_workload",
+    "parse_workload",
+]

@@ -1,0 +1,156 @@
+"""Tenants of the estimation service: budgets, rate limits, admission.
+
+A *tenant* is one consumer of the long-lived :class:`EstimationService`
+— a team, a dashboard, a batch pipeline — with its own query-call
+allowance and its own API-rate envelope, exactly the per-consumer knobs
+a real platform operator hands out.  The pieces compose what the repo
+already has:
+
+* the allowance is a reservation ledger checked at admission plus a
+  :class:`~repro.api.accounting.CostMeter` recording what each query
+  actually spent, per kind (so a tenant's bill reconciles against the
+  sum of its queries' ``cost_by_kind`` columns exactly);
+* the rate envelope is the stock :class:`~repro.api.ratelimit.RateLimiter`
+  over a private :class:`~repro.platform.clock.SimulatedClock`, bound to
+  a minimal profile shim carrying just the two fields the limiter reads.
+
+Admission is **reservation-based and refund-free**: a query reserves its
+full requested budget up front, and the reservation is never returned —
+even when the walk finishes under budget.  That makes admission a pure
+function of the submission order (what already ran, and how fast, can
+never change who gets in), which is what lets the service promise the
+same admission decisions at every thread count.  The trade-off is
+deliberate: an allowance models *committed* capacity, like a reserved
+API quota.  Topping up (:meth:`TenantState.top_up`) is the way to grant
+more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.api.accounting import CostMeter
+from repro.api.ratelimit import RateLimiter
+from repro.errors import ReproError
+from repro.platform.clock import SimulatedClock
+
+ADMISSION_POLICIES = ("reject", "queue")
+
+
+@dataclass(frozen=True)
+class RateEnvelope:
+    """The two fields :class:`~repro.api.ratelimit.RateLimiter` reads.
+
+    Stands in for a full :class:`~repro.platform.profiles.PlatformProfile`
+    when the thing being limited is a tenant's *submissions*, not a
+    platform's API.
+    """
+
+    rate_limit_calls: int
+    rate_limit_window: float
+
+    def __post_init__(self) -> None:
+        if self.rate_limit_calls < 1 or self.rate_limit_window <= 0:
+            raise ReproError("rate envelope must allow >= 1 call per positive window")
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's standing grant.
+
+    ``budget`` is the total query-call allowance across all of the
+    tenant's queries (None = unlimited).  ``rate_limit_calls`` /
+    ``rate_limit_window`` cap query *submissions* per simulated-time
+    window (None disables rate limiting).  ``admission`` picks what
+    happens to a submission the allowance cannot cover: ``"reject"``
+    refuses it outright, ``"queue"`` parks it until a top-up.
+    ``rate_policy`` is the limiter policy — ``"sleep"`` admits late on
+    the tenant's simulated clock, ``"raise"`` rejects instead.
+    """
+
+    name: str
+    budget: Optional[int] = None
+    rate_limit_calls: Optional[int] = None
+    rate_limit_window: float = 60.0
+    admission: str = "reject"
+    rate_policy: str = "sleep"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("tenant must have a name")
+        if self.budget is not None and self.budget < 0:
+            raise ReproError("tenant budget must be non-negative")
+        if self.admission not in ADMISSION_POLICIES:
+            raise ReproError(
+                f"unknown admission policy {self.admission!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+
+
+class TenantState:
+    """Live accounting for one tenant inside a running service.
+
+    Mutated only from the service's *serial* phases (admission and
+    collection), so it carries no lock of its own; the thread-pool
+    execution phase never touches it.
+    """
+
+    def __init__(self, config: TenantConfig) -> None:
+        self.config = config
+        self.allowance = config.budget
+        """Current total allowance (grows via :meth:`top_up`)."""
+        self.reserved = 0
+        """Query calls committed to admitted queries (never refunded)."""
+        self.spend = CostMeter()
+        """Actual per-kind spend folded in as each query completes —
+        including the budget-exempt ``retries`` column, so a tenant sees
+        the true overhead its fault profile cost it."""
+        self.wait = 0.0
+        """Total simulated seconds this tenant's submissions spent
+        waiting out its rate window."""
+        self.clock = SimulatedClock(0.0)
+        self.limiter: Optional[RateLimiter] = None
+        if config.rate_limit_calls is not None:
+            self.limiter = RateLimiter(
+                RateEnvelope(config.rate_limit_calls, config.rate_limit_window),  # type: ignore[arg-type]
+                self.clock,
+                policy=config.rate_policy,
+            )
+
+    # ------------------------------------------------------------------
+    def can_reserve(self, calls: int) -> bool:
+        """Would an admission of *calls* fit the remaining allowance?
+
+        Exact at the boundary: a reservation that lands the ledger
+        exactly on the allowance is admitted; one call more is not.
+        """
+        if self.allowance is None:
+            return True
+        return self.reserved + calls <= self.allowance
+
+    def reserve(self, calls: int) -> None:
+        if not self.can_reserve(calls):
+            raise ReproError(
+                f"tenant {self.config.name!r} cannot reserve {calls} calls "
+                f"({self.reserved}/{self.allowance} committed)"
+            )
+        self.reserved += calls
+
+    def top_up(self, calls: int) -> None:
+        """Grow the allowance (a new grant; unlimited tenants ignore it)."""
+        if calls < 0:
+            raise ReproError("top_up must be non-negative")
+        if self.allowance is not None:
+            self.allowance += calls
+
+    def remaining(self) -> Optional[int]:
+        """Uncommitted allowance (None when unlimited)."""
+        if self.allowance is None:
+            return None
+        return self.allowance - self.reserved
+
+    def record_spend(self, cost_by_kind: Dict[str, int]) -> None:
+        """Fold one completed query's per-kind columns into the bill."""
+        for kind, calls in cost_by_kind.items():
+            self.spend.charge(kind, calls)

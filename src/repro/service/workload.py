@@ -1,0 +1,121 @@
+"""Workload files: tenants + queries as JSON, for ``repro serve``.
+
+The format mirrors the service API one-to-one:
+
+.. code-block:: json
+
+    {
+      "tenants": [
+        {"name": "growth", "budget": 40000,
+         "rate_limit_calls": 100, "rate_limit_window": 900,
+         "admission": "reject"}
+      ],
+      "queries": [
+        {"tenant": "growth", "keyword": "privacy", "budget": 8000,
+         "aggregate": "COUNT", "measure": "one",
+         "window": [0, 864000], "tag": "daily-count"}
+      ]
+    }
+
+``aggregate`` defaults to ``COUNT``, ``measure`` to ``one`` (the
+registered measure names — see :mod:`repro.core.query`), ``window`` to
+the whole history.  Profile predicates are code, not data, so workload
+files cannot express them — submit those through the API.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.core.query import _MEASURE_REGISTRY, Aggregate, AggregateQuery
+from repro.errors import ReproError
+from repro.service.service import QueryRequest
+from repro.service.tenants import TenantConfig
+
+
+def _parse_tenant(spec: Dict) -> TenantConfig:
+    known = {
+        "name",
+        "budget",
+        "rate_limit_calls",
+        "rate_limit_window",
+        "admission",
+        "rate_policy",
+    }
+    unknown = set(spec) - known
+    if unknown:
+        raise ReproError(f"unknown tenant fields {sorted(unknown)}")
+    if "name" not in spec:
+        raise ReproError("tenant entry needs a name")
+    return TenantConfig(**spec)
+
+
+def _parse_query(spec: Dict) -> QueryRequest:
+    known = {"tenant", "keyword", "budget", "aggregate", "measure", "window", "tag"}
+    unknown = set(spec) - known
+    if unknown:
+        raise ReproError(f"unknown query fields {sorted(unknown)}")
+    for required in ("tenant", "keyword", "budget"):
+        if required not in spec:
+            raise ReproError(f"query entry needs {required!r}")
+    aggregate_name = str(spec.get("aggregate", "COUNT")).upper()
+    try:
+        aggregate = Aggregate(aggregate_name)
+    except ValueError:
+        raise ReproError(
+            f"unknown aggregate {aggregate_name!r}; "
+            f"expected one of {[a.value for a in Aggregate]}"
+        ) from None
+    measure_name = spec.get("measure", "one")
+    measure = _MEASURE_REGISTRY.get(measure_name)
+    if measure is None:
+        raise ReproError(
+            f"unknown measure {measure_name!r}; "
+            f"registered: {sorted(_MEASURE_REGISTRY)}"
+        )
+    window = spec.get("window")
+    if window is not None:
+        if len(window) != 2:
+            raise ReproError("window must be a [start, end) pair")
+        window = (float(window[0]), float(window[1]))
+    query = AggregateQuery(
+        keyword=spec["keyword"],
+        aggregate=aggregate,
+        measure=measure,
+        window=window,
+    )
+    return QueryRequest(
+        tenant=spec["tenant"],
+        query=query,
+        budget=int(spec["budget"]),
+        tag=str(spec.get("tag", "")),
+    )
+
+
+def parse_workload(data: Dict) -> Tuple[List[TenantConfig], List[QueryRequest]]:
+    """Tenants and requests from an already-decoded workload document."""
+    if not isinstance(data, dict):
+        raise ReproError("workload document must be a JSON object")
+    tenants = [_parse_tenant(spec) for spec in data.get("tenants", [])]
+    if not tenants:
+        raise ReproError("workload defines no tenants")
+    queries = [_parse_query(spec) for spec in data.get("queries", [])]
+    names = {tenant.name for tenant in tenants}
+    for request in queries:
+        if request.tenant not in names:
+            raise ReproError(
+                f"query for undefined tenant {request.tenant!r} "
+                f"(defined: {sorted(names)})"
+            )
+    return tenants, queries
+
+
+def load_workload(path) -> Tuple[List[TenantConfig], List[QueryRequest]]:
+    """Read and parse a workload JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"workload file {path} is not valid JSON: {exc}") from None
+    return parse_workload(data)

@@ -1,0 +1,158 @@
+"""Real-contention thread-safety tests for the shared client stack.
+
+The service layer shares one :class:`CostMeter` per query across engine
+threads and (in principle) could share a :class:`CachingClient` between
+pilot shards, so these pin the two concurrency invariants the rest of
+the repo builds on: a cached response is charged exactly once no matter
+how many threads race for it, and a budgeted meter never records past
+its budget no matter how the charges interleave.
+
+Every test releases its threads through a :class:`threading.Barrier` so
+they hit the contended section together instead of trickling through.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.accounting import CostMeter
+from repro.api.client import CachingClient, SimulatedMicroblogClient
+from repro.errors import BudgetExhaustedError
+
+pytestmark = pytest.mark.service
+
+N_THREADS = 8
+
+
+def _hammer(n_threads, worker):
+    """Run *worker(thread_index)* on *n_threads* barrier-synchronized
+    threads; re-raise the first worker exception, if any."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def run(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - collected and re-raised
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestCachingClientContention:
+    def test_same_key_charged_exactly_once(self, tiny_platform):
+        """All threads request the same keyword/users: each unique
+        response costs exactly one miss — hits are free and unmetered."""
+        inner = SimulatedMicroblogClient(tiny_platform, budget=100_000)
+        client = CachingClient(inner)
+        user_ids = list(tiny_platform.store.user_ids()[:4])
+        rounds = 25
+
+        def worker(_index):
+            for _ in range(rounds):
+                client.search("privacy", max_results=10)
+                for uid in user_ids:
+                    client.user_connections(uid)
+
+        _hammer(N_THREADS, worker)
+
+        requests = N_THREADS * rounds * (1 + len(user_ids))
+        unique = 1 + len(user_ids)
+        assert client.misses == unique
+        assert client.hits == requests - unique
+        assert client.uncacheable == 0
+        # The meter saw only the misses — one charge per unique response.
+        by_kind = inner.meter.by_kind()
+        assert by_kind["connections"] == len(user_ids)
+        assert by_kind["search"] >= 1  # pagination may cost >1 call/page set
+        meter_search = by_kind["search"]
+
+        # And the charge pattern is identical to a serial client's.
+        serial_inner = SimulatedMicroblogClient(tiny_platform, budget=100_000)
+        serial = CachingClient(serial_inner)
+        serial.search("privacy", max_results=10)
+        for uid in user_ids:
+            serial.user_connections(uid)
+        assert serial_inner.meter.by_kind()["search"] == meter_search
+        assert serial_inner.meter.by_kind()["connections"] == len(user_ids)
+
+    def test_racing_responses_are_identical_objects(self, tiny_platform):
+        """Whoever wins the miss race, every thread gets the *same*
+        immutable tuple back — no torn or duplicate responses."""
+        inner = SimulatedMicroblogClient(tiny_platform, budget=100_000)
+        client = CachingClient(inner)
+        seen = [None] * N_THREADS
+
+        def worker(index):
+            seen[index] = client.search("boston")
+
+        _hammer(N_THREADS, worker)
+        first = seen[0]
+        assert isinstance(first, tuple)
+        assert all(response is first for response in seen)
+        assert client.misses == 1 and client.hits == N_THREADS - 1
+
+
+class TestCostMeterContention:
+    def test_never_records_past_budget(self):
+        """Threads over-subscribe a budgeted meter 4×: the recorded total
+        lands exactly on the budget, never past it."""
+        budget = 400
+        meter = CostMeter(budget=budget)
+        per_thread = (budget * 4) // N_THREADS
+        rejected = [0] * N_THREADS
+
+        def worker(index):
+            for i in range(per_thread):
+                kind = ("search", "connections", "timeline")[i % 3]
+                try:
+                    meter.charge(kind)
+                except BudgetExhaustedError:
+                    rejected[index] += 1
+
+        _hammer(N_THREADS, worker)
+        assert meter.query_total == budget  # exact at the boundary
+        assert meter.remaining == 0
+        assert sum(rejected) == N_THREADS * per_thread - budget
+        assert sum(meter.by_kind().get(k, 0) for k in ("search", "connections", "timeline")) == budget
+
+    def test_retries_exempt_under_contention(self):
+        meter = CostMeter(budget=10)
+        meter.charge("search", 10)  # budget fully spent
+
+        def worker(_index):
+            for _ in range(50):
+                meter.charge("retries")
+                with pytest.raises(BudgetExhaustedError):
+                    meter.charge("search")
+
+        _hammer(N_THREADS, worker)
+        assert meter.by_kind()["retries"] == N_THREADS * 50
+        assert meter.query_total == 10
+
+    def test_merge_from_under_contention(self):
+        """Shard meters folding into a parent concurrently lose nothing."""
+        parent = CostMeter()
+        shards = []
+        for index in range(N_THREADS):
+            shard = CostMeter()
+            shard.charge("search", index + 1)
+            shard.charge("timeline", 2 * (index + 1))
+            shards.append(shard)
+
+        def worker(index):
+            parent.merge_from(shards[index])
+
+        _hammer(N_THREADS, worker)
+        expected = sum(range(1, N_THREADS + 1))
+        assert parent.by_kind()["search"] == expected
+        assert parent.by_kind()["timeline"] == 2 * expected

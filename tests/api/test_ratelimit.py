@@ -68,3 +68,83 @@ def test_invalid_inputs():
     limiter = RateLimiter(TWITTER, clock)
     with pytest.raises(ReproError):
         limiter.acquire(-1)
+
+
+# ----------------------------------------------------------------------
+# edge cases surfaced by the multi-tenant service (tenant envelopes ride
+# the same limiter over a per-tenant SimulatedClock)
+# ----------------------------------------------------------------------
+def test_clock_jump_spanning_many_windows_resets_cleanly():
+    """_roll_window must land the window start on an exact boundary after
+    the clock leaps several windows at once, not drift."""
+    clock = SimulatedClock()
+    limiter = RateLimiter(TWITTER, clock)
+    limiter.acquire(180)
+    clock.advance(15 * MINUTE * 7 + 42.0)  # lands 42 s into window 7
+    assert limiter.used_in_current_window == 0
+    limiter.acquire(180)  # a whole fresh quota fits, no wait
+    assert limiter.total_wait == 0.0
+    # The next over-quota call waits to the *aligned* boundary — the
+    # stray 42 s does not shift the window grid.
+    limiter.acquire(1)
+    assert clock.now() == pytest.approx(15 * MINUTE * 8)
+
+
+def test_clock_jump_mid_window_preserves_usage():
+    clock = SimulatedClock()
+    limiter = RateLimiter(TWITTER, clock)
+    limiter.acquire(100)
+    clock.advance(5 * MINUTE)  # still inside the first window
+    assert limiter.used_in_current_window == 100
+    limiter.acquire(80)  # exactly exhausts the window quota
+    assert limiter.total_wait == 0.0
+    assert limiter.used_in_current_window == 180
+
+
+def test_raise_policy_across_clock_jump():
+    clock = SimulatedClock()
+    limiter = RateLimiter(TWITTER, clock, policy="raise")
+    limiter.acquire(180)
+    with pytest.raises(RateLimitError):
+        limiter.acquire(1)
+    clock.advance(2 * 15 * MINUTE)
+    limiter.acquire(180)  # recovered without any sleep
+    assert limiter.total_wait == 0.0
+
+
+def test_zero_allowance_envelope_rejected():
+    """The tenant shim refuses a zero-call envelope outright — a limiter
+    that could never admit anything would sleep forever."""
+    from repro.service.tenants import RateEnvelope
+
+    with pytest.raises(ReproError):
+        RateEnvelope(0, 60.0)
+    with pytest.raises(ReproError):
+        RateEnvelope(10, 0.0)
+
+
+def test_acquire_zero_calls_is_free():
+    clock = SimulatedClock()
+    limiter = RateLimiter(TUMBLR, clock)
+    limiter.acquire(0)
+    assert limiter.used_in_current_window == 0
+    assert clock.now() == 0.0
+
+
+def test_budget_exactly_exhausted_on_final_charge():
+    """CostMeter boundary twin of the limiter edge: the charge that lands
+    exactly on the budget succeeds; the next one raises *before*
+    recording, leaving the tally untouched."""
+    from repro.api.accounting import CostMeter
+    from repro.errors import BudgetExhaustedError
+
+    meter = CostMeter(budget=100)
+    meter.charge("search", 60)
+    meter.charge("timeline", 40)  # lands exactly on the budget
+    assert meter.query_total == 100
+    assert meter.remaining == 0
+    with pytest.raises(BudgetExhaustedError):
+        meter.charge("connections", 1)
+    assert meter.query_total == 100  # nothing recorded by the failed charge
+    meter.charge("retries", 5)  # exempt column still records
+    assert meter.total == 105

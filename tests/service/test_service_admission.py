@@ -1,0 +1,195 @@
+"""Admission control pins: exact budgets, FIFO queues, rate limits.
+
+Admission never leaves the serial phase, so these run without threads;
+what they pin is the *arithmetic* — exactness at the budget boundary,
+no overtaking in the queue, limiter behaviour across clock jumps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import count_users
+from repro.errors import ReproError
+from repro.service import EstimationService, QueryRequest, TenantConfig
+
+pytestmark = pytest.mark.service
+
+
+def _req(tenant, budget, keyword="privacy", tag=""):
+    return QueryRequest(tenant, count_users(keyword), budget, tag=tag)
+
+
+def _service(tiny_platform, *tenants, **overrides):
+    kwargs = dict(seed=7)
+    kwargs.update(overrides)
+    return EstimationService(tiny_platform, tenants, **kwargs)
+
+
+class TestBudgetBoundary:
+    def test_exact_boundary_inclusive_then_exclusive(self, tiny_platform):
+        service = _service(tiny_platform, TenantConfig("t", budget=10_000))
+        first = service.submit(_req("t", 5_000))
+        second = service.submit(_req("t", 5_000))  # lands exactly on 10 000
+        third = service.submit(_req("t", 1))  # one call past the boundary
+        assert (first.status, second.status) == ("admitted", "admitted")
+        assert third.status == "rejected" and third.reason == "over-budget"
+
+    def test_zero_budget_tenant_rejects(self, tiny_platform):
+        service = _service(tiny_platform, TenantConfig("broke", budget=0))
+        ticket = service.submit(_req("broke", 1))
+        assert ticket.status == "rejected" and ticket.reason == "over-budget"
+
+    def test_zero_budget_tenant_queues(self, tiny_platform):
+        service = _service(
+            tiny_platform, TenantConfig("broke", budget=0, admission="queue")
+        )
+        ticket = service.submit(_req("broke", 1))
+        assert ticket.status == "queued"
+        assert service.queue_depth("broke") == 1
+        assert service.top_up("broke", 1) == [ticket.request_id]
+        assert service.outcome(ticket.request_id).status == "admitted"
+
+    def test_unlimited_tenant_never_rejected_on_budget(self, tiny_platform):
+        service = _service(tiny_platform, TenantConfig("open"))
+        for _ in range(5):
+            assert service.submit(_req("open", 10**9)).status == "admitted"
+
+    def test_unknown_tenant_and_invalid_budget(self, tiny_platform):
+        service = _service(tiny_platform, TenantConfig("t", budget=100))
+        ghost = service.submit(_req("ghost", 10))
+        assert (ghost.status, ghost.reason) == ("rejected", "unknown-tenant")
+        broke = service.submit(_req("t", 0))
+        assert (broke.status, broke.reason) == ("rejected", "invalid-budget")
+
+
+class TestQueueing:
+    def test_fifo_no_overtaking(self, tiny_platform):
+        """A later small request never overtakes an earlier large one —
+        head-of-line blocking is part of the determinism contract."""
+        service = _service(
+            tiny_platform, TenantConfig("t", budget=0, admission="queue")
+        )
+        big = service.submit(_req("t", 5_000, tag="big"))
+        small = service.submit(_req("t", 100, tag="small"))
+        # Enough for `small`, not for `big`: nothing may drain.
+        assert service.top_up("t", 1_000) == []
+        assert service.queue_depth("t") == 2
+        assert service.outcome(small.request_id).status == "queued"
+        # Now both fit, in order.
+        assert service.top_up("t", 5_000) == [big.request_id, small.request_id]
+        assert service.queue_depth("t") == 0
+
+    def test_cancel_queued_only(self, tiny_platform):
+        service = _service(
+            tiny_platform, TenantConfig("t", budget=3_000, admission="queue")
+        )
+        admitted = service.submit(_req("t", 3_000))
+        queued = service.submit(_req("t", 3_000))
+        assert queued.status == "queued" and service.queue_depth("t") == 1
+        assert service.cancel(queued.request_id) is True
+        assert service.queue_depth("t") == 0
+        assert service.outcome(queued.request_id).status == "cancelled"
+        assert service.cancel(queued.request_id) is False  # already gone
+        assert service.cancel(admitted.request_id) is False  # running state stands
+        assert service.cancel(99_999) is False  # unknown id
+        # A cancelled request releases nothing (it reserved nothing), and
+        # a top-up after cancel admits nothing.
+        assert service.top_up("t", 0) == []
+
+    def test_queued_request_runs_after_top_up(self, tiny_platform):
+        service = _service(
+            tiny_platform, TenantConfig("t", budget=0, admission="queue")
+        )
+        ticket = service.submit(_req("t", 3_000))
+        assert service.execute_pending() == []  # queued ≠ admitted
+        service.top_up("t", 3_000)
+        outcomes = service.execute_pending()
+        assert [o.request_id for o in outcomes] == [ticket.request_id]
+        assert outcomes[0].status == "ok"
+
+    def test_unknown_tenant_top_up_raises(self, tiny_platform):
+        service = _service(tiny_platform, TenantConfig("t", budget=1))
+        with pytest.raises(ReproError):
+            service.top_up("ghost", 10)
+
+
+class TestRateLimits:
+    def test_sleep_policy_accrues_wait_and_admits(self, tiny_platform):
+        service = _service(
+            tiny_platform,
+            TenantConfig("t", rate_limit_calls=2, rate_limit_window=60.0),
+        )
+        tickets = [service.submit(_req("t", 100, tag=f"q{i}")) for i in range(5)]
+        assert [t.status for t in tickets] == ["admitted"] * 5
+        tenant = service.tenants["t"]
+        # Submissions 3–5 each waited out a window on the tenant's clock.
+        assert tenant.wait > 0
+        assert tenant.clock.now() >= 2 * 60.0
+
+    def test_raise_policy_rejects(self, tiny_platform):
+        service = _service(
+            tiny_platform,
+            TenantConfig(
+                "t", rate_limit_calls=2, rate_limit_window=60.0, rate_policy="raise"
+            ),
+        )
+        tickets = [service.submit(_req("t", 100)) for _ in range(4)]
+        assert [t.status for t in tickets] == [
+            "admitted",
+            "admitted",
+            "rejected",
+            "rejected",
+        ]
+        assert tickets[2].reason == "rate-limited"
+        # The limiter refusal burned no allowance.
+        assert service.tenants["t"].reserved == 200
+
+    def test_rate_limited_rejection_beats_budget_check(self, tiny_platform):
+        """The limiter gates the front door: an over-limit submission is
+        'rate-limited', not 'over-budget', even when it also wouldn't fit."""
+        service = _service(
+            tiny_platform,
+            TenantConfig(
+                "t",
+                budget=100,
+                rate_limit_calls=1,
+                rate_limit_window=60.0,
+                rate_policy="raise",
+            ),
+        )
+        service.submit(_req("t", 100))
+        ticket = service.submit(_req("t", 10**6))
+        assert ticket.reason == "rate-limited"
+
+
+class TestBilling:
+    def test_bill_reconciles_with_outcomes(self, tiny_platform):
+        service = _service(
+            tiny_platform,
+            TenantConfig("a", budget=50_000),
+            TenantConfig("b", budget=50_000),
+        )
+        requests = [
+            _req("a", 4_000, "privacy", tag="a1"),
+            _req("b", 4_000, "boston", tag="b1"),
+            _req("a", 4_000, "boston", tag="a2"),
+        ]
+        outcomes = service.run_workload(requests, n_threads=2)
+        for name in ("a", "b"):
+            folded: dict = {}
+            for outcome in outcomes:
+                if outcome.request.tenant == name and outcome.result is not None:
+                    for kind, calls in outcome.result.cost_by_kind.items():
+                        if calls:
+                            folded[kind] = folded.get(kind, 0) + calls
+            bill = {k: v for k, v in service.tenant_bill(name).items() if v}
+            assert bill == folded
+            spent = sum(folded.get(k, 0) for k in ("search", "connections", "timeline"))
+            assert spent <= service.tenants[name].reserved
+
+    def test_duplicate_tenant_config_rejected(self, tiny_platform):
+        with pytest.raises(ReproError):
+            _service(
+                tiny_platform, TenantConfig("t", budget=1), TenantConfig("t", budget=2)
+            )

@@ -1,0 +1,158 @@
+"""Cross-query reuse pins: a cache hit ≡ the recomputation it replaces.
+
+Covers the :class:`~repro.core.reuse.SharedQueryState` seam directly
+(the satellite regression for the QueryContext-lifetime fix), and at the
+service level under a hostile fault profile and on the mmap data plane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.faults import FAULT_PROFILES
+from repro.api.resilient import RetryPolicy
+from repro.core.analyzer import MicroblogAnalyzer
+from repro.core.query import count_users
+from repro.core.reuse import QueryStateHandle, SharedQueryState, platform_fingerprint
+from repro.obs import Observability, RecordingSink
+from repro.obs.export import trace_lines
+from repro.platform import PlatformConfig, build_platform
+
+from tests.conftest import tiny_keywords
+from tests.service.conftest import BUDGET, make_service, service_workload, snapshot
+
+pytestmark = pytest.mark.service
+
+
+def _estimate(platform, keyword, *, reuse=None, seed=3):
+    sink = RecordingSink()
+    analyzer = MicroblogAnalyzer(
+        platform,
+        interval="auto",
+        seed=seed,
+        obs=Observability(trace_sink=sink),
+        reuse=reuse,
+    )
+    result = analyzer.estimate(count_users(keyword), BUDGET)
+    trace = "\n".join(trace_lines(sink.records)).encode("ascii")
+    return result, trace
+
+
+class TestSequentialPilotReuse:
+    """The satellite regression: two sequential analyzer estimates on the
+    same keyword run the pilot exactly once — and hit ≡ miss bitwise."""
+
+    def test_pilot_runs_exactly_once(self, tiny_platform):
+        state = SharedQueryState(seed=3)
+        first, trace_first = _estimate(tiny_platform, "privacy", reuse=state)
+        assert state.stats()["pilot_runs"] == 1
+        assert state.stats()["interval_misses"] == 1
+        second, trace_second = _estimate(tiny_platform, "privacy", reuse=state)
+        assert state.stats()["pilot_runs"] == 1  # the regression pin
+        assert state.stats()["interval_hits"] == 1
+        assert second.value == first.value
+        assert second.cost_by_kind == first.cost_by_kind
+        assert trace_second == trace_first
+
+    def test_hit_identical_to_fresh_state_run(self, tiny_platform):
+        state = SharedQueryState(seed=3)
+        _estimate(tiny_platform, "privacy", reuse=state)  # prime the cache
+        warm, warm_trace = _estimate(tiny_platform, "privacy", reuse=state)
+        cold, cold_trace = _estimate(
+            tiny_platform, "privacy", reuse=SharedQueryState(seed=3)
+        )
+        assert warm.value == cold.value
+        assert warm.cost_by_kind == cold.cost_by_kind
+        assert warm_trace == cold_trace
+
+    def test_invalidate_forces_fresh_pilot(self, tiny_platform):
+        state = SharedQueryState(seed=3)
+        first, trace_first = _estimate(tiny_platform, "privacy", reuse=state)
+        state.invalidate()
+        assert len(state) == 0
+        second, trace_second = _estimate(tiny_platform, "privacy", reuse=state)
+        assert state.stats()["pilot_runs"] == 2
+        # A fresh pilot from the same keyword-scoped stream is the same
+        # pilot — invalidation costs CPU, never changes answers.
+        assert second.value == first.value
+        assert trace_second == trace_first
+
+    def test_keyword_scoped_invalidate(self, tiny_platform):
+        state = SharedQueryState(seed=3)
+        _estimate(tiny_platform, "privacy", reuse=state)
+        _estimate(tiny_platform, "boston", reuse=state)
+        assert state.stats()["pilot_runs"] == 2
+        state.invalidate("privacy")
+        _estimate(tiny_platform, "boston", reuse=state)  # still cached
+        assert state.stats()["pilot_runs"] == 2
+        _estimate(tiny_platform, "privacy", reuse=state)  # re-piloted
+        assert state.stats()["pilot_runs"] == 3
+
+
+class TestQueryStateHandle:
+    def test_invalidate_clears_in_place_and_bumps_epoch(self):
+        handle = QueryStateHandle()
+        first_mentions, views = handle.first_mentions, handle.views
+        first_mentions[("k", 1)] = 2.0
+        views[1] = object()
+        assert len(handle) == 2
+        epoch = handle.epoch
+        handle.invalidate()
+        assert handle.epoch == epoch + 1
+        # Cleared *in place*: contexts already bound to the dicts see it.
+        assert handle.first_mentions is first_mentions and not first_mentions
+        assert handle.views is views and not views
+        assert len(handle) == 0
+
+
+class TestServiceWarmEqualsCold:
+    def test_hostile_faults(self, tiny_platform):
+        """Reuse stays bit-identical when every request can time out or
+        flake — the ledger replays the *faults* too (retries column)."""
+        plan = FAULT_PROFILES["hostile"]
+        kwargs = dict(fault_plan=plan, retry_policy=RetryPolicy(), seed=13)
+        cold_service = make_service(tiny_platform, **kwargs)
+        cold = cold_service.run_workload(service_workload(), n_threads=1)
+        warm_service = make_service(tiny_platform, **kwargs)
+        warm_service.run_workload(service_workload(), n_threads=4)
+        warm = warm_service.run_workload(service_workload(), n_threads=4)
+        assert snapshot(warm) == snapshot(cold)
+        assert all(o.cached for o in warm if o.status == "ok")
+        # Faults actually fired: the budget-exempt retries column shows up.
+        assert any(
+            o.result is not None and o.result.cost_by_kind.get("retries", 0) > 0
+            for o in cold
+        )
+
+    def test_mmap_plane(self):
+        """The memoised first-mention columns stay sound when the frozen
+        columns live on disk (materialised copies, not dangling views)."""
+        platform = build_platform(
+            PlatformConfig(
+                num_users=400,
+                keywords=tiny_keywords(),
+                background_posts_mean=3.0,
+                seed=11,
+                data_plane="mmap",
+                build_chunk_rows=911,
+            )
+        )
+        assert platform.store.storage == "mmap"
+        service = make_service(platform)
+        cold = service.run_workload(service_workload(), n_threads=4)
+        warm = service.run_workload(service_workload(), n_threads=4)
+        assert snapshot(warm) == snapshot(cold)
+        assert service.stats()["reuse_column_hits"] > 0
+
+
+def test_platform_fingerprint_distinguishes_platforms(tiny_platform):
+    other = build_platform(
+        PlatformConfig(
+            num_users=400,
+            keywords=tiny_keywords(),
+            background_posts_mean=3.0,
+            seed=11,
+        )
+    )
+    assert platform_fingerprint(tiny_platform) != platform_fingerprint(other)
+    assert platform_fingerprint(other) == platform_fingerprint(other)
