@@ -1,0 +1,181 @@
+"""Evolving-platform benchmark: freeze-then-append vs full rebuild.
+
+Drives the same synthesized delta stream through both ingestion paths:
+
+* **incremental** — ``OverlayStore.append`` per epoch (vectorised merge
+  of timelines, keyword indexes and the CSR graph), plus one final
+  ``compact()``;
+* **rebuild** — apply each delta to a legacy mutable twin and
+  ``freeze()`` it from scratch every epoch, which is what serving a
+  fresh frozen store per delta costs without the overlay.
+
+The headline number is rebuild-over-incremental ingestion time, with the
+hard gate that the final overlay (and its compaction) is **bit-identical**
+to the final rebuild — ``store_divergences`` over every post column,
+timeline/keyword index and CSR row.  A speedup that changed any serving
+byte would be a bug, not a win.
+
+Tables land in ``benchmarks/results/evolve.txt`` and the machine-readable
+summary in ``BENCH_evolve.json`` at the repo root.
+
+``--quick`` is the CI perf-smoke mode: a small platform and two epochs,
+asserting bit-identity end-to-end; the speedup is printed but not gated
+(CI machines are noisy).
+"""
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+
+from repro.bench import emit, format_table
+from repro.platform.evolve import (
+    OverlayStore,
+    apply_delta_to_store,
+    evolve_platform,
+    store_divergences,
+    synthesize_delta,
+)
+from repro.platform.simulator import PlatformConfig, build_platform
+
+NUM_USERS = 30_000
+EPOCHS = 5
+NEW_USERS = 100
+KEYWORD_POSTS = 400
+BACKGROUND_POSTS = 1_500
+SEED = 11
+MIN_SPEEDUP = 3.0
+"""The tentpole gate: per-epoch append (+ the amortised final compact)
+must beat freezing the whole store from scratch every epoch by ≥3x —
+the rebuild's python-loop CSR compile and full index re-sorts dominate,
+while the overlay merges only what the delta touched."""
+
+QUICK_NUM_USERS = 2_500
+QUICK_EPOCHS = 2
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+JSON_PATH = REPO_ROOT / "BENCH_evolve.json"
+
+
+def build_twins(num_users):
+    config = PlatformConfig(num_users=num_users, seed=SEED)
+    overlay = evolve_platform(build_platform(config))
+    legacy = build_platform(dataclasses.replace(config, data_plane="legacy"))
+    return overlay, legacy
+
+
+def run(num_users, epochs, quick):
+    print(f"building twin {num_users:,}-user platforms (seed {SEED}) ...")
+    overlay_platform, legacy_platform = build_twins(num_users)
+    overlay = overlay_platform.store
+    assert isinstance(overlay, OverlayStore)
+
+    rows = []
+    t_append_total = 0.0
+    t_rebuild_total = 0.0
+    delta_posts = 0
+    rebuilt = None
+    for epoch in range(1, epochs + 1):
+        delta = synthesize_delta(
+            overlay_platform,
+            seed=SEED * 1_000 + epoch,
+            new_users=NEW_USERS,
+            keyword_posts=KEYWORD_POSTS,
+            background_posts=BACKGROUND_POSTS,
+        )
+        delta_posts += delta.num_posts
+
+        start = time.perf_counter()
+        stats = overlay.append(delta)
+        t_append = time.perf_counter() - start
+
+        start = time.perf_counter()
+        apply_delta_to_store(legacy_platform.store, delta)
+        rebuilt = legacy_platform.store.freeze()
+        t_rebuild = time.perf_counter() - start
+
+        if stats.max_time is not None:
+            overlay_platform.clock.sleep_until(stats.max_time)
+            legacy_platform.clock.sleep_until(stats.max_time)
+        t_append_total += t_append
+        t_rebuild_total += t_rebuild
+        rows.append(
+            [epoch, delta.num_posts, len(delta.new_users),
+             t_append, t_rebuild, t_rebuild / t_append]
+        )
+
+    start = time.perf_counter()
+    compacted = overlay.compact()
+    t_compact = time.perf_counter() - start
+
+    problems = []
+    for label, candidate in (("overlay", overlay), ("compacted", compacted)):
+        divergences = store_divergences(candidate, rebuilt)
+        if divergences:
+            problems.append(f"{label} != final rebuild: {divergences[:3]}")
+    if compacted.delta_epoch != epochs:
+        problems.append(f"compaction dropped the epoch tag ({compacted.delta_epoch})")
+
+    t_incremental = t_append_total + t_compact
+    speedup = t_rebuild_total / t_incremental if t_incremental > 0 else float("inf")
+
+    rows.append(["compact", "-", "-", t_compact, "-", "-"])
+    table = format_table(
+        f"Evolving platform: incremental append vs per-epoch full rebuild "
+        f"({num_users:,} users, {epochs} epochs, {delta_posts:,} delta posts, "
+        f"seed {SEED}; overlay ≡ rebuild bitwise; "
+        f"speedup {speedup:.1f}x incl. final compact)",
+        ["epoch", "posts", "users", "append s", "rebuild s", "ratio"],
+        rows,
+    )
+    emit("evolve", table)
+
+    if not quick and speedup < MIN_SPEEDUP:
+        problems.append(f"incremental speedup {speedup:.2f}x < required {MIN_SPEEDUP}x")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+
+    if not quick:
+        payload = {
+            "num_users": num_users,
+            "epochs": epochs,
+            "seed": SEED,
+            "delta_posts_total": delta_posts,
+            "delta_users_per_epoch": NEW_USERS,
+            "bit_identical_overlay_vs_rebuild": True,
+            "bit_identical_compacted_vs_rebuild": True,
+            "append_wall_seconds": round(t_append_total, 4),
+            "compact_wall_seconds": round(t_compact, 4),
+            "rebuild_wall_seconds": round(t_rebuild_total, 4),
+            "speedup_rebuild_over_incremental": round(speedup, 2),
+            "min_required_speedup": MIN_SPEEDUP,
+        }
+        JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {JSON_PATH.name}")
+    else:
+        print(
+            f"perf-smoke OK: overlay ≡ rebuild bitwise over {epochs} epochs, "
+            f"{speedup:.1f}x incremental speedup (not gated in quick mode)"
+        )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI perf-smoke: small platform, bit-identity only",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        return run(QUICK_NUM_USERS, QUICK_EPOCHS, quick=True)
+    return run(NUM_USERS, EPOCHS, quick=False)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

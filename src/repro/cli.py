@@ -171,6 +171,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics", action="store_true",
                        help="print the service metrics registry (per-tenant "
                             "query/call counters, queue depths) as JSON")
+
+    evolve = sub.add_parser(
+        "evolve",
+        help="stream synthetic deltas into the platform and track "
+             "sliding-window estimates across epochs",
+    )
+    _platform_source_args(evolve)
+    evolve.add_argument("--epochs", type=int, default=4,
+                        help="delta epochs to ingest (default 4)")
+    evolve.add_argument("--epoch-days", type=float, default=7.0,
+                        help="simulated days each delta spans (default 7)")
+    evolve.add_argument("--window-days", type=float, default=7.0,
+                        help="sliding-window length for the per-epoch "
+                             "queries: users who mentioned the keyword in "
+                             "the trailing N days (default 7)")
+    evolve.add_argument("--budget", type=int, default=6_000,
+                        help="API-call budget per query (default 6000)")
+    evolve.add_argument("--algorithm", default="ma-tarw", choices=ALGORITHMS,
+                        help="estimation walker every query runs (default ma-tarw)")
+    evolve.add_argument("--graph-design", default="level-by-level",
+                        choices=GRAPH_DESIGNS,
+                        help="graph design for every query (default level-by-level)")
+    evolve.add_argument("--service-seed", type=int, default=0,
+                        help="service seed (per-query seeds derive from it)")
+    evolve.add_argument("--delta-seed", type=int, default=0,
+                        help="base seed for the synthesized deltas (default 0)")
+    evolve.add_argument("--new-users", type=int, default=20,
+                        help="new users arriving per epoch (default 20)")
+    evolve.add_argument("--keyword-posts", type=int, default=150,
+                        help="new mentions per keyword per epoch (default 150)")
+    evolve.add_argument("--background-posts", type=int, default=400,
+                        help="keyword-free posts per epoch (default 400)")
+    evolve.add_argument("--compact-every", type=int, default=0,
+                        help="re-freeze frozen+tail every K epochs "
+                             "(0 = never; serving is identical either way)")
+    evolve.add_argument("--truth", action="store_true",
+                        help="also print each epoch's exact answer and error")
     return parser
 
 
@@ -470,12 +507,93 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.core.query import count_users, sliding_window
+    from repro.platform.evolve import evolve_platform, synthesize_delta
+    from repro.service import EstimationService
+    from repro.service.tenants import TenantConfig
+
+    platform = evolve_platform(_resolve_platform(args))
+    service = EstimationService(
+        platform,
+        [TenantConfig("evolve")],
+        algorithm=args.algorithm,
+        graph_design=args.graph_design,
+        seed=args.service_seed,
+    )
+    from repro.service.service import QueryRequest
+
+    keywords = sorted(platform.store.keywords())
+    print(f"{'epoch':>5s} {'keyword':14s} {'window users':>13s} "
+          f"{'cost':>8s}  (trailing {args.window_days:g}-day window)")
+
+    def query_epoch(epoch: int) -> None:
+        window = sliding_window(platform.clock.now(), args.window_days)
+        requests = [
+            QueryRequest("evolve", count_users(kw, window=window), args.budget)
+            for kw in keywords
+        ]
+        for outcome in service.run_workload(requests):
+            result = outcome.result
+            value = "-" if result is None or result.value is None \
+                else f"{result.value:,.1f}"
+            cost = "-" if result is None else f"{result.cost_total:,}"
+            line = (f"{epoch:5d} {outcome.request.query.keyword:14s} "
+                    f"{value:>13s} {cost:>8s}")
+            if outcome.status != "ok":
+                line += f"  ({outcome.error or outcome.reason})"
+            elif args.truth:
+                truth = exact_value(platform.store, outcome.request.query)
+                err = "-" if result is None or result.value is None \
+                    else f"{relative_error(result.value, truth):.1%}"
+                line += f"  truth {truth:,.1f} rel. err {err}"
+            print(line)
+
+    query_epoch(0)
+    for epoch in range(1, args.epochs + 1):
+        delta = synthesize_delta(
+            platform,
+            seed=args.delta_seed * 10_000 + epoch,
+            epoch_days=args.epoch_days,
+            new_users=args.new_users,
+            keyword_posts=args.keyword_posts,
+            background_posts=args.background_posts,
+        )
+        stats = service.advance(delta)
+        print(f"--- delta {stats.epoch}: +{stats.posts:,} posts, "
+              f"+{stats.users:,} users, +{stats.edges:,} edges")
+        if args.compact_every and epoch % args.compact_every == 0:
+            service.compact()
+            print(f"--- compacted at epoch {stats.epoch} "
+                  f"(tail re-frozen; caches kept warm)")
+        query_epoch(epoch)
+
+    print()
+    print("drift report (per query identity):")
+    for key, entry in sorted(service.drift_report().items()):
+        line = (f"  {key:30s} n={entry['n']:.0f} "
+                f"{entry['first']:,.1f} -> {entry['last']:,.1f}")
+        if "relative_drift" in entry:
+            line += f"  drift {entry['relative_drift']:.1%}"
+        if "ess" in entry:
+            line += f"  ess {entry['ess']:.1f}"
+        if "geweke_z" in entry:
+            line += f"  geweke z {entry['geweke_z']:+.2f}"
+        print(line)
+    stats = service.stats()
+    print(f"service  : {stats['completed']} ok, {stats['failed']} failed; "
+          f"{stats['reuse_pilot_runs']} pilot runs, "
+          f"{stats['reuse_interval_hits']} interval hits")
+    return 0
+
+
 COMMANDS = {
     "simulate": cmd_simulate,
     "keywords": cmd_keywords,
     "estimate": cmd_estimate,
     "truth": cmd_truth,
     "serve": cmd_serve,
+    "evolve": cmd_evolve,
 }
 
 

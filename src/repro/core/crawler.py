@@ -22,6 +22,7 @@ the crawl loop into an unbiased sampler instead of a lower bound.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import ClassVar, List, Optional, Set
@@ -60,6 +61,17 @@ class CrawlEstimator(BaseWalker):
     algorithm: ClassVar[str] = "crawl"
     parallel_kind: ClassVar[Optional[str]] = None
     config_cls: ClassVar[type] = CrawlConfig
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "CrawlEstimator is deprecated as an estimator: its COUNT/SUM are "
+            "crawl-coverage lower bounds, not estimates. Use the 'frontier' "
+            "walker (repro.core.frontier.FrontierEstimator) instead; 'crawl' "
+            "stays registered as the paper's §3.2 honesty baseline.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
 
     def _estimate_serial(self) -> EstimateResult:
         config = self.config

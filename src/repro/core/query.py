@@ -195,6 +195,21 @@ class AggregateQuery:
         return " ".join(parts)
 
 
+def sliding_window(now: float, days: float) -> Tuple[float, float]:
+    """The trailing *days*-day window at *now*: ``[now - days·DAY, ∞)``.
+
+    "Mentioned X in the last N days" over an evolving platform: build it
+    from the clock's current ``now`` each epoch and pass it as a query's
+    ``window``.  The upper bound is open so mentions a delta lands with
+    timestamps past *now* still count once the clock catches up.
+    """
+    from repro.platform.clock import DAY
+
+    if days <= 0:
+        raise QueryError(f"sliding window must cover positive days, got {days}")
+    return (now - days * DAY, float("inf"))
+
+
 def count_users(keyword: str, window: Optional[Tuple[float, float]] = None,
                 predicate: Optional[PredicateFn] = None) -> AggregateQuery:
     """COUNT of users who mentioned *keyword* — the paper's headline query."""

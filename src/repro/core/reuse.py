@@ -76,6 +76,12 @@ def platform_fingerprint(platform) -> Tuple:
     responses for the reuse cache's purposes: same generation config,
     same population, same API restriction profile.  Used to key shared
     state so a cache can never leak across platforms.
+
+    ``delta_epoch`` is the evolving-platform tag: an
+    :class:`~repro.platform.evolve.OverlayStore` bumps it on every
+    applied delta, so warm entries keyed against the pre-delta platform
+    can never be served afterwards.  Compaction copies the epoch along
+    with the (identical) content, leaving warm caches valid across it.
     """
     store = platform.store
     config = platform.config
@@ -84,6 +90,7 @@ def platform_fingerprint(platform) -> Tuple:
         getattr(config, "data_plane", None),
         getattr(store, "num_users", None),
         getattr(store, "num_posts", None),
+        getattr(store, "delta_epoch", 0),
         platform.profile.name,
     )
 

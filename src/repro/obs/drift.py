@@ -1,0 +1,131 @@
+"""Drift diagnostics for the evolving platform.
+
+*Evolving Twitter* (arXiv:1510.01091) tracks how graph properties change
+over time; the serving analogue is tracking how **estimates** change as
+deltas land.  :class:`DriftTracker` keeps one stream of
+``(delta_epoch, estimate)`` points per query identity and summarises
+each stream with the existing convergence toolkit
+(:func:`~repro.obs.diagnostics.effective_sample_size`, Geweke) — low ESS
+over re-runs of the same query means the platform is moving faster than
+the estimator converges, i.e. the answer stream is trending, not noisy.
+
+Recording happens on the service's serial collect path, so streams are
+deterministic across worker counts, and only successful estimates are
+recorded.  The tracker exports through the metrics plane
+(``drift.*`` gauges) and a plain :meth:`report` dict; it deliberately
+emits **no trace events**, so golden-trace byte identity between an
+evolving platform and its rebuilt twin is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.diagnostics import (
+    effective_sample_size,
+    estimate_stream_diagnostics,
+)
+
+__all__ = ["DriftSeries", "DriftTracker"]
+
+#: Streams shorter than this get recorded but not summarised — ESS and
+#: Geweke over 2–3 points are noise dressed as diagnostics.
+MIN_STREAM_LENGTH = 4
+
+
+@dataclass
+class DriftSeries:
+    """One query identity's estimate stream across platform epochs."""
+
+    key: str
+    epochs: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def observe(self, epoch: int, value: float) -> None:
+        self.epochs.append(int(epoch))
+        self.values.append(float(value))
+
+    @property
+    def length(self) -> int:
+        return len(self.values)
+
+    def relative_drift(self) -> Optional[float]:
+        """|last - first| / max(|first|, 1) — the headline drift figure."""
+        if self.length < 2:
+            return None
+        first, last = self.values[0], self.values[-1]
+        return abs(last - first) / max(abs(first), 1.0)
+
+    def summary(self) -> Dict[str, float]:
+        """ESS/Geweke summary of the stream (empty while too short)."""
+        if self.length < MIN_STREAM_LENGTH:
+            return {}
+        stats = dict(estimate_stream_diagnostics(self.values))
+        drift = self.relative_drift()
+        if drift is not None:
+            stats["relative_drift"] = drift
+        return stats
+
+
+class DriftTracker:
+    """Per-query estimate streams over an evolving platform.
+
+    The service calls :meth:`observe` once per successful query outcome
+    (serial collect order) and :meth:`advance` once per applied delta;
+    :meth:`report` renders everything the ``repro evolve`` CLI prints.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[str, DriftSeries] = {}
+        self._epoch = 0
+
+    def advance(self, epoch: int) -> None:
+        """Note that the platform moved to *epoch* (monotonic)."""
+        self._epoch = max(self._epoch, int(epoch))
+
+    def observe(
+        self, key: str, value: Optional[float], *, epoch: Optional[int] = None
+    ) -> None:
+        """Append *value* to *key*'s stream; None (failed query) is skipped."""
+        if value is None:
+            return
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = DriftSeries(key)
+        series.observe(self._epoch if epoch is None else epoch, value)
+
+    def series(self, key: str) -> Optional[DriftSeries]:
+        return self._series.get(key)
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._series)
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def export_metrics(self, registry) -> None:
+        """Write ``drift.*`` gauges into a metrics registry."""
+        for key, series in self._series.items():
+            registry.gauge("drift.stream_length", query=key).set(series.length)
+            drift = series.relative_drift()
+            if drift is not None:
+                registry.gauge("drift.relative", query=key).set(drift)
+            if series.length >= MIN_STREAM_LENGTH:
+                registry.gauge("drift.ess", query=key).set(
+                    effective_sample_size(series.values)
+                )
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Per-query drift summaries keyed by query identity."""
+        out: Dict[str, Dict[str, float]] = {}
+        for key, series in self._series.items():
+            entry: Dict[str, float] = {
+                "n": float(series.length),
+                "first": series.values[0] if series.values else float("nan"),
+                "last": series.values[-1] if series.values else float("nan"),
+            }
+            entry.update(series.summary())
+            out[key] = entry
+        return out

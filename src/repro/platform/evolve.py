@@ -1,0 +1,735 @@
+"""Delta ingestion over the frozen data plane: freeze-then-append.
+
+The source paper estimates aggregates over a platform frozen at crawl
+time; *Evolving Twitter* (arXiv:1510.01091) shows the real graph drifts
+continuously.  This module turns build-then-freeze into
+**freeze-then-append**:
+
+* :class:`DeltaBatch` — one ingestion unit: new users, new undirected
+  edges, and columnar post batches (the same shape
+  :meth:`~repro.platform.store.MicroblogStore.add_posts_columnar` takes).
+* :class:`OverlayStore` — a :class:`~repro.platform.frozen.FrozenStore`
+  subclass that stays *readable* while accepting deltas.  Each
+  :meth:`~OverlayStore.append` stitches the delta into the frozen
+  columns and compiled indexes **incrementally**: untouched users'
+  timeline runs are block-copied, only delta-touched users and keywords
+  are re-sorted, and the CSR graph is merged with one vectorized
+  lexsort instead of the per-node python loop a full
+  :meth:`CSRGraph.from_graph` rebuild pays.  The resulting serving
+  state is bit-identical — columns, indexes, CSR rows — to freezing a
+  monolithic rebuild of base+tail (the ``evolve`` test tier pins this
+  property for random delta schedules).
+* :meth:`OverlayStore.compact` — re-freezes frozen+tail into a plain
+  :class:`FrozenStore`: array-sharing on the RAM plane, a fresh sharded
+  on-disk layout (served via ``np.memmap``) on the mmap plane.
+* :func:`apply_delta_to_store` — the rebuild comparator: replays a
+  delta onto a mutable :class:`MicroblogStore` whose ``freeze()`` is
+  the ground truth every overlay must match.
+
+Epoch accounting: ``delta_epoch`` counts applied deltas and is folded
+into :func:`repro.core.reuse.platform_fingerprint`, so every reuse
+cache keyed on the platform re-keys the moment a delta lands.
+:meth:`compact` carries the epoch over — compaction changes the
+physical layout, never the content, so warm caches stay sound.
+
+Mapped-base caveat: appending to an overlay whose base serves from
+``np.memmap`` materialises the (concatenated) columns in RAM; call
+:meth:`compact` with a directory to return to mapped serving.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import random
+import shutil
+import tempfile
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PlatformError
+from repro.graph.csr import CSRGraph
+from repro.platform.clock import DAY
+from repro.platform.frozen import FrozenStore
+from repro.platform.users import UserProfile, generate_profile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.platform.simulator import SimulatedPlatform
+    from repro.platform.store import MicroblogStore
+
+__all__ = [
+    "DeltaBatch",
+    "DeltaStats",
+    "DeltaTail",
+    "OverlayStore",
+    "PostDelta",
+    "apply_delta_to_store",
+    "evolve_platform",
+    "store_divergences",
+    "synthesize_delta",
+]
+
+
+# ----------------------------------------------------------------------
+# delta payloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PostDelta:
+    """One columnar post batch: all rows share a single keyword (or none).
+
+    Mirrors :meth:`MicroblogStore.add_posts_columnar`'s contract so the
+    same object can feed both the overlay and the rebuild comparator.
+    """
+
+    user_ids: np.ndarray
+    timestamps: np.ndarray
+    lengths: np.ndarray
+    likes: np.ndarray
+    keyword: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "user_ids", np.ascontiguousarray(self.user_ids, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "timestamps", np.ascontiguousarray(self.timestamps, dtype=np.float64)
+        )
+        object.__setattr__(
+            self, "lengths", np.ascontiguousarray(self.lengths, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "likes", np.ascontiguousarray(self.likes, dtype=np.int64)
+        )
+        sizes = {self.user_ids.size, self.timestamps.size, self.lengths.size, self.likes.size}
+        if len(sizes) > 1:
+            raise PlatformError(f"post delta columns have unequal lengths: {sizes}")
+
+    @property
+    def size(self) -> int:
+        return int(self.timestamps.size)
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """One ingestion unit: users, undirected edges, and post batches.
+
+    Application order (shared by overlay and comparator): users first,
+    then edges (which may reference the new users), then post batches in
+    sequence — post ids are assigned in batch order.
+    """
+
+    new_users: Tuple[UserProfile, ...] = ()
+    new_edges: np.ndarray = field(default_factory=lambda: np.empty((0, 2), dtype=np.int64))
+    posts: Tuple[PostDelta, ...] = ()
+
+    def __post_init__(self) -> None:
+        edges = np.ascontiguousarray(self.new_edges, dtype=np.int64).reshape(-1, 2)
+        object.__setattr__(self, "new_edges", edges)
+
+    @property
+    def num_posts(self) -> int:
+        return sum(batch.size for batch in self.posts)
+
+
+@dataclass(frozen=True)
+class DeltaStats:
+    """What one :meth:`OverlayStore.append` actually ingested."""
+
+    epoch: int
+    posts: int
+    users: int
+    edges: int
+    """Accepted (non-duplicate) undirected edges."""
+    keywords: Tuple[str, ...]
+    """Keywords whose indexes were re-stitched by this delta."""
+    max_time: Optional[float]
+    """Latest post timestamp in the delta (clock-advance hint)."""
+
+
+@dataclass
+class DeltaTail:
+    """Bookkeeping for everything appended since the last freeze/compact.
+
+    The stitched rows live inside the overlay's merged columns (the tail
+    is the suffix ``[base_rows:]`` of every post column); this records
+    the boundary and the accumulated delta volume for diagnostics and
+    the ``repro evolve`` report.
+    """
+
+    base_rows: int
+    base_users: int
+    base_edges: int
+    rows: int = 0
+    users: int = 0
+    edges: int = 0
+    epochs: int = 0
+    keywords: Tuple[str, ...] = ()
+
+    def record(self, stats: DeltaStats) -> None:
+        self.rows += stats.posts
+        self.users += stats.users
+        self.edges += stats.edges
+        self.epochs += 1
+        merged = dict.fromkeys(self.keywords)
+        merged.update(dict.fromkeys(stats.keywords))
+        self.keywords = tuple(merged)
+
+
+class _OverlayProfiles(Mapping):
+    """Chained id->profile mapping: frozen base plus appended users.
+
+    Iteration order is base insertion order followed by appended users
+    in arrival order — the order a rebuilt mutable store's profile dict
+    would have.  Works over a plain dict or a lazy
+    :class:`~repro.platform.users.ColumnProfiles` base without copying
+    either.
+    """
+
+    __slots__ = ("_base", "_extra")
+
+    def __init__(self, base: Mapping) -> None:
+        self._base = base
+        self._extra: Dict[int, UserProfile] = {}
+
+    def add(self, profile: UserProfile) -> None:
+        if profile.user_id in self:
+            raise PlatformError(f"duplicate user id {profile.user_id}")
+        self._extra[profile.user_id] = profile
+
+    def __getitem__(self, user_id: int) -> UserProfile:
+        try:
+            return self._base[user_id]
+        except KeyError:
+            return self._extra[user_id]
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self._base or user_id in self._extra
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self._base
+        yield from self._extra
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._extra)
+
+
+# ----------------------------------------------------------------------
+# the overlay store
+# ----------------------------------------------------------------------
+class OverlayStore(FrozenStore):
+    """A frozen store that accepts deltas while staying fully readable.
+
+    Construction shares every column and compiled index with *base*
+    (zero copies beyond the user-order list); :meth:`append` folds a
+    :class:`DeltaBatch` into the serving state incrementally.  All
+    inherited read methods — timelines, keyword windows, first-mention
+    columns, the classification fast path — serve the merged state with
+    no overlay-specific branches, because the merge maintains exactly
+    the fields :meth:`FrozenStore._compile_indexes` would have built.
+    The classic mutators (``add_post`` et al.) still raise: the only
+    write path is whole-delta ingestion, which is what keeps every
+    intermediate state equivalent to *some* monolithic freeze.
+    """
+
+    def __init__(self, base: FrozenStore) -> None:
+        if not isinstance(base, FrozenStore):
+            raise PlatformError(
+                "OverlayStore wraps a FrozenStore; freeze the build first "
+                "(data_plane='frozen' or 'mmap')"
+            )
+        self.base = base
+        super().__init__(
+            graph=base.graph,
+            profiles=_OverlayProfiles(base._profiles),
+            user_order=list(base._user_order),
+            post_user=base.post_user,
+            post_time=base.post_time,
+            post_id=base.post_id,
+            post_length=base.post_length,
+            post_likes=base.post_likes,
+            post_keyword=base.post_keyword,
+            keyword_names=list(base._keyword_names),
+            multi_keywords=dict(base._multi),
+            next_post_id=base._next_post_id,
+            precompiled=base.compiled_indexes(),
+            source_dir=base.source_dir,
+            storage=base.storage,
+        )
+        self.delta_epoch = int(getattr(base, "delta_epoch", 0))
+        """Applied-delta counter; folded into the platform fingerprint so
+        reuse caches re-key the moment a delta lands."""
+        self.tail = DeltaTail(
+            base_rows=int(self.post_id.size),
+            base_users=self.num_users,
+            base_edges=self.graph.num_edges,
+        )
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def append(self, delta: DeltaBatch) -> DeltaStats:
+        """Stitch *delta* into the serving state; returns what landed.
+
+        Equivalent — bit-for-bit, including index orderings — to
+        replaying the delta onto the mutable build store and freezing
+        from scratch, but the work is proportional to the delta (plus
+        one O(rows) block copy per column), not to the platform.
+        A validation failure (unknown author, self-loop, duplicate user
+        id) raises :class:`PlatformError`; discard the overlay then —
+        partially applied deltas are not rolled back.
+        """
+        old_ids = np.asarray(self._sorted_user_ids)
+        new_ids = self._ingest_users(delta.new_users)
+        accepted = self._ingest_edges(delta.new_edges, new_ids)
+        tail = self._gather_tail(delta.posts)
+        if tail is not None:
+            t_user, t_time, touched_kw = tail
+            self._merge_timelines(old_ids, t_user)
+            self._merge_keywords(touched_kw)
+        elif new_ids.size:
+            self._merge_timelines(old_ids, np.empty(0, np.int64))
+        self._finish_indexes()
+        self._tl_cache = {}
+        self._refresh_followers(new_ids, accepted)
+        self.source_dir = None  # any on-disk mirror is stale now
+        self.delta_epoch += 1
+        stats = DeltaStats(
+            epoch=self.delta_epoch,
+            posts=0 if tail is None else int(tail[0].size),
+            users=int(new_ids.size),
+            edges=int(accepted.shape[0]),
+            keywords=() if tail is None else tuple(tail[2]),
+            max_time=None if tail is None else float(tail[1].max()),
+        )
+        self.tail.record(stats)
+        return stats
+
+    # -- users ----------------------------------------------------------
+    def _ingest_users(self, profiles: Tuple[UserProfile, ...]) -> np.ndarray:
+        if not profiles:
+            return np.empty(0, dtype=np.int64)
+        for profile in profiles:
+            self._profiles.add(profile)
+            self._user_order.append(profile.user_id)
+        new_ids = np.array([p.user_id for p in profiles], dtype=np.int64)
+        self._sorted_user_ids = np.sort(
+            np.concatenate([np.asarray(self._sorted_user_ids), new_ids])
+        )
+        return new_ids
+
+    # -- graph ----------------------------------------------------------
+    def _ingest_edges(self, edges: np.ndarray, new_ids: np.ndarray) -> np.ndarray:
+        graph = self.graph
+        old_ids = np.asarray(graph._ids)
+        merged_ids = (
+            np.sort(np.concatenate([old_ids, new_ids])) if new_ids.size else old_ids
+        )
+        accepted_rows: List[Tuple[int, int]] = []
+        seen = set()
+        for u, v in edges.tolist():
+            if u == v:
+                raise PlatformError(f"self-loop rejected: {u}")
+            key = (u, v) if u < v else (v, u)
+            if key in seen or graph.has_edge(u, v):
+                continue  # duplicate edges are a no-op, as on the mutable graph
+            seen.add(key)
+            accepted_rows.append(key)
+        accepted = np.array(accepted_rows, dtype=np.int64).reshape(-1, 2)
+        if accepted.size:
+            pos = np.minimum(
+                np.searchsorted(merged_ids, accepted), merged_ids.size - 1
+            )
+            if not np.array_equal(merged_ids[pos], accepted):
+                raise PlatformError("edge endpoints must all be known user ids")
+        if accepted.size == 0 and new_ids.size == 0:
+            return accepted
+        old_counts = np.diff(np.asarray(graph.indptr))
+        if accepted.size == 0:
+            # New zero-degree rows only: the surviving rows keep their
+            # relative order, so the indices array is reused verbatim.
+            counts = np.zeros(merged_ids.size, dtype=np.int64)
+            counts[np.searchsorted(merged_ids, old_ids)] = old_counts
+            indptr = np.zeros(merged_ids.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.ascontiguousarray(graph.indices)
+        else:
+            src_all = np.concatenate(
+                [np.repeat(old_ids, old_counts), accepted[:, 0], accepted[:, 1]]
+            )
+            dst_all = np.concatenate(
+                [np.asarray(graph.indices), accepted[:, 1], accepted[:, 0]]
+            )
+            rows = np.searchsorted(merged_ids, src_all)
+            order = np.lexsort((dst_all, rows))
+            indptr = np.zeros(merged_ids.size + 1, dtype=np.int64)
+            np.cumsum(np.bincount(rows, minlength=merged_ids.size), out=indptr[1:])
+            indices = np.ascontiguousarray(dst_all[order])
+        self.graph = CSRGraph(indptr, indices, merged_ids)
+        return accepted
+
+    # -- posts ----------------------------------------------------------
+    def _gather_tail(self, batches: Tuple[PostDelta, ...]):
+        """Assign post ids, validate authors, extend the six columns.
+
+        Returns ``(tail_users, tail_times, touched keyword -> tail
+        (t, u, pid) parts)`` or None for a post-free delta.
+        """
+        total = sum(batch.size for batch in batches)
+        if total == 0:
+            return None
+        users_parts: List[np.ndarray] = []
+        times_parts: List[np.ndarray] = []
+        lengths_parts: List[np.ndarray] = []
+        likes_parts: List[np.ndarray] = []
+        codes_parts: List[np.ndarray] = []
+        pids_parts: List[np.ndarray] = []
+        touched: Dict[str, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+        ids = self._sorted_user_ids
+        for batch in batches:
+            if batch.size == 0:
+                continue
+            rows = np.minimum(np.searchsorted(ids, batch.user_ids), max(ids.size - 1, 0))
+            if ids.size == 0 or not np.array_equal(ids[rows], batch.user_ids):
+                raise PlatformError("post batch references unknown user ids")
+            pids = np.arange(
+                self._next_post_id, self._next_post_id + batch.size, dtype=np.int64
+            )
+            self._next_post_id += batch.size
+            if batch.keyword is None:
+                code = -1
+            else:
+                name = batch.keyword.lower()
+                if name not in self._keyword_names:
+                    self._keyword_names.append(name)
+                code = self._keyword_names.index(name)
+                touched.setdefault(name, []).append(
+                    (batch.timestamps, batch.user_ids, pids)
+                )
+            users_parts.append(batch.user_ids)
+            times_parts.append(batch.timestamps)
+            lengths_parts.append(batch.lengths)
+            likes_parts.append(batch.likes)
+            pids_parts.append(pids)
+            codes_parts.append(np.full(batch.size, code, dtype=np.int64))
+        t_user = np.concatenate(users_parts)
+        t_time = np.concatenate(times_parts)
+        self.post_user = np.concatenate([np.asarray(self.post_user), t_user])
+        self.post_time = np.concatenate([np.asarray(self.post_time), t_time])
+        self.post_id = np.concatenate([np.asarray(self.post_id)] + pids_parts)
+        self.post_length = np.concatenate([np.asarray(self.post_length)] + lengths_parts)
+        self.post_likes = np.concatenate([np.asarray(self.post_likes)] + likes_parts)
+        self.post_keyword = np.concatenate([np.asarray(self.post_keyword)] + codes_parts)
+        return t_user, t_time, touched
+
+    def _merge_timelines(self, old_ids: np.ndarray, t_user: np.ndarray) -> None:
+        """Incrementally rebuild ``tl_order``/``tl_indptr``.
+
+        *old_ids* is the pre-delta sorted id array (``_sorted_user_ids``
+        already includes this delta's arrivals).  Untouched users' runs
+        are block-copied with a per-entry shift; delta-touched users are
+        re-sorted with one lexsort over their combined base+tail
+        entries.  The ordering key is exactly the full-rebuild stable
+        lexsort's: (user row, time, original row) — tail rows carry
+        larger original-row indices than every base row, so timestamp
+        ties resolve identically to a monolithic rebuild.
+        """
+        old_order = np.asarray(self._tl_order)
+        old_indptr = np.asarray(self._tl_indptr)
+        old_rows = old_order.size
+        new_ids = self._sorted_user_ids
+        old_counts = np.diff(old_indptr)
+        old_pos = np.searchsorted(new_ids, old_ids)
+        tail_rows = np.searchsorted(new_ids, t_user) if t_user.size else np.empty(0, np.int64)
+        tail_counts = np.bincount(tail_rows, minlength=new_ids.size)
+        counts = np.zeros(new_ids.size, dtype=np.int64)
+        counts[old_pos] = old_counts
+        counts += tail_counts
+        new_indptr = np.zeros(new_ids.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_indptr[1:])
+        touched = tail_counts > 0
+        new_order = np.empty(old_rows + t_user.size, dtype=np.int64)
+
+        entry_shift = np.repeat(new_indptr[:-1][old_pos] - old_indptr[:-1], old_counts)
+        entry_touched = np.repeat(touched[old_pos], old_counts)
+        untouched = ~entry_touched
+        src_positions = np.arange(old_rows, dtype=np.int64)
+        new_order[src_positions[untouched] + entry_shift[untouched]] = old_order[untouched]
+
+        if t_user.size:
+            tail_sorted = np.argsort(tail_rows, kind="stable")
+            comb_rows = np.concatenate(
+                [
+                    old_order[entry_touched],
+                    (old_rows + np.arange(t_user.size, dtype=np.int64))[tail_sorted],
+                ]
+            )
+            comb_urows = np.concatenate(
+                [
+                    np.repeat(old_pos, old_counts)[entry_touched],
+                    tail_rows[tail_sorted],
+                ]
+            )
+            comb_times = np.asarray(self.post_time)[comb_rows]
+            order = np.lexsort((comb_rows, comb_times, comb_urows))
+            new_order[np.flatnonzero(np.repeat(touched, counts))] = comb_rows[order]
+
+        self._tl_order = new_order
+        self._tl_indptr = new_indptr
+
+    def _merge_keywords(
+        self, touched: Dict[str, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]
+    ) -> None:
+        """Re-sort only the delta-touched keyword logs (base order + tail,
+        one ``(t, u, pid)`` lexsort each — the compile-time ordering)."""
+        empty_t = np.empty(0, dtype=np.float64)
+        empty_i = np.empty(0, dtype=np.int64)
+        for name, parts in touched.items():
+            t = np.concatenate(
+                [np.asarray(self._kw_times.get(name, empty_t))] + [p[0] for p in parts]
+            )
+            u = np.concatenate(
+                [np.asarray(self._kw_users.get(name, empty_i))] + [p[1] for p in parts]
+            )
+            p = np.concatenate(
+                [np.asarray(self._kw_pids.get(name, empty_i))] + [pp[2] for pp in parts]
+            )
+            order = np.lexsort((p, u, t))
+            t, u, p = t[order], u[order], p[order]
+            self._kw_times[name] = t
+            self._kw_users[name] = u
+            self._kw_pids[name] = p
+            uniq, first_idx = np.unique(u, return_index=True)
+            self._kw_first_users[name] = uniq
+            self._kw_first_times[name] = t[first_idx]
+
+    def _refresh_followers(self, new_ids: np.ndarray, accepted: np.ndarray) -> None:
+        """Write merged degrees into the delta-touched profiles only.
+
+        Untouched users' degrees did not change, so this matches a full
+        ``refresh_follower_counts`` over the rebuilt store.
+        """
+        touched = set(new_ids.tolist())
+        if accepted.size:
+            touched.update(accepted.reshape(-1).tolist())
+        for user_id in touched:
+            self._profiles[user_id].followers = self.graph.degree(user_id)
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def compact(self, directory: Optional[str] = None) -> FrozenStore:
+        """Re-freeze frozen+tail into a plain :class:`FrozenStore`.
+
+        With no *directory* on a RAM-plane overlay the compacted store
+        shares the merged arrays (compaction is then O(1) — the merge
+        already happened at append time).  With a *directory* — or on an
+        mmap-plane overlay, which gets a temp directory reclaimed at
+        process exit — the merged state is written as a fresh sharded
+        layout and served back through ``np.memmap`` views.  Either way
+        the result carries this overlay's ``delta_epoch``: content is
+        identical, so warm caches keyed on the fingerprint stay valid.
+        """
+        if directory is None and self.storage != "mmap":
+            compacted = FrozenStore(
+                graph=self.graph,
+                profiles=self._profiles,
+                user_order=list(self._user_order),
+                post_user=self.post_user,
+                post_time=self.post_time,
+                post_id=self.post_id,
+                post_length=self.post_length,
+                post_likes=self.post_likes,
+                post_keyword=self.post_keyword,
+                keyword_names=list(self._keyword_names),
+                multi_keywords=dict(self._multi),
+                next_post_id=self._next_post_id,
+                precompiled=self.compiled_indexes(),
+                source_dir=self.source_dir,
+                storage="ram",
+            )
+        else:
+            from repro.platform.serialization import dump_store_dir, load_store_dir
+
+            if directory is None:
+                directory = tempfile.mkdtemp(prefix="repro-compact-")
+                atexit.register(shutil.rmtree, directory, True)
+            else:
+                os.makedirs(directory, exist_ok=True)
+            dump_store_dir(self, directory)
+            compacted = load_store_dir(directory, mmap_mode="r")
+        compacted.delta_epoch = self.delta_epoch  # type: ignore[attr-defined]
+        return compacted
+
+
+# ----------------------------------------------------------------------
+# the rebuild comparator
+# ----------------------------------------------------------------------
+def apply_delta_to_store(store: "MicroblogStore", delta: DeltaBatch) -> "MicroblogStore":
+    """Replay *delta* onto a mutable store, in the overlay's order.
+
+    This is the equivalence oracle: ``store.freeze()`` after replaying
+    the same deltas must be bit-identical to the overlay (and to its
+    :meth:`~OverlayStore.compact`).  Profiles are copied so the two
+    sides never alias follower counters.
+    """
+    for profile in delta.new_users:
+        store.add_user(replace(profile))
+    for u, v in delta.new_edges.tolist():
+        store.graph.add_edge(int(u), int(v))
+    for batch in delta.posts:
+        store.add_posts_columnar(
+            batch.user_ids, batch.timestamps, batch.lengths, batch.likes, batch.keyword
+        )
+    store.refresh_follower_counts()
+    return store
+
+
+# ----------------------------------------------------------------------
+# platform plumbing
+# ----------------------------------------------------------------------
+def evolve_platform(platform: "SimulatedPlatform") -> "SimulatedPlatform":
+    """Wrap *platform*'s frozen store in an :class:`OverlayStore`.
+
+    Returns a platform sharing the config, clock and cascades whose
+    store accepts :meth:`~OverlayStore.append`; a platform already
+    evolving is returned unchanged.
+    """
+    from repro.platform.simulator import SimulatedPlatform
+
+    store = platform.store
+    if isinstance(store, OverlayStore):
+        return platform
+    if not isinstance(store, FrozenStore):
+        raise PlatformError(
+            "evolve_platform requires a frozen data plane "
+            "(build with data_plane='frozen' or 'mmap')"
+        )
+    return SimulatedPlatform(
+        config=platform.config,
+        store=OverlayStore(store),
+        clock=platform.clock,
+        cascades=platform.cascades,
+    )
+
+
+def synthesize_delta(
+    platform: "SimulatedPlatform",
+    *,
+    seed: int,
+    epoch_days: float = 7.0,
+    new_users: int = 10,
+    edges_per_new_user: int = 3,
+    keyword_posts: int = 200,
+    background_posts: int = 500,
+    keywords: Optional[List[str]] = None,
+) -> DeltaBatch:
+    """A deterministic plausible delta for one epoch of platform life.
+
+    New users arrive with a few follower edges into the existing graph,
+    every (or the named) keyword gains fresh mentions spread over the
+    next *epoch_days*, and a slab of background posts keeps timelines
+    growing.  Timestamps start at the platform's current ``now``, so
+    :meth:`EstimationService.advance` can move the clock to the delta's
+    horizon and sliding-window queries see the new epoch.
+    """
+    store = platform.store
+    now = platform.clock.now()
+    nrng = np.random.default_rng(np.random.SeedSequence(entropy=(0x5EED, seed)))
+    existing = np.asarray(store.user_ids(), dtype=np.int64)
+    next_id = int(existing.max()) + 1 if existing.size else 0
+
+    profiles = tuple(
+        generate_profile(uid, seed=random.Random(f"evolve:{seed}:{uid}"))
+        for uid in range(next_id, next_id + new_users)
+    )
+    edge_rows: List[Tuple[int, int]] = []
+    for profile in profiles:
+        k = min(edges_per_new_user, existing.size)
+        if k:
+            targets = nrng.choice(existing, size=k, replace=False)
+            edge_rows.extend((profile.user_id, int(v)) for v in targets)
+    edges = np.array(edge_rows, dtype=np.int64).reshape(-1, 2)
+
+    all_ids = np.concatenate(
+        [existing, np.array([p.user_id for p in profiles], dtype=np.int64)]
+    )
+    horizon = epoch_days * DAY
+
+    def draw_posts(count: int, keyword: Optional[str]) -> PostDelta:
+        authors = all_ids[nrng.integers(0, all_ids.size, size=count)]
+        return PostDelta(
+            user_ids=authors,
+            timestamps=now + nrng.random(count) * horizon,
+            lengths=nrng.integers(10, 141, size=count),
+            likes=np.minimum((nrng.pareto(1.8, size=count) + 1.0).astype(np.int64), 10_000) - 1,
+            keyword=keyword,
+        )
+
+    batches: List[PostDelta] = []
+    names = keywords if keywords is not None else list(store.keywords())
+    for name in names:
+        if keyword_posts > 0:
+            batches.append(draw_posts(keyword_posts, name))
+    if background_posts > 0:
+        batches.append(draw_posts(background_posts, None))
+    return DeltaBatch(new_users=profiles, new_edges=edges, posts=tuple(batches))
+
+
+# ----------------------------------------------------------------------
+# verification
+# ----------------------------------------------------------------------
+def store_divergences(left: FrozenStore, right: FrozenStore) -> List[str]:
+    """Bit-level comparison of two frozen stores; empty list = identical.
+
+    Covers everything serving reads from: the six post columns, the
+    compiled timeline/keyword indexes, the CSR graph arrays, keyword
+    naming/code order, post-id allocation and user order.  Used by the
+    ``evolve`` test tier and ``bench_evolve`` to pin overlay ≡ rebuild.
+    """
+    problems: List[str] = []
+
+    def check(label: str, a, b) -> None:
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.dtype != b.dtype:
+            problems.append(f"{label}: dtype {a.dtype} != {b.dtype}")
+        elif not np.array_equal(a, b):
+            problems.append(f"{label}: arrays differ")
+
+    for name in ("post_user", "post_time", "post_id", "post_length", "post_likes", "post_keyword"):
+        check(name, getattr(left, name), getattr(right, name))
+    check("sorted_user_ids", left._sorted_user_ids, right._sorted_user_ids)
+    check("tl_order", left._tl_order, right._tl_order)
+    check("tl_indptr", left._tl_indptr, right._tl_indptr)
+    if list(left._keyword_names) != list(right._keyword_names):
+        problems.append(
+            f"keyword order: {left._keyword_names} != {right._keyword_names}"
+        )
+    else:
+        for name in left._keyword_names:
+            check(f"kw_times[{name}]", left._kw_times[name], right._kw_times[name])
+            check(f"kw_users[{name}]", left._kw_users[name], right._kw_users[name])
+            check(f"kw_pids[{name}]", left._kw_pids[name], right._kw_pids[name])
+            check(
+                f"kw_first_users[{name}]",
+                left._kw_first_users[name],
+                right._kw_first_users[name],
+            )
+            check(
+                f"kw_first_times[{name}]",
+                left._kw_first_times[name],
+                right._kw_first_times[name],
+            )
+    check("graph.indptr", left.graph.indptr, right.graph.indptr)
+    check("graph.indices", left.graph.indices, right.graph.indices)
+    check("graph.ids", left.graph._ids, right.graph._ids)
+    if left._next_post_id != right._next_post_id:
+        problems.append(f"next_post_id: {left._next_post_id} != {right._next_post_id}")
+    if list(left._user_order) != list(right._user_order):
+        problems.append("user insertion order differs")
+    if left._multi != right._multi:
+        problems.append("multi-keyword post maps differ")
+    return problems

@@ -271,7 +271,7 @@ def save_sharded(platform: SimulatedPlatform, path: PathLike) -> None:
                 if os.path.isfile(full) and name != SHARDED_HEADER:
                     shutil.copy2(full, os.path.join(directory, name))
     else:
-        _dump_store_dir(frozen, directory)
+        dump_store_dir(frozen, directory)
 
     cascade_names = sorted(platform.cascades)
     cascade_files = {}
@@ -310,8 +310,14 @@ def save_sharded(platform: SimulatedPlatform, path: PathLike) -> None:
         json.dump(header, handle, indent=1)
 
 
-def _dump_store_dir(frozen: FrozenStore, directory: str) -> None:
-    """Write a RAM-resident frozen store's columns/indexes as shard files."""
+def dump_store_dir(frozen: FrozenStore, directory: str) -> None:
+    """Write a frozen store's columns/indexes as shard files.
+
+    Store-level only (no platform header/cascades) — the inverse of
+    :func:`load_store_dir`.  Works on any :class:`FrozenStore`-shaped
+    store, including an :class:`~repro.platform.evolve.OverlayStore`,
+    which is how overlay compaction lands the merged state on disk.
+    """
     for name in POST_COLUMN_DTYPES:
         write_column_file(
             os.path.join(directory, f"{name}.bin"),
@@ -387,31 +393,25 @@ def _dump_store_dir(frozen: FrozenStore, directory: str) -> None:
         json.dump(manifest, handle, indent=1)
 
 
-def load_sharded(path: PathLike, mmap_mode: Optional[str] = "r") -> SimulatedPlatform:
-    """Open a sharded layout directory as a served platform.
+def load_store_dir(path: PathLike, mmap_mode: Optional[str] = "r") -> FrozenStore:
+    """Open the store half of a sharded layout as a :class:`FrozenStore`.
 
-    With the default ``mmap_mode="r"`` every column and compiled index is
-    an ``np.memmap`` view — nothing is materialised until a read slices
-    it, so process workers resolving the same directory share pages.
-    ``mmap_mode=None`` reads everything into RAM instead.
+    Reads ``store.json`` plus the column/index/graph/profile shard files
+    — no platform header or cascades required, so it also serves
+    directories written by :func:`dump_store_dir` alone (overlay
+    compaction targets).  With the default ``mmap_mode="r"`` every array
+    is an ``np.memmap`` view; ``mmap_mode=None`` materialises into RAM.
     """
     directory = str(path)
     manifest_path = _store_manifest_path(directory)
-    header_path = os.path.join(directory, SHARDED_HEADER)
-    if not (os.path.isfile(manifest_path) and os.path.isfile(header_path)):
-        raise PlatformError(f"{directory!r} is not a sharded platform layout")
+    if not os.path.isfile(manifest_path):
+        raise PlatformError(f"{directory!r} has no {STORE_MANIFEST} manifest")
     with open(manifest_path, encoding="utf-8") as handle:
         manifest = json.load(handle)
-    with open(header_path, encoding="utf-8") as handle:
-        header = json.load(handle)
-    for blob, label in ((manifest, STORE_MANIFEST), (header, SHARDED_HEADER)):
-        if blob.get("format_version") != FORMAT_VERSION:
-            raise PlatformError(
-                f"unsupported {label} version {blob.get('format_version')}"
-            )
-    profile = ALL_PROFILES.get(header["profile"])
-    if profile is None:
-        raise PlatformError(f"unknown platform profile {header['profile']!r}")
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise PlatformError(
+            f"unsupported {STORE_MANIFEST} version {manifest.get('format_version')}"
+        )
 
     def column(file_name: str, dtype) -> np.ndarray:
         full = os.path.join(directory, file_name)
@@ -453,7 +453,7 @@ def load_sharded(path: PathLike, mmap_mode: Optional[str] = "r") -> SimulatedPla
         int(pid): tuple(words)
         for pid, words in manifest.get("multi_keyword_posts", {}).items()
     }
-    store = FrozenStore(
+    return FrozenStore(
         graph=graph,
         profiles=profiles,
         user_order=prof_ids.tolist(),
@@ -470,6 +470,37 @@ def load_sharded(path: PathLike, mmap_mode: Optional[str] = "r") -> SimulatedPla
         source_dir=directory,
         storage="mmap" if mmap_mode else "ram",
     )
+
+
+def load_sharded(path: PathLike, mmap_mode: Optional[str] = "r") -> SimulatedPlatform:
+    """Open a sharded layout directory as a served platform.
+
+    With the default ``mmap_mode="r"`` every column and compiled index is
+    an ``np.memmap`` view — nothing is materialised until a read slices
+    it, so process workers resolving the same directory share pages.
+    ``mmap_mode=None`` reads everything into RAM instead.
+    """
+    directory = str(path)
+    header_path = os.path.join(directory, SHARDED_HEADER)
+    if not (os.path.isfile(_store_manifest_path(directory)) and os.path.isfile(header_path)):
+        raise PlatformError(f"{directory!r} is not a sharded platform layout")
+    with open(header_path, encoding="utf-8") as handle:
+        header = json.load(handle)
+    if header.get("format_version") != FORMAT_VERSION:
+        raise PlatformError(
+            f"unsupported {SHARDED_HEADER} version {header.get('format_version')}"
+        )
+    profile = ALL_PROFILES.get(header["profile"])
+    if profile is None:
+        raise PlatformError(f"unknown platform profile {header['profile']!r}")
+
+    store = load_store_dir(directory, mmap_mode=mmap_mode)
+
+    def column(file_name: str, dtype) -> np.ndarray:
+        full = os.path.join(directory, file_name)
+        if mmap_mode:
+            return map_column_file(full, dtype, mode=mmap_mode)
+        return np.fromfile(full, dtype=dtype)
 
     cascades: Dict[str, CascadeResult] = {}
     for name, entry in header["cascades"].items():

@@ -58,6 +58,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.obs import NULL_OBS, Observability, RecordingSink
+from repro.obs.drift import DriftTracker
 from repro.obs.export import trace_lines
 from repro.service.tenants import TenantConfig, TenantState
 
@@ -157,6 +158,9 @@ class EstimationService:
         self.obs = obs if obs is not None else NULL_OBS
         self.reuse = SharedQueryState(seed=seed)
         """The cross-query reuse cache every per-query analyzer shares."""
+        self.drift = DriftTracker()
+        """Estimate streams per query identity across platform epochs
+        (diagnostics only — never touches query traces or results)."""
         self._entropy = random.Random(seed).getrandbits(64)
         self._lock = threading.Lock()
         self._next_id = 1
@@ -497,6 +501,15 @@ class EstimationService:
         self._count("completed" if outcome.status == "ok" else "failed")
         if outcome.result is not None:
             tenant.record_spend(outcome.result.cost_by_kind)
+        if outcome.status == "ok" and not outcome.cached and outcome.result is not None:
+            # Serial, so streams are worker-count-invariant.  Cached hits
+            # are skipped: a replay re-states an old epoch's estimate and
+            # would dilute the drift signal with duplicates.
+            query = request.query
+            self.drift.observe(
+                f"{query.keyword}/{query.aggregate.value}/{query.measure.name}",
+                outcome.result.value,
+            )
         metrics = self.obs.metrics
         if metrics is not None:
             metrics.counter(
@@ -580,3 +593,77 @@ class EstimationService:
                 name = keyword
                 for key in [k for k in self._results if k[0] == name]:
                     del self._results[key]
+
+    # ------------------------------------------------------------------
+    # platform evolution
+    # ------------------------------------------------------------------
+    def advance(self, delta):
+        """Ingest one :class:`~repro.platform.evolve.DeltaBatch` and
+        re-key every cache against the new platform epoch.
+
+        The store stitches the delta in (see
+        :meth:`~repro.platform.evolve.OverlayStore.append`), the clock
+        advances to the delta's latest timestamp so search windows cover
+        the new posts, and *every* cross-query cache is dropped — the
+        result cache's keys carry no platform component, and the reuse
+        caches' fingerprint keys, while now epoch-tagged, hold memory
+        that can never hit again.  Returns the
+        :class:`~repro.platform.evolve.DeltaStats`.
+        """
+        from repro.platform.evolve import OverlayStore
+
+        store = self.platform.store
+        if not isinstance(store, OverlayStore):
+            raise ReproError(
+                "advance() needs an evolving platform — wrap it with "
+                "repro.platform.evolve.evolve_platform first"
+            )
+        stats = store.append(delta)
+        if stats.max_time is not None:
+            self.platform.clock.sleep_until(stats.max_time)
+        self.invalidate()
+        self.drift.advance(stats.epoch)
+        metrics = self.obs.metrics
+        if metrics is not None:
+            metrics.counter("service.deltas").inc()
+            metrics.counter("service.delta_posts").inc(stats.posts)
+            metrics.counter("service.delta_users").inc(stats.users)
+            metrics.counter("service.delta_edges").inc(stats.edges)
+            metrics.gauge("service.delta_epoch").set(stats.epoch)
+        tracer = self.obs.trace
+        if tracer is not None:
+            tracer.event(
+                "service.advance",
+                epoch=stats.epoch,
+                posts=stats.posts,
+                users=stats.users,
+                edges=stats.edges,
+            )
+        return stats
+
+    def compact(self, directory: Optional[str] = None):
+        """Re-freeze the overlay's frozen+tail state and serve from it.
+
+        Content (and ``delta_epoch``) are carried over bit-identically —
+        see :meth:`~repro.platform.evolve.OverlayStore.compact` — so warm
+        caches stay valid across compaction; the service deliberately
+        does **not** invalidate here, and the evolve tier pins that a
+        warm post-compaction service answers byte-identically to a cold
+        one.  The service keeps serving through a fresh (empty) overlay
+        over the compacted store so later :meth:`advance` calls keep
+        working; the compacted :class:`FrozenStore` itself is returned.
+        """
+        from repro.platform.evolve import OverlayStore
+
+        store = self.platform.store
+        if not isinstance(store, OverlayStore):
+            raise ReproError("compact() needs an evolving platform")
+        compacted = store.compact(directory)
+        self.platform.store = OverlayStore(compacted)
+        return compacted
+
+    def drift_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-query drift summaries (and ``drift.*`` metrics export)."""
+        if self.obs.metrics is not None:
+            self.drift.export_metrics(self.obs.metrics)
+        return self.drift.report()

@@ -70,3 +70,9 @@ def test_via_analyzer(small_platform):
     result = analyzer.estimate(query, budget=4_000)
     assert result.algorithm == "crawl[term-induced]"
     assert result.cost_total <= 4_000
+
+
+def test_construction_warns_deprecated(tiny_platform):
+    query = count_users("privacy")
+    with pytest.warns(DeprecationWarning, match="frontier"):
+        make_estimator(tiny_platform, query, budget=1_000, seed=7)

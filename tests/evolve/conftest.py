@@ -1,0 +1,120 @@
+"""Shared fixtures for the evolving-platform (freeze-then-append) tier.
+
+The tier's oracle is the *rebuild twin*: every test builds the same
+platform twice — once on the frozen data plane (wrapped in an
+:class:`~repro.platform.evolve.OverlayStore`) and once on the legacy
+mutable plane — then applies the identical delta schedule through both
+ingestion paths (`OverlayStore.append` vs
+:func:`~repro.platform.evolve.apply_delta_to_store`).  Freezing the
+mutable twin is what a from-scratch rebuild would produce, so
+``store_divergences(overlay, twin.freeze())`` pins the overlay (and its
+compactions) bit-for-bit against the monolithic path.
+
+The twins must be *separate platform builds* with identical configs:
+freezing the same mutable store that seeded the overlay would alias the
+profile dict, letting overlay-side follower refreshes leak into the
+oracle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.platform.evolve import (
+    OverlayStore,
+    apply_delta_to_store,
+    evolve_platform,
+    synthesize_delta,
+)
+from repro.platform.simulator import PlatformConfig, build_platform
+from repro.platform.workload import KeywordSpec, event_intensity, spiky_intensity
+
+EVOLVE_USERS = 1_200
+EVOLVE_SEED = 17
+
+
+def evolve_keywords():
+    """Two cheap keywords (the tiny_platform pair, re-declared locally so
+    this tier's platforms are independent of the session fixtures)."""
+    return [
+        KeywordSpec("privacy", spiky_intensity(0.6, spikes=[(150, 8.0)]), 0.30),
+        KeywordSpec("boston", event_intensity(0.5, event_day=104, peak_per_day=12.0), 0.33),
+    ]
+
+
+def evolve_config(**overrides) -> PlatformConfig:
+    kwargs = dict(
+        num_users=EVOLVE_USERS,
+        keywords=evolve_keywords(),
+        background_posts_mean=3.0,
+        seed=EVOLVE_SEED,
+    )
+    kwargs.update(overrides)
+    return PlatformConfig(**kwargs)
+
+
+def build_twin_platforms(**overrides):
+    """(overlay platform, legacy twin) with identical simulated content.
+
+    The first is a frozen-plane build wrapped with
+    :func:`evolve_platform` (store is an OverlayStore); the second is a
+    legacy-plane build whose mutable store accepts
+    :func:`apply_delta_to_store` and freezes into the rebuild oracle.
+    """
+    config = evolve_config(**overrides)
+    overlay = evolve_platform(build_platform(config))
+    legacy = build_platform(dataclasses.replace(config, data_plane="legacy"))
+    return overlay, legacy
+
+
+def apply_epochs(overlay_platform, legacy_platform, n_epochs, *, seed=99, **delta_kwargs):
+    """Drive *n_epochs* synthesized deltas through both ingestion paths.
+
+    Both platform clocks advance to each delta's newest timestamp, so
+    sliding windows built from either clock are identical.  Returns the
+    list of applied :class:`DeltaBatch` objects.
+    """
+    kwargs = dict(new_users=12, keyword_posts=80, background_posts=120)
+    kwargs.update(delta_kwargs)
+    deltas = []
+    for epoch in range(1, n_epochs + 1):
+        delta = synthesize_delta(overlay_platform, seed=seed * 1_000 + epoch, **kwargs)
+        stats = overlay_platform.store.append(delta)
+        apply_delta_to_store(legacy_platform.store, delta)
+        if stats.max_time is not None:
+            overlay_platform.clock.sleep_until(stats.max_time)
+            legacy_platform.clock.sleep_until(stats.max_time)
+        deltas.append(delta)
+    return deltas
+
+
+def rebuilt_platform(overlay_platform, legacy_platform):
+    """The monolithic-rebuild oracle platform: the legacy twin's store
+    frozen in place, wrapped in a platform shell matching the overlay's
+    config and clock (so services over both see the same world)."""
+    from repro.platform.simulator import SimulatedPlatform
+
+    frozen = legacy_platform.store.freeze()
+    frozen.delta_epoch = overlay_platform.store.delta_epoch
+    return SimulatedPlatform(
+        config=overlay_platform.config,
+        store=frozen,
+        clock=legacy_platform.clock,
+        cascades=legacy_platform.cascades,
+    )
+
+
+@pytest.fixture(scope="module")
+def evolved_pair():
+    """(overlay platform, rebuild-oracle platform) after 2 delta epochs.
+
+    Module-scoped: building twin 1 200-user platforms takes ~1 s and the
+    equivalence tests only read from them (estimator runs touch their own
+    client caches; services are constructed per-test).
+    """
+    overlay, legacy = build_twin_platforms()
+    apply_epochs(overlay, legacy, 2)
+    assert isinstance(overlay.store, OverlayStore)
+    return overlay, rebuilt_platform(overlay, legacy)

@@ -1,0 +1,101 @@
+"""Serving equivalence: an evolved overlay answers like a full rebuild.
+
+After two delta epochs, the overlay platform and its monolithically
+rebuilt twin must be indistinguishable to everything above the data
+plane: ground truth (whole-history and sliding-window), estimates,
+per-tenant CostMeter columns, and exported golden-trace *bytes* — at
+every thread count and under the hostile fault profile — and again
+after compaction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api.faults import FAULT_PROFILES
+from repro.api.resilient import RetryPolicy
+from repro.core.query import (
+    FOLLOWERS,
+    MATCHING_POST_COUNT,
+    avg_of,
+    count_users,
+    sliding_window,
+    sum_of,
+)
+from repro.groundtruth import exact_value
+from repro.service import QueryRequest
+
+from tests.service.conftest import BUDGET, bills, make_service, snapshot
+
+pytestmark = pytest.mark.evolve
+
+WINDOW_DAYS = 30.0
+
+
+def evolve_workload(platform):
+    """Five queries over the evolved platform, sliding windows built from
+    its clock; w5 duplicates w2 so result sharing is exercised too."""
+    window = sliding_window(platform.clock.now(), WINDOW_DAYS)
+    return [
+        QueryRequest("growth", count_users("privacy"), BUDGET, tag="w1"),
+        QueryRequest("ads", count_users("boston", window), BUDGET, tag="w2"),
+        QueryRequest("research", avg_of("privacy", FOLLOWERS, window), BUDGET, tag="w3"),
+        QueryRequest("growth", sum_of("boston", MATCHING_POST_COUNT), BUDGET, tag="w4"),
+        QueryRequest("ads", count_users("boston", window), BUDGET, tag="w5"),
+    ]
+
+
+def test_ground_truth_identical(evolved_pair):
+    overlay, rebuilt = evolved_pair
+    assert overlay.clock.now() == rebuilt.clock.now()
+    window = sliding_window(overlay.clock.now(), WINDOW_DAYS)
+    for keyword in ("privacy", "boston"):
+        whole = count_users(keyword)
+        recent = count_users(keyword, window)
+        assert exact_value(overlay.store, whole) == exact_value(rebuilt.store, whole)
+        assert exact_value(overlay.store, recent) == exact_value(rebuilt.store, recent)
+        assert exact_value(overlay.store, recent) > 0  # the window must be live
+
+
+@pytest.mark.parametrize("n_threads", [1, 3])
+@pytest.mark.parametrize("faults", [None, "hostile"])
+def test_estimates_costs_and_trace_bytes_identical(evolved_pair, n_threads, faults):
+    overlay, rebuilt = evolved_pair
+    overrides = dict(n_threads=n_threads)
+    if faults is not None:
+        overrides.update(
+            fault_plan=dataclasses.replace(FAULT_PROFILES[faults], seed=21),
+            retry_policy=RetryPolicy(),
+        )
+    workload = evolve_workload(overlay)
+
+    service_a = make_service(overlay, **overrides)
+    service_b = make_service(rebuilt, **overrides)
+    outcomes_a = service_a.run_workload(workload)
+    outcomes_b = service_b.run_workload(workload)
+
+    assert snapshot(outcomes_a) == snapshot(outcomes_b)
+    assert [o.status for o in outcomes_a] == ["ok"] * len(workload)
+    assert outcomes_a[4].cached  # w5 shares w2's result on both sides
+    assert bills(service_a) == bills(service_b)  # CostMeter columns, per tenant
+
+
+def test_post_compaction_estimates_identical(evolved_pair):
+    overlay, rebuilt = evolved_pair
+    workload = evolve_workload(overlay)
+
+    service = make_service(overlay)
+    compacted = service.compact()
+    assert compacted.delta_epoch == rebuilt.store.delta_epoch
+
+    outcomes_a = service.run_workload(workload)
+    outcomes_b = make_service(rebuilt).run_workload(workload)
+    assert snapshot(outcomes_a) == snapshot(outcomes_b)
+
+    # Ground truth over the compacted store matches the rebuild too.
+    window = sliding_window(overlay.clock.now(), WINDOW_DAYS)
+    for keyword in ("privacy", "boston"):
+        query = count_users(keyword, window)
+        assert exact_value(compacted, query) == exact_value(rebuilt.store, query)

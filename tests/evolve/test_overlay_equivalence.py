@@ -1,0 +1,223 @@
+"""Property tests: freeze-then-append ≡ monolithic rebuild, bit for bit.
+
+Hypothesis drives random delta schedules — new users, new edges
+(including duplicates of existing ones), post batches of arbitrary chunk
+sizes with timestamp ties and brand-new keywords — through both
+ingestion paths over the same deterministic base:
+
+* ``OverlayStore.append`` over a frozen base (the incremental path);
+* ``apply_delta_to_store`` into a mutable twin, then ``freeze()``
+  (what a from-scratch rebuild produces).
+
+:func:`store_divergences` then compares every serving structure — post
+columns, timeline/keyword indexes, CSR graph, user order — on both the
+RAM and mmap planes, and again after ``compact()``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import random
+import shutil
+import tempfile
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.evolve import (
+    DeltaBatch,
+    OverlayStore,
+    PostDelta,
+    apply_delta_to_store,
+    store_divergences,
+)
+from repro.platform.serialization import dump_store_dir, load_store_dir
+from repro.platform.store import MicroblogStore
+from repro.platform.users import generate_profile
+
+pytestmark = [pytest.mark.evolve, pytest.mark.property]
+
+BASE_USERS = 8
+FIRST_NEW_UID = 100
+KEYWORD_POOL = ("alpha", "beta", "gamma", "delta")  # base mentions only the first two
+
+
+def make_base_store() -> MicroblogStore:
+    """A small deterministic base; called twice per example so the
+    overlay's base and the rebuild twin never share mutable state."""
+    store = MicroblogStore()
+    rng = random.Random(0)
+    for user_id in range(BASE_USERS):
+        store.add_user(generate_profile(user_id, seed=rng))
+    for u, v in [(0, 1), (0, 2), (1, 3), (2, 3), (4, 5), (5, 6), (6, 7), (0, 7)]:
+        store.graph.add_edge(u, v)
+    store.add_posts_columnar(
+        np.array([0, 1, 2, 3, 4], dtype=np.int64),
+        np.array([5.0, 12.0, 12.0, 20.0, 27.0]),
+        np.array([20, 30, 25, 40, 15], dtype=np.int64),
+        np.array([1, 0, 3, 2, 0], dtype=np.int64),
+        "alpha",
+    )
+    store.add_posts_columnar(
+        np.array([2, 5, 6], dtype=np.int64),
+        np.array([8.0, 16.0, 16.0]),
+        np.array([22, 18, 33], dtype=np.int64),
+        np.array([0, 4, 1], dtype=np.int64),
+        "beta",
+    )
+    store.add_posts_columnar(
+        np.array([1, 7], dtype=np.int64),
+        np.array([3.0, 24.0]),
+        np.array([10, 12], dtype=np.int64),
+        np.array([2, 0], dtype=np.int64),
+        None,
+    )
+    store.refresh_follower_counts()
+    return store
+
+
+# One delta spec: (new-user count, edge picks, post batches); picks are
+# arbitrary integers resolved modulo the id pool at materialisation time
+# so every reference lands on a user that exists by then (including
+# users added earlier in the same delta).
+delta_schedules = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.lists(st.tuples(st.integers(0, 999), st.integers(0, 999)), max_size=6),
+        st.lists(
+            st.tuples(
+                st.integers(0, len(KEYWORD_POOL)),  # == len → keyword-less batch
+                st.lists(st.tuples(st.integers(0, 999), st.integers(0, 30)), max_size=6),
+            ),
+            max_size=3,
+        ),
+    ),
+    max_size=4,
+)
+
+
+def materialize(specs):
+    """Resolve a drawn schedule into concrete :class:`DeltaBatch` objects."""
+    pool = list(range(BASE_USERS))
+    next_uid = FIRST_NEW_UID
+    deltas = []
+    for n_users, edge_picks, batches in specs:
+        profiles = []
+        for _ in range(n_users):
+            uid = next_uid
+            next_uid += 1
+            profiles.append(generate_profile(uid, seed=random.Random(f"evolve-test:{uid}")))
+            pool.append(uid)
+        edges = []
+        for a, b in edge_picks:  # duplicates kept: both paths must no-op them
+            u, v = pool[a % len(pool)], pool[b % len(pool)]
+            if u != v:
+                edges.append((u, v))
+        posts = []
+        for kw_sel, rows in batches:  # empty batches kept: both paths skip them
+            authors = np.array([pool[a % len(pool)] for a, _ in rows], dtype=np.int64)
+            times = np.array([float(t) for _, t in rows])  # integer grid → deliberate ties
+            keyword = KEYWORD_POOL[kw_sel] if kw_sel < len(KEYWORD_POOL) else None
+            posts.append(
+                PostDelta(
+                    authors,
+                    times,
+                    10 + (authors % 40),
+                    np.array([t % 7 for _, t in rows], dtype=np.int64),
+                    keyword,
+                )
+            )
+        deltas.append(
+            DeltaBatch(
+                tuple(profiles),
+                np.array(edges, dtype=np.int64).reshape(-1, 2),
+                tuple(posts),
+            )
+        )
+    return deltas
+
+
+def apply_both(overlay: OverlayStore, twin: MicroblogStore, deltas) -> None:
+    for delta in deltas:
+        overlay.append(delta)
+        apply_delta_to_store(twin, delta)
+
+
+def assert_equivalent(overlay, rebuilt) -> None:
+    divergences = store_divergences(overlay, rebuilt)
+    assert divergences == [], divergences
+    for uid in rebuilt._user_order:  # profiles aren't columns: pin followers too
+        assert overlay._profiles[uid].followers == rebuilt._profiles[uid].followers
+
+
+@settings(max_examples=30, deadline=None)
+@given(delta_schedules)
+def test_overlay_and_ram_compaction_match_rebuild(specs):
+    deltas = materialize(specs)
+    overlay = OverlayStore(make_base_store().freeze())
+    twin = make_base_store()
+    apply_both(overlay, twin, deltas)
+    rebuilt = twin.freeze()
+
+    assert_equivalent(overlay, rebuilt)
+    assert overlay.delta_epoch == len(deltas)
+
+    compacted = overlay.compact()
+    assert type(compacted) is not OverlayStore
+    assert_equivalent(compacted, rebuilt)
+    assert compacted.delta_epoch == len(deltas)  # warm caches stay valid across compaction
+
+
+@settings(max_examples=30, deadline=None)
+@given(delta_schedules)
+def test_tail_accounting_matches_schedule(specs):
+    deltas = materialize(specs)
+    overlay = OverlayStore(make_base_store().freeze())
+    for delta in deltas:
+        overlay.append(delta)
+    tail = overlay.tail
+    assert tail.epochs == len(deltas)
+    assert tail.users == sum(len(d.new_users) for d in deltas)
+    assert tail.rows == sum(d.num_posts for d in deltas)
+    assert overlay.num_posts == tail.base_rows + tail.rows
+    mentioned = [p.keyword for d in deltas for p in d.posts if p.size and p.keyword]
+    assert set(tail.keywords) == set(mentioned)
+
+
+_BASE_DIR = None
+
+
+def base_store_dir() -> str:
+    """The deterministic base dumped once, reopened per example via mmap."""
+    global _BASE_DIR
+    if _BASE_DIR is None:
+        _BASE_DIR = tempfile.mkdtemp(prefix="repro-evolve-base-")
+        atexit.register(shutil.rmtree, _BASE_DIR, ignore_errors=True)
+        dump_store_dir(make_base_store().freeze(), _BASE_DIR)
+    return _BASE_DIR
+
+
+@settings(max_examples=12, deadline=None)
+@given(delta_schedules)
+def test_overlay_over_mmap_base_matches_rebuild(specs):
+    deltas = materialize(specs)
+    overlay = OverlayStore(load_store_dir(base_store_dir(), mmap_mode="r"))
+    twin = make_base_store()
+    apply_both(overlay, twin, deltas)
+    rebuilt = twin.freeze()
+
+    assert_equivalent(overlay, rebuilt)
+
+    target = tempfile.mkdtemp(prefix="repro-evolve-compact-")
+    try:
+        compacted = overlay.compact(target)
+        assert compacted.storage == "mmap"
+        assert compacted.delta_epoch == len(deltas)
+        assert_equivalent(compacted, rebuilt)
+    finally:
+        shutil.rmtree(target, ignore_errors=True)

@@ -1,0 +1,100 @@
+"""Stale-cache regression: ``advance(delta)`` must kill warm answers.
+
+The reuse fingerprint carries ``delta_epoch``, and the service calls
+``invalidate()`` on every applied delta — so a warm service can never
+serve pre-delta bytes for a post-delta platform.  Conversely,
+``compact()`` changes the representation but not the content, so warm
+caches must stay valid across it (warm ≡ cold post-compaction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import count_users
+from repro.core.reuse import platform_fingerprint
+from repro.errors import ReproError
+from repro.platform.evolve import OverlayStore, apply_delta_to_store, synthesize_delta
+from repro.service import QueryRequest
+
+from tests.evolve.conftest import apply_epochs, build_twin_platforms, rebuilt_platform
+from tests.service.conftest import BUDGET, make_service, snapshot
+
+pytestmark = pytest.mark.evolve
+
+
+@pytest.fixture(scope="module")
+def twin_pair():
+    """(overlay platform, legacy twin) — pristine, 800 users; tests apply
+    their own deltas, so this module keeps its own (smaller) pair."""
+    return build_twin_platforms(num_users=800, seed=19)
+
+
+def test_advance_requires_evolving_platform(twin_pair):
+    _, legacy = twin_pair
+    service = make_service(rebuilt_platform(*twin_pair))
+    with pytest.raises(ReproError, match="evolve_platform"):
+        service.advance(synthesize_delta(legacy, seed=1, new_users=1, keyword_posts=1,
+                                         background_posts=1))
+
+
+def test_fingerprint_tracks_epochs_not_compaction():
+    overlay, legacy = build_twin_platforms(num_users=600, seed=23)
+    before = platform_fingerprint(overlay)
+    apply_epochs(overlay, legacy, 1, seed=31)
+    after = platform_fingerprint(overlay)
+    assert after != before  # warm keys die with the epoch bump
+
+    compacted = overlay.store.compact()
+    overlay.store = OverlayStore(compacted)
+    assert platform_fingerprint(overlay) == after  # compaction keeps caches warm
+
+
+def test_advance_invalidates_result_and_interval_caches():
+    overlay, legacy = build_twin_platforms(num_users=800, seed=19)
+    service = make_service(overlay)
+    request = QueryRequest("growth", count_users("privacy"), BUDGET, tag="stale")
+
+    (cold,) = service.run_workload([request])
+    assert cold.status == "ok" and not cold.cached
+    (warm,) = service.run_workload([request])
+    assert warm.cached  # same epoch: whole-result replay
+    assert snapshot([warm]) == snapshot([cold])
+    pilots_before = service.stats()["reuse_pilot_runs"]
+
+    delta = synthesize_delta(overlay, seed=47, new_users=10, keyword_posts=60,
+                             background_posts=90)
+    stats = service.advance(delta)
+    assert stats.epoch == 1
+
+    (fresh,) = service.run_workload([request])
+    assert fresh.status == "ok"
+    assert not fresh.cached  # pre-delta bytes must not be served
+    assert service.stats()["reuse_pilot_runs"] > pilots_before  # it re-piloted
+
+    # The post-delta answer equals a cold service over the rebuilt twin.
+    apply_delta_to_store(legacy.store, delta)
+    if stats.max_time is not None:
+        legacy.clock.sleep_until(stats.max_time)
+    (oracle,) = make_service(rebuilt_platform(overlay, legacy)).run_workload([request])
+    assert snapshot([fresh]) == snapshot([oracle])
+
+
+def test_warm_equals_cold_after_compaction():
+    overlay, legacy = build_twin_platforms(num_users=800, seed=29)
+    apply_epochs(overlay, legacy, 1, seed=53)
+    workload = [
+        QueryRequest("growth", count_users("privacy"), BUDGET, tag="c1"),
+        QueryRequest("ads", count_users("boston"), BUDGET, tag="c2"),
+    ]
+
+    warm_service = make_service(overlay)
+    first = warm_service.run_workload(workload)
+    warm_service.compact()
+    warm = warm_service.run_workload(workload)
+    assert all(outcome.cached for outcome in warm)  # compaction kept the cache
+    assert snapshot(warm) == snapshot(first)
+
+    cold = make_service(overlay).run_workload(workload)  # recompute over compacted store
+    assert not any(outcome.cached for outcome in cold)
+    assert snapshot(warm) == snapshot(cold)
