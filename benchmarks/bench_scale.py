@@ -129,17 +129,25 @@ def run_cell(args: argparse.Namespace) -> None:
         estimate_seconds = time.perf_counter() - start
         trace = ("\n".join(trace_lines(obs.trace_records())) + "\n").encode("ascii")
         counters = obs.metrics.snapshot()["counters"]
+        diagnostics = result.diagnostics or {}
+        walk_steps = diagnostics.get("instances", 0.0) * diagnostics.get(
+            "mean_path_length", 0.0
+        )
         report.update(
             estimate_seconds=round(estimate_seconds, 3),
             value_repr=repr(result.value),
             cost_total=result.cost_total,
             cost_by_kind=dict(sorted(result.cost_by_kind.items())),
             calls_per_sec=round(result.cost_total / max(estimate_seconds, 1e-9), 1),
+            walk_steps_per_sec=round(walk_steps / max(estimate_seconds, 1e-9), 1),
             trace_sha256=hashlib.sha256(trace).hexdigest(),
             fallbacks=sorted(
-                key for key in counters if key.startswith("fastpath.fallback")
+                key
+                for key in counters
+                if key.startswith(("fastpath.fallback", "kernel.fallback"))
             ),
             fastpath_resolved=counters.get("fastpath.resolved", 0),
+            kernel_resolved=counters.get("kernel.resolved", 0),
         )
     report["total_rss_delta"] = peak_rss_bytes() - baseline
     print(json.dumps(report))
@@ -199,6 +207,8 @@ def check_mmap_guards(scale_label: str, cells: dict, failures: list) -> None:
         )
     if not mmap_cell["fastpath_resolved"]:
         failures.append(f"[{scale_label}] fastpath.resolved never fired on mmap")
+    if not mmap_cell.get("kernel_resolved"):
+        failures.append(f"[{scale_label}] kernel.resolved never fired on mmap")
 
 
 def run_sweep(scales, chunk_rows: int, skip_estimate_planes=()) -> tuple:
@@ -240,10 +250,12 @@ def render(results) -> str:
                 round(cell["build_rss_delta"] / 2**20, 1),
                 round(cell["layout_bytes"] / 2**20, 1) if cell["layout_bytes"] else None,
                 cell.get("calls_per_sec"),
+                cell.get("walk_steps_per_sec"),
             ])
     return format_table(
         "Data-plane scale sweep (per-cell subprocess; RSS deltas over interpreter baseline)",
-        ["scale", "plane", "posts", "build s", "build RSS MB", "layout MB", "walk calls/s"],
+        ["scale", "plane", "posts", "build s", "build RSS MB", "layout MB",
+         "walk calls/s", "walk steps/s"],
         rows,
     )
 

@@ -46,6 +46,11 @@ class CostMeter:
         # fault-free accounting dictionaries stay byte-identical to the
         # pre-fault-injection era (and to each other across data planes).
         self._by_kind: Dict[str, int] = {kind: 0 for kind in QUERY_KINDS}
+        self._query_total = 0
+        """Running sum of the budgeted kinds, maintained by every mutator
+        so :attr:`query_total` — probed once per walk step for stall
+        detection and cost traces — is one attribute read instead of a
+        per-probe sum over the tally dict."""
         self._lock = threading.Lock()
 
     @property
@@ -59,7 +64,7 @@ class CostMeter:
 
         Excludes the ``retries`` column, so a run that heals transient
         faults reports the same query cost as its fault-free twin."""
-        return sum(self._by_kind.get(kind, 0) for kind in QUERY_KINDS)
+        return self._query_total
 
     @property
     def remaining(self) -> Optional[int]:
@@ -87,18 +92,22 @@ class CostMeter:
         if calls < 0:
             raise ReproError("calls must be non-negative")
         with self._lock:
-            if (
-                kind != RETRIES
-                and self.budget is not None
-                and self.query_total + calls > self.budget
-            ):
-                raise BudgetExhaustedError(spent=self.query_total, budget=self.budget)
+            if kind != RETRIES:
+                if (
+                    self.budget is not None
+                    and self._query_total + calls > self.budget
+                ):
+                    raise BudgetExhaustedError(
+                        spent=self._query_total, budget=self.budget
+                    )
+                self._query_total += calls
             self._by_kind[kind] = self._by_kind.get(kind, 0) + calls
 
     def reset(self) -> None:
         with self._lock:
             for kind in self._by_kind:
                 self._by_kind[kind] = 0
+            self._query_total = 0
 
     # pickling drops the lock (a fresh one is created on restore) so
     # meters can ride along in results shipped across process workers
@@ -121,6 +130,8 @@ class CostMeter:
         for kind, count in other.by_kind().items():
             with self._lock:
                 self._by_kind[kind] = self._by_kind.get(kind, 0) + count
+                if kind in QUERY_KINDS:
+                    self._query_total += count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{kind}={count}" for kind, count in self._by_kind.items())

@@ -94,6 +94,15 @@ class SimulatedMicroblogClient(MicroblogAPI):
             age=profile.age if exposes_gender else None,
         )
 
+    def profile_view(self, user_id: int) -> ProfileView:
+        """The profile header a timeline view would carry, uncharged.
+
+        Kernel support (see :mod:`repro.core.kernels`): a columnar
+        condition view for a prepaid user needs exactly the header that
+        materialising the timeline would have attached — same privacy
+        masking, same field values."""
+        return self._profile_view(user_id)
+
     # ------------------------------------------------------------------
     # MicroblogAPI
     # ------------------------------------------------------------------
@@ -335,6 +344,28 @@ class CachingClient(MicroblogAPI):
             self._count("misses")
             inner.charge_timeline(user_id, calls)
             self._prepaid_timelines.add(user_id)
+
+    def note_timeline_hit(self, user_id: int) -> Optional[TimelineView]:
+        """Count a cache hit for a paid-for timeline without materialising.
+
+        Kernel support (see :mod:`repro.core.kernels`): returns the cached
+        view when one exists, or ``None`` for a *prepaid* user — counting
+        the same hit :meth:`user_timeline` would, but leaving the user
+        prepaid so the columns can serve the read.  Raises ``KeyError``
+        (no counters touched) when the timeline was never paid for: the
+        caller must take the ordinary charging path.
+        """
+        with self._lock:
+            view = self._timelines.get(user_id)
+            if view is not None:
+                self.hits += 1
+                self._count("hits")
+                return view
+            if user_id in self._prepaid_timelines:
+                self.hits += 1
+                self._count("hits")
+                return None
+            raise KeyError(user_id)
 
     def connections_via(
         self, user_id: int, inner: SimulatedMicroblogClient

@@ -136,12 +136,21 @@ class FastPathOps:
     # ------------------------------------------------------------------
     # timelines / first mentions
     # ------------------------------------------------------------------
-    def _slow_first_mention(self, user_id: int) -> Optional[float]:
-        """Ordinary layered fetch — identical charges, trace and cache
-        effects; used for users the columns cannot answer exactly."""
+    def note_slow_detour(self) -> None:
+        """Count one per-user fallback to the layered timeline fetch.
+
+        Shared with the compiled kernel's capped-window resolution
+        (:mod:`repro.core.kernels`), which replaces the detour's *work*
+        but deliberately replays its counter and metric so kernel-on and
+        kernel-off runs report identical telemetry."""
         self.slow_timeline_detours += 1
         if self._metrics is not None:
             self._metrics.counter("fastpath.slow_detour", api="timeline").inc()
+
+    def _slow_first_mention(self, user_id: int) -> Optional[float]:
+        """Ordinary layered fetch — identical charges, trace and cache
+        effects; used for users the columns cannot answer exactly."""
+        self.note_slow_detour()
         view = self.cache.user_timeline(user_id)
         return view.first_mention_time(self.keyword)
 

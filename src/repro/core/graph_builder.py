@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.api.fastpath import resolve_fast_path
 from repro.api.interface import MicroblogAPI, TimelineView
+from repro.core.kernels import resolve_kernel
 from repro.core.levels import LevelIndex
 from repro.core.query import AggregateQuery, UserView
 from repro.core.reuse import QueryStateHandle
@@ -50,6 +51,11 @@ class QueryContext:
     to the layered path.  Any fault/resilient layer, legacy store or
     non-caching client keeps every operation on the layered slow path.
     """
+
+    kernel_eligible = True
+    """Subclasses that reinterpret the first-mention family (probes,
+    truncation) set this False so :func:`resolve_kernel` falls back to
+    the interpreted path instead of bypassing their overrides."""
 
     def __init__(
         self,
@@ -73,6 +79,15 @@ class QueryContext:
         self.fast = resolve_fast_path(client, query.keyword, obs=self.obs)
         """Flattened ops for this ``(client, keyword)`` pair, or None when
         any resolution rule forces the layered slow path."""
+        self.kernel = resolve_kernel(self, obs=self.obs)
+        """Compiled walk kernel over the fast path (see
+        :mod:`repro.core.kernels`), or None for the interpreted loop."""
+        self._cond_memo: Dict[int, bool] = {}
+        self._f_memo: Dict[int, float] = {}
+        """Kernel-enabled memos for the condition/f-value hot calls.
+        Valid because query predicates and measures are pure functions of
+        the (already memoised) view; private to this context, so service
+        cross-query reuse never observes them."""
 
     # ------------------------------------------------------------------
     # raw API passthroughs (the client caches repeats)
@@ -98,8 +113,11 @@ class QueryContext:
         """
         memo = self._first_mentions
         if user_id not in memo:
+            kernel = self.kernel
             fast = self.fast
-            if fast is not None:
+            if kernel is not None:
+                kernel.resolve_mentions((user_id,), memo)
+            elif fast is not None:
                 fast.first_mention_into(user_id, memo)
             else:
                 view = self.timeline(user_id)
@@ -118,6 +136,11 @@ class QueryContext:
         a timeline classified at most once per ``(client, keyword)``
         across pilot candidates and the final oracle.
         """
+        kernel = self.kernel
+        if kernel is not None:
+            memo = self._first_mentions
+            kernel.resolve_mentions(user_ids, memo)
+            return [memo[u] for u in user_ids]
         fast = self.fast
         if fast is not None:
             memo = self._first_mentions
@@ -135,21 +158,37 @@ class QueryContext:
         return self.first_mention(user_id) is not None
 
     def user_view(self, user_id: int) -> UserView:
-        if user_id not in self._views:
-            timeline = self.timeline(user_id)
-            profile = timeline.profile
-            self._views[user_id] = UserView(
-                user_id=user_id,
-                display_name=profile.display_name,
-                followers=profile.followers,
-                gender=profile.gender,
-                age=profile.age,
-                matching_posts=self.query.filter_matching_posts(timeline.posts),
-            )
-        return self._views[user_id]
+        views = self._views
+        view = views.get(user_id)
+        if view is None:
+            kernel = self.kernel
+            if kernel is not None:
+                # Columnar assembly for paid-for timelines (only matching
+                # posts materialise); None sends unknown/unpaid users down
+                # the ordinary charging path below.
+                view = kernel.build_view(user_id)
+            if view is None:
+                timeline = self.timeline(user_id)
+                profile = timeline.profile
+                view = UserView(
+                    user_id=user_id,
+                    display_name=profile.display_name,
+                    followers=profile.followers,
+                    gender=profile.gender,
+                    age=profile.age,
+                    matching_posts=self.query.filter_matching_posts(timeline.posts),
+                )
+            views[user_id] = view
+        return view
 
     def condition_matches(self, user_id: int) -> bool:
         """Full §2 CONDITION: keyword + window + profile predicate."""
+        if self.kernel is not None:
+            memo = self._cond_memo
+            value = memo.get(user_id)
+            if value is None:
+                value = memo[user_id] = self.query.matches(self.user_view(user_id))
+            return value
         return self.query.matches(self.user_view(user_id))
 
     def f_value(self, user_id: int) -> float:
@@ -157,6 +196,15 @@ class QueryContext:
 
         The zero default is what makes level-graph samples usable for
         narrower conditions: non-matching users contribute nothing."""
+        if self.kernel is not None:
+            memo = self._f_memo
+            value = memo.get(user_id)
+            if value is None:
+                view = self.user_view(user_id)
+                value = memo[user_id] = (
+                    self.query.value(view) if self.query.matches(view) else 0.0
+                )
+            return value
         view = self.user_view(user_id)
         return self.query.value(view) if self.query.matches(view) else 0.0
 
@@ -312,6 +360,19 @@ class LevelByLevelOracle:
         return out
 
     def _classify(self, user_id: int) -> None:
+        kernel = getattr(self.context, "kernel", None)
+        if (
+            kernel is not None
+            and self.keep_intra_fraction == 0.0
+            and getattr(self.index, "levels_of_array", None) is not None
+        ):
+            # Fused batch classification: one pass resolves the whole
+            # neighborhood (first mentions, levels, up/down split) with
+            # identical memo writes, charges and telemetry.  Intra-edge
+            # retention keeps the interpreted loop — the kept-edge draws
+            # are per-edge decisions the masks don't model.
+            kernel.classify(self, user_id)
+            return
         own_level = self.level_of(user_id)
         if own_level is None:
             self._cache[user_id] = []

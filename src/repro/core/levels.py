@@ -64,7 +64,11 @@ class LevelIndex:
         """
         import numpy as np
 
-        return np.floor((times - self.origin) / self.interval).astype(np.int64)
+        # copy=False: the quotient is a fresh float64 array, so the int64
+        # conversion never aliases caller memory — and when a caller ever
+        # hands an already-int64 array through, the hot path skips the
+        # defensive copy it used to pay per classification batch.
+        return np.floor((times - self.origin) / self.interval).astype(np.int64, copy=False)
 
     def classify(self, level_u: int, level_v: int) -> EdgeKind:
         gap = abs(level_u - level_v)
@@ -145,7 +149,10 @@ class QuantileLevelIndex:
         import numpy as np
 
         boundaries = np.asarray(self.boundaries, dtype=np.float64)
-        return np.searchsorted(boundaries, times, side="right").astype(np.int64)
+        # searchsorted already returns the platform default integer —
+        # int64 everywhere we run — so copy=False makes the astype a
+        # no-op view instead of a per-batch allocation.
+        return np.searchsorted(boundaries, times, side="right").astype(np.int64, copy=False)
 
     def classify(self, level_u: int, level_v: int) -> EdgeKind:
         gap = abs(level_u - level_v)

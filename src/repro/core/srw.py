@@ -22,6 +22,16 @@ which is precisely the mechanism behind the paper's query-cost gaps.
 The chain loop, sample filtering and estimate assembly all live in
 :class:`repro.core.walker.ChainSampleWalker`; this module contributes the
 config and the registry identity.
+
+When the query context resolved a compiled kernel
+(:func:`repro.core.kernels.resolve_kernel`), the shared chain loop steps
+the oracle *directly* instead of through the ``step_retries`` wrapper: a
+kernel only resolves on the clean fast-path stack, where
+``TransientAPIError`` cannot occur, so the retry wrapper is a guaranteed
+no-op and skipping it is bit-identical (budget exhaustion propagates the
+same either way).  The Geweke diagnostic, thinning and Katzir/ratio
+accumulators stay scalar on purpose — reordering those float reductions
+would break bit-identity with the interpreted path.
 """
 
 from __future__ import annotations

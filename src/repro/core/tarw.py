@@ -45,8 +45,9 @@ memoises p-estimates of local roots across instances; disable it with
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, ClassVar, Dict, List, Optional, Tuple
 
 from repro._rng import RandomLike
 
@@ -264,9 +265,10 @@ class MATARWEstimator(BaseWalker):
                 self.obs.trace.event("tarw.seeds", n=len(self._seeds))
             if self.obs.metrics is not None:
                 self.obs.metrics.gauge("tarw.seed_set_size").set(len(self._seeds))
+            run_instance = self._fused_instance_runner() or self._run_instance
             while config.max_instances is None or instances < config.max_instances:
                 try:
-                    path_length_total += self._run_instance()
+                    path_length_total += run_instance()
                     instances += 1
                     self._instance_counter = instances
                 except BudgetExhaustedError:
@@ -388,10 +390,11 @@ class MATARWEstimator(BaseWalker):
         completed = 0
         aborted = 0
         attempts_left = config.final_recount_instances * 3
+        run_instance = self._fused_instance_runner() or self._run_instance
         while completed < config.final_recount_instances and attempts_left > 0:
             attempts_left -= 1
             try:
-                self._run_instance()
+                run_instance()
                 completed += 1
             except (BudgetExhaustedError, TransientAPIError):
                 aborted += 1
@@ -499,43 +502,212 @@ class MATARWEstimator(BaseWalker):
             obs.metrics.histogram("tarw.walk_length").observe(length)
         return length
 
+    def _fused_instance_runner(self) -> Optional[Callable[[], int]]:
+        """Kernel-mode replacement for :meth:`_run_instance`: one closure
+        with every per-step attribute lookup prebound.
+
+        Engaged only when the run is *observably equivalent* to the
+        interpreted instance: kernel resolved (clean stack, memo-direct
+        stepping already proven safe by :meth:`_walk_up`), telemetry off
+        (no spans/metrics to emit), DP probabilities (no per-visit
+        ``_refresh_p``), mean combine (no paper-path capture), and a stock
+        ``random.Random`` whose ``choice(seq)`` is literally
+        ``seq[_randbelow(len(seq))]`` — so the closure consumes the
+        identical RNG stream, touches the identical memos in the identical
+        order, and raises at the identical points.  Anything else returns
+        None and the caller keeps the interpreted :meth:`_run_instance`.
+
+        ``self._seeds`` is read per call (the recount rebinds it) while
+        the visit counters are prebound (the recount ``clear()``s the same
+        dicts), matching the interpreted data flow exactly.
+        """
+        kernel = self._kernel
+        config = self.config
+        context = self.context
+        rng = self.rng
+        oracle = self.oracle
+        if (
+            kernel is None
+            or self.obs.enabled
+            or config.combine == "paper"
+            or config.p_method != "dp"
+            or config.max_path_length < 1
+            or type(rng).choice is not random.Random.choice
+            or type(context).condition_matches is not QueryContext.condition_matches
+        ):
+            return None
+        up_map = getattr(oracle, "_up", None)
+        down_map = getattr(oracle, "_down", None)
+        randbelow = getattr(rng, "_randbelow", None)
+        if up_map is None or down_map is None or randbelow is None:
+            return None
+        if type(rng)._randbelow is random.Random._randbelow_with_getrandbits:
+            # Stock generator: the bit-loop below consumes the identical
+            # getrandbits stream without the per-step method call.
+            getrandbits: Optional[Callable[[int], int]] = rng.getrandbits
+        else:
+            getrandbits = None  # seeded subclass — keep its _randbelow
+        up_accessor = oracle.up_neighbors
+        down_accessor = oracle.down_neighbors
+        cond_memo = context._cond_memo
+        cond = context.condition_matches
+        visits_up = self._visits_up
+        visits_down = self._visits_down
+        up_get = visits_up.get
+        down_get = visits_down.get
+        max_length = config.max_path_length
+        # RAM plane has no prefetcher and prefetch_views is a no-op —
+        # skip the 2-per-instance calls entirely (mmap plane keeps them).
+        prefetch = kernel.prefetch_views if kernel.prefetcher is not None else None
+
+        def run_instance() -> int:
+            seeds = self._seeds
+            current = seeds[randbelow(len(seeds))]
+            up_path = [current]
+            while True:
+                ups = up_map.get(current)
+                if ups is None:
+                    ups = up_accessor(current)
+                if not ups:
+                    break
+                if getrandbits is None:
+                    current = ups[randbelow(len(ups))]
+                else:
+                    # _randbelow_with_getrandbits inlined (n >= 1 here).
+                    n = len(ups)
+                    k = n.bit_length()
+                    r = getrandbits(k)
+                    while r >= n:
+                        r = getrandbits(k)
+                    current = ups[r]
+                up_path.append(current)
+                if len(up_path) > max_length:
+                    raise EstimationError(
+                        "up-phase exceeded max_path_length; level oracle is cyclic?"
+                    )
+            current = up_path[-1]
+            down_path = [current]
+            while True:
+                downs = down_map.get(current)
+                if downs is None:
+                    downs = down_accessor(current)
+                if not downs:
+                    break
+                if getrandbits is None:
+                    current = downs[randbelow(len(downs))]
+                else:
+                    n = len(downs)
+                    k = n.bit_length()
+                    r = getrandbits(k)
+                    while r >= n:
+                        r = getrandbits(k)
+                    current = downs[r]
+                down_path.append(current)
+                if len(down_path) > max_length:
+                    raise EstimationError(
+                        "down-phase exceeded max_path_length; level oracle is cyclic?"
+                    )
+            if prefetch is not None:
+                prefetch(up_path)
+            for node in up_path:
+                matches = cond_memo.get(node)
+                if matches is None:
+                    matches = cond(node)
+                if matches:
+                    visits_up[node] = up_get(node, 0) + 1
+            self._dp_dirty = True
+            if prefetch is not None:
+                prefetch(down_path)
+            for node in down_path:
+                matches = cond_memo.get(node)
+                if matches is None:
+                    matches = cond(node)
+                if matches:
+                    visits_down[node] = down_get(node, 0) + 1
+            self._dp_dirty = True
+            return len(up_path) + len(down_path) - 1
+
+        return run_instance
+
     def _record_phase(self, path: List[int], direction: str) -> None:
         visits = self._visits_up if direction == "up" else self._visits_down
         metrics = self.obs.metrics
+        kernel = self._kernel
+        if kernel is not None:
+            # mmap plane: advise the timeline pages the condition checks
+            # below will gather in one batch (no-op elsewhere).
+            kernel.prefetch_views(path)
+        condition_matches = self.context.condition_matches
+        level_of = self.oracle.level_of
+        refresh = self.config.p_method == "estimate"
+        visits_get = visits.get
         for node in path:
             if metrics is not None:
                 # level_of is memoised for every walked node (the walk
                 # classified it), so occupancy telemetry is free.
-                level = self.oracle.level_of(node)
+                level = level_of(node)
                 if level is not None:
                     metrics.counter("tarw.level_visits", level=level, phase=direction).inc()
-            if not self.context.condition_matches(node):
+            if not condition_matches(node):
                 continue  # contributes 0 regardless of p(u): skip its cost
-            visits[node] = visits.get(node, 0) + 1
-            if self.config.p_method == "estimate":
+            visits[node] = visits_get(node, 0) + 1
+            if refresh:
                 self._refresh_p(node, direction)
         self._dp_dirty = True
 
     def _walk_up(self, start: int) -> List[int]:
         path = [start]
         current = start
-        while len(path) <= self.config.max_path_length:
-            ups = self._oracle_step(self.oracle.up_neighbors, current)
-            if not ups:
-                return path
-            current = self.rng.choice(ups)
-            path.append(current)
+        max_length = self.config.max_path_length
+        choice = self.rng.choice
+        oracle = self.oracle
+        up_map = getattr(oracle, "_up", None) if self._kernel is not None else None
+        if up_map is not None:
+            # Kernel resolved ⇒ clean stack ⇒ no TransientAPIError, so
+            # step straight off the oracle's memo (classifying on miss)
+            # instead of paying the retry wrapper per step.
+            up_accessor = oracle.up_neighbors
+            while len(path) <= max_length:
+                ups = up_map.get(current)
+                if ups is None:
+                    ups = up_accessor(current)
+                if not ups:
+                    return path
+                current = choice(ups)
+                path.append(current)
+        else:
+            while len(path) <= max_length:
+                ups = self._oracle_step(oracle.up_neighbors, current)
+                if not ups:
+                    return path
+                current = choice(ups)
+                path.append(current)
         raise EstimationError("up-phase exceeded max_path_length; level oracle is cyclic?")
 
     def _walk_down(self, root: int) -> List[int]:
         path = [root]
         current = root
-        while len(path) <= self.config.max_path_length:
-            downs = self._oracle_step(self.oracle.down_neighbors, current)
-            if not downs:
-                return path
-            current = self.rng.choice(downs)
-            path.append(current)
+        max_length = self.config.max_path_length
+        choice = self.rng.choice
+        oracle = self.oracle
+        down_map = getattr(oracle, "_down", None) if self._kernel is not None else None
+        if down_map is not None:
+            down_accessor = oracle.down_neighbors
+            while len(path) <= max_length:
+                downs = down_map.get(current)
+                if downs is None:
+                    downs = down_accessor(current)
+                if not downs:
+                    return path
+                current = choice(downs)
+                path.append(current)
+        else:
+            while len(path) <= max_length:
+                downs = self._oracle_step(oracle.down_neighbors, current)
+                if not downs:
+                    return path
+                current = choice(downs)
+                path.append(current)
         raise EstimationError("down-phase exceeded max_path_length; level oracle is cyclic?")
 
     def _refresh_p(self, node: int, direction: str) -> float:
@@ -596,29 +768,38 @@ class MATARWEstimator(BaseWalker):
             self._dp_dirty = False
             return
         oracle = self.oracle
-        nodes = [u for u in oracle.classified_nodes() if oracle.level_of(u) is not None]
-        classified = set(nodes)
-        level = {u: oracle.level_of(u) for u in nodes}
-        p_up: Dict[int, float] = {}
-        for u in sorted(nodes, key=lambda n: -level[n]):
-            value = self._start_probability(u)
-            for v in oracle.down_neighbors(u):
-                if v in classified and p_up.get(v, 0.0) > 0.0:
-                    value += p_up[v] / len(oracle.up_neighbors(v))
-            p_up[u] = value
-        p_down: Dict[int, float] = {}
-        for u in sorted(nodes, key=lambda n: level[n]):
-            ups = oracle.up_neighbors(u)
-            if not ups:
-                p_down[u] = p_up[u]
-                continue
-            value = 0.0
-            for v in ups:
-                if v in classified and p_down.get(v, 0.0) > 0.0:
-                    value += p_down[v] / len(oracle.down_neighbors(v))
-            p_down[u] = value
-        self._dp_p_up = p_up
-        self._dp_p_down = p_down
+        kernel = self._kernel if hasattr(oracle, "_up") else None
+        if kernel is not None:
+            # Flattened CSR evaluation (numba or numpy backend): the same
+            # scalar IEEE-754 operations in the same order, so the tables
+            # are bit-identical to the dict recursion below.
+            self._dp_p_up, self._dp_p_down = kernel.dp_tables(
+                oracle, self._seed_set, len(self._seeds)
+            )
+        else:
+            nodes = [u for u in oracle.classified_nodes() if oracle.level_of(u) is not None]
+            classified = set(nodes)
+            level = {u: oracle.level_of(u) for u in nodes}
+            p_up: Dict[int, float] = {}
+            for u in sorted(nodes, key=lambda n: -level[n]):
+                value = self._start_probability(u)
+                for v in oracle.down_neighbors(u):
+                    if v in classified and p_up.get(v, 0.0) > 0.0:
+                        value += p_up[v] / len(oracle.up_neighbors(v))
+                p_up[u] = value
+            p_down: Dict[int, float] = {}
+            for u in sorted(nodes, key=lambda n: level[n]):
+                ups = oracle.up_neighbors(u)
+                if not ups:
+                    p_down[u] = p_up[u]
+                    continue
+                value = 0.0
+                for v in ups:
+                    if v in classified and p_down.get(v, 0.0) > 0.0:
+                        value += p_down[v] / len(oracle.down_neighbors(v))
+                p_down[u] = value
+            self._dp_p_up = p_up
+            self._dp_p_down = p_down
         self._dp_key = key
         self._dp_recomputes += 1
         self._dp_dirty = False
@@ -638,17 +819,41 @@ class MATARWEstimator(BaseWalker):
         raw_count = 0.0
         drops = 0
         cap = self.config.weight_cap
-        for visits, pool in (
-            (self._visits_up, self._p_up_pool),
-            (self._visits_down, self._p_down_pool),
+        use_dp = self.config.p_method == "dp"
+        if use_dp:
+            # Hoisted out of the per-node loop: _pooled_p would re-check
+            # the dirty flag for every visited node, and nothing inside
+            # the loop can re-dirty the tables (f_value never classifies).
+            self._run_dp_if_dirty()
+        f_of = self.context.f_value
+        # Kernel runs memoise f(u); reading the memo directly skips one
+        # method call per visited node (misses fall back to f_of, which
+        # populates the same memo — identical values either way).
+        f_memo_get = (
+            self.context._f_memo.get if self._kernel is not None else None
+        )
+        for visits, pool, dp in (
+            (self._visits_up, self._p_up_pool, self._dp_p_up),
+            (self._visits_down, self._p_down_pool, self._dp_p_down),
         ):
+            p_get = dp.get if use_dp else None
+            pool_get = pool.get
             for node, visit_count in visits.items():
-                probability = self._pooled_p(node, pool)
+                if p_get is not None:
+                    probability = p_get(node, 0.0)
+                else:
+                    total, count = pool_get(node, (0.0, 0))
+                    probability = total / count if count else 0.0
                 if probability <= 0.0:
                     drops += 1
                     continue
                 normalised = visit_count / (instances * probability)
-                f_value = self.context.f_value(node)
+                if f_memo_get is not None:
+                    f_value = f_memo_get(node)
+                    if f_value is None:
+                        f_value = f_of(node)
+                else:
+                    f_value = f_of(node)
                 raw_sum += normalised * f_value
                 raw_count += normalised
                 if cap is not None and normalised > cap:

@@ -118,6 +118,18 @@ class BaseWalker:
         """Pre-bound cost meter (None for stub contexts/clients without
         one), so the per-step cost probe is one attribute read instead
         of a delegation chain."""
+        oracle_context = getattr(oracle, "context", None)
+        self._kernel = getattr(
+            oracle_context if oracle_context is not None else context, "kernel", None
+        )
+        """The oracle's compiled kernel (:mod:`repro.core.kernels`), or
+        None.  Bound from the *oracle's* context — Walk-Not-Wait rebinds
+        its oracle to a probing context, and the kernel must describe the
+        stack the oracle actually steps.  A resolved kernel implies the
+        clean stack, where :class:`TransientAPIError` cannot surface, so
+        hot loops may call the oracle directly instead of through the
+        :meth:`_oracle_step` retry wrapper — a guaranteed no-op there —
+        with ``BudgetExhaustedError`` propagating identically."""
 
     # ------------------------------------------------------------------
     def algorithm_id(self) -> str:
@@ -295,7 +307,10 @@ class ChainSampleWalker(BaseWalker):
     def _advance(self, currents: List[int], index: int, seeds: List[int]) -> None:
         """One chain step: move to a uniform neighbor (reseed dead ends)
         and commit the reached node as an observation."""
-        neighbors = self._oracle_step(self.oracle.neighbors, currents[index])
+        if self._kernel is not None:
+            neighbors = self.oracle.neighbors(currents[index])
+        else:
+            neighbors = self._oracle_step(self.oracle.neighbors, currents[index])
         if not neighbors:
             currents[index] = self.rng.choice(seeds)
             self._restarts += 1
@@ -333,6 +348,8 @@ class ChainSampleWalker(BaseWalker):
     def _sample_degree(self, node: int) -> float:
         """Reweighting degree recorded for a visited node (hook: the
         rewired walker adds its virtual edges here)."""
+        if self._kernel is not None:
+            return float(self.oracle.degree(node))
         return float(self._oracle_step(self.oracle.degree, node))
 
     def _observe(
@@ -432,6 +449,10 @@ class ChainSampleWalker(BaseWalker):
             kept_degrees.extend(chain_kept_degrees)
         if len(kept_nodes) < 2:
             return None
+        if self._kernel is not None:
+            # mmap plane: batch-advise the timeline pages the condition
+            # checks below are about to gather (no-op elsewhere).
+            self._kernel.prefetch_views(kept_nodes)
         query = self.context.query
         try:
             if query.aggregate is Aggregate.AVG:

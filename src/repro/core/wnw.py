@@ -77,6 +77,12 @@ class ProbingContext(QueryContext):
     path at zero cost.
     """
 
+    kernel_eligible = False
+    """The compiled kernel resolves membership from full-timeline
+    columns — exactly the semantics probes exist to avoid — so this
+    context always takes the interpreted path (its parent class still
+    uses the fast path for connections and seeds)."""
+
     def __init__(
         self,
         client: MicroblogAPI,
@@ -185,6 +191,10 @@ class WNWEstimator(MASRWEstimator):
             )
             self.context = probing
             self.oracle = rebuild_oracle(oracle, probing)
+            # Re-sync the walker's kernel binding: the probing context is
+            # kernel-ineligible, so direct-stepping shortcuts bound from
+            # the original context must be dropped with it.
+            self._kernel = probing.kernel
 
     def _walker_diagnostics(self) -> dict:
         context = self.context

@@ -110,6 +110,10 @@ class FrozenStore:
         spill, so process workers map the same files the parent serves."""
         self.storage = storage
         """``"ram"`` or ``"mmap"`` — where the columns physically live."""
+        self.cache_epoch = 0
+        """Bumped by :meth:`drop_caches`.  Consumers that remember what
+        they have already touched (the kernel's page prefetcher) key
+        their memory on it, so a bench cold-start resets them too."""
         if precompiled is not None:
             self._adopt_indexes(precompiled)
         else:
@@ -383,6 +387,26 @@ class FrozenStore:
         unchanged.  Never called on the serving path.
         """
         self._tl_cache.clear()
+        self.cache_epoch += 1
+
+    def timeline_rows(self, user_id: int) -> np.ndarray:
+        """Column rows of *user_id*'s timeline, oldest first.
+
+        The raw form of :meth:`timeline`: indices into the post columns
+        in the compiled (time, insertion) order, without materialising a
+        single :class:`Post`.  On a mapped store this is a memmap view —
+        treat as immutable.  Kernel support (:mod:`repro.core.kernels`).
+        """
+        row = self._user_row(user_id)
+        return self._tl_order[self._tl_indptr[row]: self._tl_indptr[row + 1]]
+
+    def materialize_rows(self, rows: np.ndarray) -> Tuple[Post, ...]:
+        """Post objects for the given column *rows* (uncached).
+
+        Pairs with :meth:`timeline_rows`: the kernel's columnar condition
+        views materialise only the rows that survive the keyword/window
+        masks instead of the whole timeline."""
+        return self._materialize(rows)
 
     def timeline_length(self, user_id: int) -> int:
         row = self._user_row(user_id)
@@ -456,6 +480,44 @@ class FrozenStore:
         if users is None:
             return {}
         return dict(zip(users.tolist(), self._kw_first_times[name].tolist()))
+
+    def has_keyword_log(self, keyword: str) -> bool:
+        """True when *keyword* has a compiled first-mention column.
+
+        For a registered keyword, absence from that column proves a user
+        never posted it — the implication the kernel's capped-window
+        shortcut relies on (:mod:`repro.core.kernels`)."""
+        return keyword.lower() in self._kw_first_users
+
+    def matching_keyword_codes(self, keyword: str) -> np.ndarray:
+        """Codes of registered keywords whose keyword set contains *keyword*.
+
+        A post tagged with one of these codes is guaranteed to match the
+        needle (a post's code is its alphabetically-first word, always a
+        member of its own keyword set) — the columnar form of the
+        ``needle in post.keywords`` test for singly-tagged posts.
+        """
+        needle = keyword.lower()
+        codes = [
+            code
+            for code, name in enumerate(self._keyword_names)
+            if needle in self._kw_sets[name]
+        ]
+        return np.asarray(codes, dtype=np.int64)
+
+    def matching_extra_post_ids(self, keyword: str) -> np.ndarray:
+        """Sorted post ids of multi-keyword posts matching *keyword*.
+
+        Completes :meth:`matching_keyword_codes`: a multi-keyword post
+        matches through any of its words, not just the coded first one.
+        """
+        needle = keyword.lower()
+        pids = [
+            pid
+            for pid, words in self._multi.items()
+            if needle in make_keywords(*words)
+        ]
+        return np.asarray(sorted(pids), dtype=np.int64)
 
     def first_mention_arrays(self, keyword: str) -> Tuple[np.ndarray, np.ndarray]:
         """First-mention columns for *keyword*: ``(user_ids, times)``.
